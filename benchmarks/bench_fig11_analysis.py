@@ -1,0 +1,71 @@
+"""Figure 11 — sensitivity analysis: imbalance factor tau and relative
+weight of the two game cost terms.
+
+Paper's claims:
+  (a) RF decreases slightly as tau grows from 1.0 to 1.1 (looser balance
+      lets more edges follow their endpoints), and the trend is mild;
+  (b) RF vs relative weight is U-shaped with a wide flat valley: extremes
+      (0.1: almost no balance pressure; 0.9: balance only) are worse than
+      the middle, and within [0.3, 0.7] the variation is small.
+"""
+
+from repro.config import GameConfig
+from repro.core.partitioner import ClugpPartitioner
+
+from conftest import run_once
+
+K = 32
+
+
+def test_fig11a_imbalance_factor(benchmark, web_streams):
+    taus = [1.0, 1.02, 1.05, 1.1]
+
+    def sweep():
+        rows = {}
+        for alias in ("uk", "it"):
+            stream = web_streams[alias]
+            rows[alias] = []
+            for tau in taus:
+                p = ClugpPartitioner(K, imbalance_factor=tau, seed=0)
+                assignment = p.partition(stream)
+                rows[alias].append(
+                    (tau, assignment.replication_factor(), assignment.relative_balance())
+                )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(f"Figure 11(a): RF vs imbalance factor tau (k={K})")
+    for alias, series in rows.items():
+        print(f"  {alias}: " + "  ".join(f"tau={t}: RF={rf:.3f}" for t, rf, _ in series))
+
+    for alias, series in rows.items():
+        # the balance cap is honored for every tau
+        for tau, _, balance in series:
+            assert balance <= tau + K / web_streams[alias].num_edges
+        # loosening tau does not hurt RF much (mild, monotone-ish trend)
+        assert series[-1][1] <= series[0][1] * 1.05
+
+
+def test_fig11b_relative_weight(benchmark, uk_stream):
+    weights = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+    def sweep():
+        rows = []
+        for w in weights:
+            p = ClugpPartitioner(
+                K, game=GameConfig(relative_weight=w, seed=0), imbalance_factor=1.1
+            )
+            assignment = p.partition(uk_stream)
+            rows.append((w, assignment.replication_factor()))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(f"Figure 11(b) (uk, k={K}): RF vs relative weight")
+    print("  " + "  ".join(f"w={w}: RF={rf:.3f}" for w, rf in rows))
+
+    rf = dict(rows)
+    middle = min(rf[0.3], rf[0.5], rf[0.7])
+    # the valley [0.3, 0.7] is flat: within ~12%
+    assert max(rf[0.3], rf[0.5], rf[0.7]) <= 1.12 * middle

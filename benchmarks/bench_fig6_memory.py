@@ -1,0 +1,37 @@
+"""Figure 6 — partitioner state memory vs number of partitions (IT graph).
+
+Paper's claims:
+  * heuristic methods (HDRF/Greedy) occupy the most space — roughly 8-10x
+    CLUGP at large k — because they track per-vertex partition sets;
+  * Hashing takes 0 bytes (a hash function only);
+  * CLUGP sits at O(2|V|), independent of k;
+  * Mint is below CLUGP (batch-local state only).
+"""
+
+from repro.bench.harness import memory_vs_partitions, series_table
+
+from conftest import run_once
+
+K_VALUES = [4, 16, 64, 256]
+ALGORITHMS = ("hdrf", "greedy", "hashing", "dbh", "mint", "clugp")
+
+
+def test_fig6_memory_vs_partitions(benchmark, it_stream):
+    def sweep():
+        return memory_vs_partitions(it_stream, K_VALUES, algorithms=ALGORITHMS, seed=0)
+
+    result = run_once(benchmark, sweep)
+    print()
+    print(series_table(result, title="Figure 6 (it): state bytes vs k"))
+
+    # hashing is stateless at every k
+    for k in K_VALUES:
+        assert result.get("hashing", k) == 0
+
+    # heuristics' state grows with k; CLUGP's does not
+    assert result.get("hdrf", 256) > result.get("hdrf", 4)
+    assert result.get("clugp", 256) <= 1.05 * result.get("clugp", 4)
+
+    # at large k the heuristics are several times CLUGP
+    assert result.get("hdrf", 256) > 3 * result.get("clugp", 256)
+    assert result.get("greedy", 256) > 3 * result.get("clugp", 256)

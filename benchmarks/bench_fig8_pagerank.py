@@ -1,0 +1,84 @@
+"""Figure 8 — PageRank on the (simulated) PowerGraph cluster.
+
+Paper's claims:
+  (a) CLUGP has the lowest PageRank communication volume on every dataset
+      (~40% of the second-best method on IT);
+  (b) CLUGP has the lowest total PageRank runtime; hashing methods are the
+      worst; heuristics and Mint are in between;
+  (c) the ordering is stable as network latency (RTT) grows from 10ms to
+      100ms, and CLUGP stays the most efficient.
+"""
+
+import pytest
+
+from repro.bench.harness import pagerank_costs, run_algorithm
+from repro.system.engine import GasEngine
+from repro.system.network import NetworkModel
+from repro.system.apps.pagerank import pagerank
+
+from conftest import run_once
+
+ALGORITHMS = ("hdrf", "greedy", "hashing", "dbh", "mint", "clugp")
+
+
+@pytest.mark.parametrize("alias", ["uk", "it", "arabic", "webbase"])
+def test_fig8ab_communication_and_runtime(benchmark, web_streams, alias):
+    stream = web_streams[alias]
+    k = 32
+
+    def sweep():
+        return pagerank_costs(
+            stream, k, algorithms=ALGORITHMS, max_supersteps=15, seed=0
+        )
+
+    costs = run_once(benchmark, sweep)
+    print()
+    print(f"Figure 8(a,b) ({alias}, k={k}): PageRank costs")
+    print(f"{'algorithm':9s} {'volume(MB)':>11s} {'compute(s)':>11s} {'comm(s)':>9s} {'total(s)':>9s}")
+    for name, cost in costs.items():
+        print(
+            f"{name:9s} {cost.total_bytes / 1e6:11.2f} {cost.compute_seconds:11.4f} "
+            f"{cost.comm_seconds:9.3f} {cost.total_seconds:9.3f}"
+        )
+
+    volume = {n: c.total_bytes for n, c in costs.items()}
+    total = {n: c.total_seconds for n, c in costs.items()}
+    # (a) CLUGP lowest volume, hashing highest
+    assert min(volume, key=volume.get) == "clugp"
+    assert max(volume, key=volume.get) == "hashing"
+    # (b) CLUGP lowest total runtime
+    assert min(total, key=total.get) == "clugp"
+
+
+def test_fig8c_runtime_vs_latency(benchmark, it_stream):
+    k = 32
+    rtts_ms = [10, 50, 100]
+
+    def sweep():
+        rows: dict[str, list[float]] = {}
+        assignments = {
+            name: run_algorithm(name, it_stream, k, seed=0)[1]
+            for name in ("hashing", "hdrf", "clugp")
+        }
+        for name, assignment in assignments.items():
+            rows[name] = []
+            for rtt in rtts_ms:
+                network = NetworkModel().with_rtt(rtt / 1000.0)
+                _, cost = pagerank(
+                    GasEngine(assignment, network=network), max_supersteps=15
+                )
+                rows[name].append(cost.total_seconds)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(f"Figure 8(c) (it, k={k}): PageRank seconds vs RTT")
+    print(f"{'algorithm':9s}" + "".join(f" {r:>7d}ms" for r in rtts_ms))
+    for name, values in rows.items():
+        print(f"{name:9s}" + "".join(f" {v:9.3f}" for v in values))
+
+    for idx, rtt in enumerate(rtts_ms):
+        assert rows["clugp"][idx] < rows["hdrf"][idx] < rows["hashing"][idx]
+    # runtime grows with RTT for everyone
+    for values in rows.values():
+        assert values[0] < values[-1]

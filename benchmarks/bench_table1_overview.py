@@ -1,0 +1,50 @@
+"""Table I — qualitative time/quality classes of the six algorithms.
+
+Paper's table:
+
+    Algorithm   Time Cost   Quality
+    Hashing     Low         Low
+    DBH         Low         Low
+    Mint        Medium      Medium
+    Greedy      High        High
+    HDRF        High        High
+    CLUGP       Low         High
+
+We regenerate the quantitative version at k=32 on the uk stand-in and
+assert the class structure: CLUGP's quality matches the heuristics while
+its runtime sits with the cheap algorithms.
+"""
+
+from repro.analysis.report import compare_partitioners
+from repro.partitioners.registry import make_partitioner
+
+from conftest import run_once
+
+ALGORITHMS = ("hashing", "dbh", "mint", "greedy", "hdrf", "clugp")
+
+
+def test_table1_time_quality_classes(benchmark, uk_stream):
+    k = 32
+
+    def sweep():
+        parts = [make_partitioner(name, k, seed=0) for name in ALGORITHMS]
+        return compare_partitioners(parts, uk_stream, title=f"Table I @ k={k}")
+
+    table = run_once(benchmark, sweep)
+    print()
+    print(table)
+
+    rf = {r.algorithm: r.replication_factor for r in table.reports}
+    time = {r.algorithm: r.runtime_seconds for r in table.reports}
+
+    # quality classes: {greedy, hdrf, clugp} << {mint} << {hashing, dbh}-ish
+    assert rf["clugp"] < rf["mint"] < rf["hashing"]
+    assert rf["hdrf"] < rf["mint"]
+    assert rf["greedy"] < rf["mint"]
+    assert rf["dbh"] < rf["hashing"]
+    # CLUGP quality is in the high class: within 20% of the best heuristic
+    best_heuristic = min(rf["greedy"], rf["hdrf"])
+    assert rf["clugp"] <= 1.2 * best_heuristic
+    # time classes: CLUGP is cheaper than both per-edge-scoring heuristics
+    assert time["clugp"] < time["hdrf"]
+    assert time["clugp"] < time["mint"]

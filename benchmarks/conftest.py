@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the per-figure benchmarks.
+
+Every benchmark prints the same rows/series its paper figure plots, and
+asserts the *shape* claims (who wins, monotonicity, crossovers) that are
+robust at laptop scale.  Absolute numbers differ from the paper — the
+substrate is a simulator and the corpora are synthetic stand-ins (see
+DESIGN.md section 4).
+
+All benchmark bodies run exactly once (``rounds=1``) via
+``benchmark.pedantic``: the interesting measurements are the sweeps inside,
+not the harness overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.datasets import load_dataset
+from repro.graph.stream import EdgeStream
+
+#: one shared scale so the whole suite stays within a laptop time budget
+BENCH_SCALE = 0.35
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def web_streams():
+    """Crawl-order streams of the four web stand-ins (session cached)."""
+    streams = {}
+    for alias in ("uk", "arabic", "webbase", "it"):
+        graph = load_dataset(alias, scale=BENCH_SCALE, seed=BENCH_SEED)
+        streams[alias] = EdgeStream.from_graph(graph, order="natural")
+    return streams
+
+
+@pytest.fixture(scope="session")
+def uk_stream(web_streams):
+    return web_streams["uk"]
+
+
+@pytest.fixture(scope="session")
+def it_stream(web_streams):
+    return web_streams["it"]
+
+
+@pytest.fixture(scope="session")
+def twitter_stream():
+    graph = load_dataset("twitter", scale=BENCH_SCALE, seed=BENCH_SEED)
+    return EdgeStream.from_graph(graph, order="natural")
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

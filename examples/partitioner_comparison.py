@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Compare all six Table-I algorithms across partition counts (mini Fig 3).
+
+Each algorithm runs under its best stream order, as in the paper's
+protocol: random order for the one-pass heuristics and hashes, crawl (BFS)
+order for Mint and CLUGP.
+
+Run:  python examples/partitioner_comparison.py [dataset] [scale]
+"""
+
+import sys
+
+from repro import EdgeStream, load_dataset, make_partitioner, compare_partitioners
+from repro.bench import rf_vs_partitions, series_table
+
+ALGORITHMS = ["hashing", "dbh", "greedy", "hdrf", "mint", "clugp"]
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "uk"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+    graph = load_dataset(dataset, scale=scale, seed=7)
+    stream = EdgeStream.from_graph(graph, order="natural")
+    print(f"dataset={dataset} |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+
+    # full quality table at one k (Table-I style)
+    k = 32
+    partitioners = [make_partitioner(name, k) for name in ALGORITHMS]
+    print(compare_partitioners(partitioners, stream, title=f"quality at k={k}"))
+    print()
+
+    # replication-factor sweep over k (Figure-3 style)
+    sweep = rf_vs_partitions(stream, [4, 8, 16, 32, 64], algorithms=ALGORITHMS)
+    print(series_table(sweep, title="replication factor vs number of partitions"))
+    best = {k_: sweep.winner_at(k_) for k_ in [4, 16, 64]}
+    print(f"\nlowest-RF algorithm by k: {best}")
+
+
+if __name__ == "__main__":
+    main()

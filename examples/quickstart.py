@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Quickstart: partition a web-graph stand-in with CLUGP in ~10 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClugpPartitioner, EdgeStream, load_dataset
+
+# 1. Load a synthetic stand-in for the paper's uk-2002 corpus (~40K edges
+#    at this scale).  The natural edge order is the BFS crawl order the
+#    paper's streaming model assumes.
+graph = load_dataset("uk", scale=0.2, seed=42)
+print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+# 2. Wrap it as an edge stream and run the three-pass CLUGP pipeline.
+stream = EdgeStream.from_graph(graph, order="natural")
+partitioner = ClugpPartitioner(num_partitions=32)
+assignment = partitioner.partition(stream)
+
+# 3. Inspect quality: replication factor (communication cost proxy) and
+#    relative balance (computation balance; CLUGP enforces <= tau).
+print(f"replication factor: {assignment.replication_factor():.3f}")
+print(f"relative balance:   {assignment.relative_balance():.3f}")
+print(f"partition sizes:    min={assignment.partition_sizes().min()}, "
+      f"max={assignment.partition_sizes().max()}")
+
+# 4. The intermediate products of the three passes are available for
+#    inspection after the run.
+clustering = partitioner.last_clustering
+game = partitioner.last_game_result
+print(f"pass 1: {clustering.num_clusters} clusters, "
+      f"{clustering.splits} splits, {clustering.migrations} migrations")
+print(f"pass 2: Nash equilibrium after {game.rounds} rounds "
+      f"({game.moves} cluster moves, lambda={game.lambda_value:.4f})")
+print(f"pass 3: {partitioner.last_transform_stats}")
+print(f"stage times: { {k: round(v, 4) for k, v in assignment.stage_times.stages.items()} }")

@@ -1,0 +1,106 @@
+"""repro — a reproduction of "Clustering-based Partitioning for Large Web
+Graphs" (CLUGP, ICDE 2022).
+
+Public API quick tour::
+
+    from repro import (
+        load_dataset, EdgeStream, ClugpPartitioner, make_partitioner,
+        quality_report,
+    )
+
+    graph = load_dataset("uk", scale=0.5)
+    stream = EdgeStream.from_graph(graph, order="bfs")
+    result = ClugpPartitioner(num_partitions=32).partition(stream)
+    print(result.replication_factor(), result.relative_balance())
+
+Subpackages
+-----------
+``repro.graph``
+    Graph substrate: CSR digraphs, edge streams, generators, datasets, I/O.
+``repro.core``
+    The CLUGP three-pass pipeline (clustering, game, transformation).
+``repro.partitioners``
+    Streaming baselines: Hashing, DBH, Greedy, HDRF, Mint.
+``repro.offline``
+    Offline multilevel (METIS-style) comparator.
+``repro.analysis``
+    Quality metrics and comparison reports.
+``repro.system``
+    PowerGraph-style GAS distributed-execution simulator + graph apps.
+``repro.bench``
+    The per-figure benchmark harness.
+"""
+
+from ._util import Timer
+from .config import ClugpConfig, GameConfig
+from .graph import (
+    DiGraph,
+    EdgeStream,
+    StreamOrder,
+    load_dataset,
+    DATASETS,
+)
+from .core import (
+    ClugpPartitioner,
+    ClugpNoSplitPartitioner,
+    ClugpGreedyPartitioner,
+    streaming_clustering,
+    build_cluster_graph,
+    ClusterPartitioningGame,
+    parallel_game,
+    transform_partitions,
+)
+from .partitioners import (
+    PartitionAssignment,
+    EdgePartitioner,
+    HashingPartitioner,
+    DBHPartitioner,
+    GreedyPartitioner,
+    HDRFPartitioner,
+    MintPartitioner,
+    make_partitioner,
+    PARTITIONERS,
+)
+from .analysis import (
+    quality_report,
+    QualityReport,
+    replication_factor,
+    relative_balance,
+    compare_partitioners,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Timer",
+    "ClugpConfig",
+    "GameConfig",
+    "DiGraph",
+    "EdgeStream",
+    "StreamOrder",
+    "load_dataset",
+    "DATASETS",
+    "ClugpPartitioner",
+    "ClugpNoSplitPartitioner",
+    "ClugpGreedyPartitioner",
+    "streaming_clustering",
+    "build_cluster_graph",
+    "ClusterPartitioningGame",
+    "parallel_game",
+    "transform_partitions",
+    "PartitionAssignment",
+    "EdgePartitioner",
+    "HashingPartitioner",
+    "DBHPartitioner",
+    "GreedyPartitioner",
+    "HDRFPartitioner",
+    "MintPartitioner",
+    "make_partitioner",
+    "PARTITIONERS",
+    "quality_report",
+    "QualityReport",
+    "replication_factor",
+    "relative_balance",
+    "compare_partitioners",
+    "__version__",
+]

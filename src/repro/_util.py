@@ -1,0 +1,138 @@
+"""Shared low-level helpers: hashing, RNG handling, timing, validation.
+
+These utilities are deliberately dependency-light (numpy only) and are used
+across the graph substrate, the partitioners, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "splitmix64",
+    "hash_to_partition",
+    "hash_pair_to_partition",
+    "as_rng",
+    "Timer",
+    "StageTimes",
+    "check_positive_int",
+    "check_probability",
+    "human_bytes",
+]
+
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def splitmix64(x: np.ndarray | int) -> np.ndarray | np.uint64:
+    """Deterministic 64-bit mixing function (SplitMix64 finalizer).
+
+    Used as the hash behind the hashing-based partitioners so that results
+    are reproducible across runs and platforms, unlike Python's salted
+    ``hash``.  Accepts scalars or numpy arrays; always computes in uint64
+    with wrap-around semantics.
+    """
+    z = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = (z + np.uint64(0x9E3779B97F4A7C15)) & _MASK64
+        z = ((z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK64
+        z = ((z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK64
+        z = z ^ (z >> np.uint64(31))
+    if np.ndim(x) == 0:
+        return np.uint64(z)
+    return z
+
+
+def hash_to_partition(vertex_ids, num_partitions: int, seed: int = 0):
+    """Map vertex ids to ``[0, num_partitions)`` with a seeded hash."""
+    mixed = splitmix64(np.asarray(vertex_ids, dtype=np.uint64) ^ np.uint64(seed))
+    return (mixed % np.uint64(num_partitions)).astype(np.int64)
+
+
+def hash_pair_to_partition(src, dst, num_partitions: int, seed: int = 0):
+    """Map edges (src, dst) to ``[0, num_partitions)`` with a seeded hash.
+
+    This is the PowerGraph ``random`` edge placement: hash the edge itself.
+    """
+    s = np.asarray(src, dtype=np.uint64)
+    d = np.asarray(dst, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        key = (s * np.uint64(0x9E3779B97F4A7C15)) ^ (d + np.uint64(0x632BE59BD9B4E019))
+    mixed = splitmix64(key ^ np.uint64(seed))
+    return (mixed % np.uint64(num_partitions)).astype(np.int64)
+
+
+def as_rng(seed) -> np.random.Generator:
+    """Coerce ``seed`` (None | int | Generator) into a numpy Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class Timer:
+    """Context-manager wall-clock timer.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class StageTimes:
+    """Accumulates named stage durations (seconds) for pipeline reporting."""
+
+    stages: dict = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def __getitem__(self, name: str) -> float:
+        return self.stages[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.stages
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    ivalue = int(value)
+    if ivalue != value or ivalue <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    fvalue = float(value)
+    if not 0.0 <= fvalue <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return fvalue
+
+
+def human_bytes(num_bytes: float) -> str:
+    """Render a byte count as a short human-readable string."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:.2f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    raise AssertionError("unreachable")

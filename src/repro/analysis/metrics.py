@@ -1,0 +1,138 @@
+"""Partition-quality metrics (Section II-B of the paper).
+
+All functions accept a :class:`~repro.partitioners.PartitionAssignment`;
+the fundamental quantities are vectorized over numpy so metric computation
+stays cheap even when the partitioner itself is a Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..partitioners.base import PartitionAssignment
+
+__all__ = [
+    "partition_sizes",
+    "vertex_partition_counts",
+    "replication_factor",
+    "relative_balance",
+    "mirror_count",
+    "cut_edges",
+    "QualityReport",
+    "quality_report",
+]
+
+
+def partition_sizes(assignment: PartitionAssignment) -> np.ndarray:
+    """``|p_i|`` — edges per partition."""
+    return assignment.partition_sizes()
+
+
+def vertex_partition_counts(assignment: PartitionAssignment) -> np.ndarray:
+    """``|P(v)|`` per vertex."""
+    return assignment.vertex_partition_counts()
+
+
+def replication_factor(assignment: PartitionAssignment) -> float:
+    """``(1/|V'|) sum_v |P(v)|`` over active vertices (Equation 1)."""
+    return assignment.replication_factor()
+
+
+def relative_balance(assignment: PartitionAssignment) -> float:
+    """``k * max|p_i| / |E|``; 1.0 is perfect balance."""
+    return assignment.relative_balance()
+
+
+def mirror_count(assignment: PartitionAssignment) -> int:
+    """Total mirrors: ``sum_v (|P(v)| - 1)`` — one replica is the master."""
+    counts = assignment.vertex_partition_counts()
+    active = counts[counts > 0]
+    return int(active.sum() - active.size)
+
+
+def cut_edges(assignment: PartitionAssignment) -> int:
+    """Edges whose endpoints do not share a partition *before* placement —
+    i.e. edges that force at least one endpoint replica.
+
+    An edge (u, v) assigned to p always puts both endpoints in p, so the
+    "virtual edge" count of the paper equals the mirror count; this metric
+    instead counts stream edges whose endpoint partition sets would differ
+    without the edge's own contribution — a cheap upper-bound diagnostic.
+    """
+    k = assignment.num_partitions
+    stream = assignment.stream
+    # vertex -> bitmask of partitions (k <= 64 fast path, else set fallback)
+    if k <= 64:
+        masks = np.zeros(stream.num_vertices, dtype=np.uint64)
+        np.bitwise_or.at(
+            masks, stream.src, np.uint64(1) << assignment.edge_partition.astype(np.uint64)
+        )
+        np.bitwise_or.at(
+            masks, stream.dst, np.uint64(1) << assignment.edge_partition.astype(np.uint64)
+        )
+        overlap = masks[stream.src] & masks[stream.dst]
+        return int(np.count_nonzero(overlap == 0))
+    vsets: list[set[int]] = [set() for _ in range(stream.num_vertices)]
+    for (u, v), p in zip(
+        zip(stream.src.tolist(), stream.dst.tolist()),
+        assignment.edge_partition.tolist(),
+    ):
+        vsets[u].add(p)
+        vsets[v].add(p)
+    return sum(
+        1
+        for u, v in zip(stream.src.tolist(), stream.dst.tolist())
+        if not (vsets[u] & vsets[v])
+    )
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """One-line quality summary of a partitioning run."""
+
+    algorithm: str
+    num_partitions: int
+    num_vertices: int
+    num_edges: int
+    replication_factor: float
+    relative_balance: float
+    mirrors: int
+    max_partition_edges: int
+    min_partition_edges: int
+    runtime_seconds: float
+    state_memory_bytes: int = 0
+
+    def row(self) -> tuple:
+        """Tuple form used by the comparison table printer."""
+        return (
+            self.algorithm,
+            self.num_partitions,
+            f"{self.replication_factor:.3f}",
+            f"{self.relative_balance:.3f}",
+            self.mirrors,
+            f"{self.runtime_seconds:.3f}s",
+        )
+
+
+def quality_report(
+    assignment: PartitionAssignment,
+    algorithm: str = "?",
+    state_memory_bytes: int = 0,
+) -> QualityReport:
+    """Build a :class:`QualityReport` from an assignment."""
+    sizes = assignment.partition_sizes()
+    return QualityReport(
+        algorithm=algorithm,
+        num_partitions=assignment.num_partitions,
+        num_vertices=int(assignment.stream.active_vertices().size),
+        num_edges=assignment.stream.num_edges,
+        replication_factor=assignment.replication_factor(),
+        relative_balance=assignment.relative_balance(),
+        mirrors=mirror_count(assignment),
+        max_partition_edges=int(sizes.max()) if sizes.size else 0,
+        min_partition_edges=int(sizes.min()) if sizes.size else 0,
+        runtime_seconds=assignment.total_time(),
+        state_memory_bytes=state_memory_bytes,
+    )

@@ -1,0 +1,21 @@
+"""Benchmark harness: sweeps and printers for every paper table/figure."""
+
+from .harness import (
+    SweepResult,
+    rf_vs_partitions,
+    runtime_vs_partitions,
+    memory_vs_partitions,
+    pagerank_costs,
+    series_table,
+    DEFAULT_ALGORITHMS,
+)
+
+__all__ = [
+    "SweepResult",
+    "rf_vs_partitions",
+    "runtime_vs_partitions",
+    "memory_vs_partitions",
+    "pagerank_costs",
+    "series_table",
+    "DEFAULT_ALGORITHMS",
+]

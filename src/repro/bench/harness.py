@@ -1,0 +1,153 @@
+"""Reusable sweep machinery behind the per-figure benchmarks.
+
+Every figure in the paper's evaluation is a sweep of one knob (number of
+partitions, graph size, thread count, tau, relative weight) against one or
+more metrics (replication factor, runtime, memory, PageRank cost) across
+the competitor set.  This module provides those sweeps once, so each
+``benchmarks/bench_fig*.py`` file is a thin, readable driver that prints
+the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import format_table
+from ..graph.stream import EdgeStream
+from ..partitioners.base import EdgePartitioner, PartitionAssignment
+from ..partitioners.registry import make_partitioner
+from ..system.engine import GasEngine, RunCost
+from ..system.network import NetworkModel
+from ..system.apps.pagerank import pagerank
+
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "SweepResult",
+    "run_algorithm",
+    "rf_vs_partitions",
+    "runtime_vs_partitions",
+    "memory_vs_partitions",
+    "pagerank_costs",
+    "series_table",
+]
+
+#: the Table I competitor set, in the paper's order
+DEFAULT_ALGORITHMS = ("hdrf", "greedy", "hashing", "dbh", "mint", "clugp")
+
+
+@dataclass
+class SweepResult:
+    """A (x-value -> algorithm -> metric) grid with a table printer."""
+
+    x_name: str
+    metric_name: str
+    x_values: list = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add(self, algorithm: str, x, value: float) -> None:
+        if x not in self.x_values:
+            self.x_values.append(x)
+        self.series.setdefault(algorithm, []).append(float(value))
+
+    def get(self, algorithm: str, x) -> float:
+        return self.series[algorithm][self.x_values.index(x)]
+
+    def winner_at(self, x) -> str:
+        """Algorithm with the lowest metric at ``x``."""
+        idx = self.x_values.index(x)
+        return min(self.series, key=lambda a: self.series[a][idx])
+
+    def __str__(self) -> str:
+        headers = [f"{self.metric_name} \\ {self.x_name}"] + [
+            str(x) for x in self.x_values
+        ]
+        rows = [
+            (name,) + tuple(f"{v:.3f}" for v in values)
+            for name, values in self.series.items()
+        ]
+        return format_table(headers, rows)
+
+
+def series_table(result: SweepResult, title: str = "") -> str:
+    """Render a sweep as the paper-style series table."""
+    body = str(result)
+    return f"{title}\n{body}" if title else body
+
+
+def run_algorithm(
+    name: str,
+    stream: EdgeStream,
+    num_partitions: int,
+    seed: int = 0,
+    order_seed: int = 0,
+    use_preferred_order: bool = True,
+    **kwargs,
+) -> tuple[EdgePartitioner, PartitionAssignment]:
+    """Instantiate + run one registered algorithm under its best order."""
+    partitioner = make_partitioner(name, num_partitions, seed=seed, **kwargs)
+    if use_preferred_order and partitioner.preferred_order != "natural":
+        stream = stream.reordered(partitioner.preferred_order, seed=order_seed)
+    return partitioner, partitioner.partition(stream)
+
+
+def rf_vs_partitions(
+    stream: EdgeStream,
+    partition_counts: list[int],
+    algorithms=DEFAULT_ALGORITHMS,
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 3/4(a): replication factor vs number of partitions."""
+    result = SweepResult(x_name="k", metric_name="RF")
+    for k in partition_counts:
+        for name in algorithms:
+            _, assignment = run_algorithm(name, stream, k, seed=seed)
+            result.add(name, k, assignment.replication_factor())
+    return result
+
+
+def runtime_vs_partitions(
+    stream: EdgeStream,
+    partition_counts: list[int],
+    algorithms=DEFAULT_ALGORITHMS,
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 7: partitioning wall-clock vs number of partitions."""
+    result = SweepResult(x_name="k", metric_name="seconds")
+    for k in partition_counts:
+        for name in algorithms:
+            _, assignment = run_algorithm(name, stream, k, seed=seed)
+            result.add(name, k, assignment.total_time())
+    return result
+
+
+def memory_vs_partitions(
+    stream: EdgeStream,
+    partition_counts: list[int],
+    algorithms=DEFAULT_ALGORITHMS,
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 6: partitioner state memory vs number of partitions."""
+    result = SweepResult(x_name="k", metric_name="state_bytes")
+    for k in partition_counts:
+        for name in algorithms:
+            partitioner, _ = run_algorithm(name, stream, k, seed=seed)
+            result.add(name, k, partitioner.state_memory_bytes(stream))
+    return result
+
+
+def pagerank_costs(
+    stream: EdgeStream,
+    num_partitions: int,
+    algorithms=DEFAULT_ALGORITHMS,
+    network: NetworkModel | None = None,
+    max_supersteps: int = 30,
+    seed: int = 0,
+) -> dict[str, RunCost]:
+    """Figure 8: run PageRank on the GAS simulator per partitioning."""
+    costs: dict[str, RunCost] = {}
+    for name in algorithms:
+        _, assignment = run_algorithm(name, stream, num_partitions, seed=seed)
+        engine = GasEngine(assignment, network=network)
+        _, cost = pagerank(engine, max_supersteps=max_supersteps)
+        costs[name] = cost
+    return costs

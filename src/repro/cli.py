@@ -1,0 +1,181 @@
+"""Command-line interface: ``clugp <command>`` (or ``python -m repro.cli``).
+
+Commands
+--------
+``partition``  partition a dataset or edge-list file with one algorithm
+``compare``    run the full competitor set and print the quality table
+``sweep``      replication factor vs number of partitions (Figure-3 style)
+``datasets``   list the synthetic stand-in datasets
+``pagerank``   partition + run PageRank on the GAS simulator
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .analysis.report import compare_partitioners
+from .analysis.metrics import quality_report
+from .graph.datasets import DATASETS, load_dataset
+from .graph.io import read_edgelist
+from .graph.stream import EdgeStream
+from .partitioners.registry import PARTITIONERS, make_partitioner
+from .system.engine import GasEngine
+from .system.network import NetworkModel
+from .system.apps.pagerank import pagerank
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clugp",
+        description="CLUGP: clustering-based vertex-cut partitioning (ICDE 2022 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dataset", default="uk", help="dataset alias (see `datasets`)")
+    common.add_argument("--edgelist", default=None, help="edge-list file instead of a dataset")
+    common.add_argument("--scale", type=float, default=0.2, help="dataset scale factor")
+    common.add_argument("--seed", type=int, default=0, help="random seed")
+    common.add_argument("-k", "--partitions", type=int, default=32, help="number of partitions")
+
+    p_part = sub.add_parser("partition", parents=[common], help="run one partitioner")
+    p_part.add_argument(
+        "--algorithm", default="clugp", choices=sorted(PARTITIONERS), help="algorithm"
+    )
+    p_part.add_argument("--output", default=None, help="write edge->partition ids to this file")
+
+    sub.add_parser("compare", parents=[common], help="compare all algorithms")
+
+    p_sweep = sub.add_parser(
+        "sweep", parents=[common], help="RF vs number of partitions"
+    )
+    p_sweep.add_argument(
+        "--k-values",
+        default="4,16,64",
+        help="comma-separated partition counts (default 4,16,64)",
+    )
+    p_sweep.add_argument(
+        "--algorithms",
+        default="hdrf,hashing,clugp",
+        help="comma-separated algorithm names",
+    )
+
+    sub.add_parser("datasets", help="list dataset stand-ins")
+
+    p_pr = sub.add_parser("pagerank", parents=[common], help="partition + simulate PageRank")
+    p_pr.add_argument("--algorithm", default="clugp", choices=sorted(PARTITIONERS))
+    p_pr.add_argument("--rtt-ms", type=float, default=10.0, help="network RTT in ms")
+    p_pr.add_argument("--supersteps", type=int, default=30, help="max supersteps")
+    return parser
+
+
+def _load_stream(args) -> EdgeStream:
+    if args.edgelist:
+        graph = read_edgelist(args.edgelist)
+    else:
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    return EdgeStream.from_graph(graph, order="natural")
+
+
+def _cmd_partition(args) -> int:
+    stream = _load_stream(args)
+    partitioner = make_partitioner(args.algorithm, args.partitions, seed=args.seed)
+    if partitioner.preferred_order != "natural":
+        stream = stream.reordered(partitioner.preferred_order, seed=args.seed)
+    assignment = partitioner.partition(stream)
+    report = quality_report(
+        assignment,
+        algorithm=partitioner.name,
+        state_memory_bytes=partitioner.state_memory_bytes(stream),
+    )
+    print(
+        f"algorithm={report.algorithm} k={report.num_partitions} "
+        f"|V|={report.num_vertices} |E|={report.num_edges}\n"
+        f"replication_factor={report.replication_factor:.4f} "
+        f"balance={report.relative_balance:.4f} mirrors={report.mirrors} "
+        f"time={report.runtime_seconds:.3f}s"
+    )
+    if args.output:
+        np.savetxt(args.output, assignment.edge_partition, fmt="%d")
+        print(f"edge partition ids written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    stream = _load_stream(args)
+    names = ["hashing", "dbh", "greedy", "hdrf", "mint", "clugp"]
+    partitioners = [make_partitioner(n, args.partitions, seed=args.seed) for n in names]
+    table = compare_partitioners(
+        partitioners, stream, title=f"k={args.partitions} on {args.dataset}"
+    )
+    print(table)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .bench.harness import rf_vs_partitions, series_table
+
+    stream = _load_stream(args)
+    k_values = [int(tok) for tok in args.k_values.split(",") if tok]
+    algorithms = [tok.strip().lower() for tok in args.algorithms.split(",") if tok]
+    unknown = [a for a in algorithms if a not in PARTITIONERS]
+    if unknown:
+        raise SystemExit(f"unknown algorithms: {unknown}; known: {sorted(PARTITIONERS)}")
+    result = rf_vs_partitions(stream, k_values, algorithms=algorithms, seed=args.seed)
+    print(series_table(result, title=f"RF vs k on {args.dataset}"))
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    print(f"{'alias':10s} {'kind':7s} {'paper |V|':>9s} {'paper |E|':>9s}  source")
+    for spec in DATASETS.values():
+        print(
+            f"{spec.alias:10s} {spec.kind:7s} {spec.paper_vertices:>9s} "
+            f"{spec.paper_edges:>9s}  {spec.source}"
+        )
+    return 0
+
+
+def _cmd_pagerank(args) -> int:
+    stream = _load_stream(args)
+    partitioner = make_partitioner(args.algorithm, args.partitions, seed=args.seed)
+    if partitioner.preferred_order != "natural":
+        stream = stream.reordered(partitioner.preferred_order, seed=args.seed)
+    assignment = partitioner.partition(stream)
+    network = NetworkModel().with_rtt(args.rtt_ms / 1000.0)
+    engine = GasEngine(assignment, network=network)
+    _, cost = pagerank(engine, max_supersteps=args.supersteps)
+    print(
+        f"algorithm={partitioner.name} k={args.partitions} "
+        f"RF={assignment.replication_factor():.3f}\n"
+        f"supersteps={cost.num_supersteps} messages={cost.total_messages} "
+        f"volume={cost.total_bytes / 1e6:.2f}MB\n"
+        f"compute={cost.compute_seconds:.4f}s comm={cost.comm_seconds:.4f}s "
+        f"total={cost.total_seconds:.4f}s (simulated)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "partition": _cmd_partition,
+    "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
+    "datasets": _cmd_datasets,
+    "pagerank": _cmd_pagerank,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""CLUGP core: the paper's three-pass restreaming partitioning pipeline."""
+
+from .clustering import ClusteringResult, streaming_clustering
+from .bounds import (
+    PowerLawModel,
+    min_degree_for_replicas_clugp,
+    min_degree_for_replicas_holl,
+    replication_factor_upper_bound,
+    tail_fraction,
+)
+from .cluster_graph import ClusterGraph, build_cluster_graph
+from .game import ClusterPartitioningGame, GameResult, compute_lambda_max
+from .parallel import parallel_game
+from .transform import transform_partitions
+from .distributed import (
+    DistributedClugpPartitioner,
+    NodeReport,
+    distributed_clugp,
+)
+from .partitioner import (
+    ClugpPartitioner,
+    ClugpNoSplitPartitioner,
+    ClugpGreedyPartitioner,
+)
+
+__all__ = [
+    "ClusteringResult",
+    "PowerLawModel",
+    "min_degree_for_replicas_clugp",
+    "min_degree_for_replicas_holl",
+    "replication_factor_upper_bound",
+    "tail_fraction",
+    "streaming_clustering",
+    "ClusterGraph",
+    "build_cluster_graph",
+    "ClusterPartitioningGame",
+    "GameResult",
+    "compute_lambda_max",
+    "parallel_game",
+    "transform_partitions",
+    "DistributedClugpPartitioner",
+    "NodeReport",
+    "distributed_clugp",
+    "ClugpPartitioner",
+    "ClugpNoSplitPartitioner",
+    "ClugpGreedyPartitioner",
+]

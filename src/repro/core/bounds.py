@@ -1,0 +1,161 @@
+"""Analytical replication-factor model of Section IV-B (Equations 3-9).
+
+The paper bounds the replication factor of CLUGP's streaming clustering on
+power-law graphs and proves it never exceeds Holl's (Theorems 1-2).  This
+module implements the closed forms so the theory itself is testable and
+usable for capacity planning:
+
+* :func:`tail_fraction` — Equation 3: the fraction ``theta`` of vertices
+  with degree >= d on a power-law graph with exponent ``alpha`` and
+  minimum degree ``gamma``;
+* :func:`min_degree_for_replicas_clugp` — Equation 8: the minimum degree a
+  vertex must have to be split ``r`` times by CLUGP
+  (``(V_max - 1)(1 - (1 - 1/(1+d_max))^{r-1}) + 2``);
+* :func:`min_degree_for_replicas_holl` — Holl's counterpart ``r - 1``;
+* :func:`replication_factor_upper_bound` — Equations 4-5: the worst-case
+  RF of either algorithm obtained by summing the tail fractions.
+
+Theorem 2 (``d_min^clugp(r) >= d_min^holl(r)``) and Theorem 1
+(``RF_clugp <= RF_holl``) follow numerically from these forms; the test
+suite checks both across wide parameter grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check_positive_int
+
+__all__ = [
+    "tail_fraction",
+    "min_degree_for_replicas_clugp",
+    "min_degree_for_replicas_holl",
+    "replication_factor_upper_bound",
+    "PowerLawModel",
+]
+
+
+def tail_fraction(degree: float, alpha: float, gamma: float = 1.0) -> float:
+    """Equation 3: fraction of vertices with degree >= ``degree``.
+
+    ``theta = (gamma / (degree - 1)) ** (alpha - 1)``, clipped to [0, 1]
+    (the formula exceeds 1 for degrees below ``gamma + 1``, where "all
+    vertices" is the right answer).
+    """
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must exceed 1, got {alpha}")
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    if degree <= gamma:
+        return 1.0
+    return float(min(1.0, (gamma / (degree - 1.0)) ** (alpha - 1.0)))
+
+
+def min_degree_for_replicas_clugp(r: int, vmax: int, dmax: int) -> float:
+    """Equation 8: minimum degree for a vertex to reach ``r`` replicas
+    under CLUGP's allocation-splitting-migration.
+
+    For ``r <= 1`` the paper sets the degenerate values (1 for no replica,
+    2 for one), identical to Holl.
+    """
+    check_positive_int(vmax, "vmax")
+    check_positive_int(dmax, "dmax")
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    if r == 0:
+        return 1.0
+    if r == 1:
+        return 2.0
+    shrink = 1.0 - (1.0 - 1.0 / (1.0 + dmax)) ** (r - 1)
+    return (vmax - 1.0) * shrink + 2.0
+
+
+def min_degree_for_replicas_holl(r: int) -> float:
+    """Holl's counterpart: ``d_min(r) = r - 1`` for ``r >= 2`` (each extra
+    neighbor can open a fresh cluster), degenerate values below."""
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    if r == 0:
+        return 1.0
+    if r == 1:
+        return 2.0
+    return float(r - 1)
+
+
+def replication_factor_upper_bound(
+    num_clusters: int,
+    alpha: float,
+    gamma: int,
+    vmax: int,
+    dmax: int,
+    algorithm: str = "clugp",
+) -> float:
+    """Equations 4-5: worst-case replication factor.
+
+    The telescoped sum of tail fractions over the replica ladder:
+    ``expected replicas <= sum_{r=gamma}^{m-1} theta(d_min(r))``.  The
+    paper's trailing ``(m - gamma) * theta(d_min(gamma - 1))`` term is
+    *identical* for CLUGP and Holl (their ``d_min`` coincide for r <= 1,
+    Theorem 2), so we omit it from both — the bound gets tighter and the
+    Theorem-1 comparison ``RF_clugp <= RF_holl`` is unaffected.  Returned
+    as 1 + (expected replicas per vertex), matching
+    ``RF = (1/|V|) sum |P(v)|``.
+    """
+    check_positive_int(num_clusters, "num_clusters")
+    check_positive_int(gamma, "gamma")
+    if algorithm not in ("clugp", "holl"):
+        raise ValueError(f"algorithm must be 'clugp' or 'holl', got {algorithm!r}")
+    if num_clusters <= gamma:
+        return 1.0
+
+    def dmin(r: int) -> float:
+        if algorithm == "clugp":
+            return min_degree_for_replicas_clugp(r, vmax, dmax)
+        return min_degree_for_replicas_holl(r)
+
+    expected_replicas = sum(
+        tail_fraction(dmin(r), alpha, gamma) for r in range(gamma, num_clusters)
+    )
+    return 1.0 + float(expected_replicas)
+
+
+@dataclass(frozen=True)
+class PowerLawModel:
+    """A power-law graph model for analytical what-if exploration.
+
+    Attributes mirror the paper's notation: exponent ``alpha``, global
+    minimum degree ``gamma``, maximum degree ``dmax``.
+    """
+
+    alpha: float = 2.1
+    gamma: int = 1
+    dmax: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 1.0:
+            raise ValueError("alpha must exceed 1")
+        check_positive_int(self.gamma, "gamma")
+        check_positive_int(self.dmax, "dmax")
+
+    def rf_bound(self, num_clusters: int, vmax: int, algorithm: str = "clugp") -> float:
+        """Worst-case RF of ``algorithm`` for this graph model."""
+        return replication_factor_upper_bound(
+            num_clusters, self.alpha, self.gamma, vmax, self.dmax, algorithm
+        )
+
+    def clugp_advantage(self, num_clusters: int, vmax: int) -> float:
+        """``RF_holl_bound - RF_clugp_bound`` (>= 0 by Theorem 1)."""
+        return self.rf_bound(num_clusters, vmax, "holl") - self.rf_bound(
+            num_clusters, vmax, "clugp"
+        )
+
+    def replica_ladder(self, vmax: int, max_replicas: int = 16) -> np.ndarray:
+        """``d_min^clugp(r)`` for r = 0..max_replicas (for plotting)."""
+        return np.asarray(
+            [
+                min_degree_for_replicas_clugp(r, vmax, self.dmax)
+                for r in range(max_replicas + 1)
+            ]
+        )

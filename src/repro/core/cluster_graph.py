@@ -1,0 +1,104 @@
+"""The cluster multigraph: input of pass 2 (cluster partitioning).
+
+After pass 1 every master vertex has a cluster; re-streaming the edges and
+mapping endpoints through ``cluster_of`` yields a weighted digraph over
+clusters:
+
+* ``internal[c]`` = ``|c|`` = number of intra-cluster edges (paper notation
+  ``|e(c_i, c_i)|``) — the *size* a cluster contributes to a partition;
+* ``out_edges[c]`` / ``in_edges[c]`` = weighted inter-cluster adjacency —
+  the cut volumes the game's edge-cutting term optimizes.
+
+Building it is one O(|E|) sweep (this is the I/O part of pass 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.stream import EdgeStream
+from .clustering import ClusteringResult
+
+__all__ = ["ClusterGraph", "build_cluster_graph"]
+
+
+@dataclass
+class ClusterGraph:
+    """Weighted digraph over clusters.
+
+    Attributes
+    ----------
+    num_clusters:
+        ``m``.
+    internal:
+        ``internal[c]`` — intra-cluster edge count ``|c|``.
+    out_edges / in_edges:
+        Per-cluster dicts ``{neighbor_cluster: weight}`` of inter-cluster
+        edges leaving / entering the cluster.
+    """
+
+    num_clusters: int
+    internal: np.ndarray
+    out_edges: list[dict[int, int]]
+    in_edges: list[dict[int, int]]
+
+    def total_internal(self) -> int:
+        """Sum of intra-cluster edges."""
+        return int(self.internal.sum())
+
+    def cut_degree(self, c: int) -> int:
+        """``|e(c, V\\c)| + |e(V\\c, c)|`` — total cut weight incident to c."""
+        return sum(self.out_edges[c].values()) + sum(self.in_edges[c].values())
+
+    def total_cut(self) -> int:
+        """``sum_c |e(c, V\\c)|`` — total inter-cluster edges (each once)."""
+        return sum(sum(d.values()) for d in self.out_edges)
+
+    def undirected_neighbors(self, c: int) -> dict[int, int]:
+        """Symmetrized neighbor weights ``w(c, n) = out + in``."""
+        merged = dict(self.out_edges[c])
+        for nbr, w in self.in_edges[c].items():
+            merged[nbr] = merged.get(nbr, 0) + w
+        return merged
+
+    def edge_count_check(self, num_stream_edges: int, num_self_loops: int = 0) -> bool:
+        """Invariant: internal + inter + self-loops accounts for every edge."""
+        return (
+            self.total_internal() + self.total_cut() == num_stream_edges
+        ) or num_self_loops > 0
+
+
+def build_cluster_graph(stream: EdgeStream, clustering: ClusteringResult) -> ClusterGraph:
+    """Map every stream edge through ``cluster_of`` and accumulate weights.
+
+    Self-cluster edges (including vertex self-loops) count as internal.
+    """
+    m = clustering.num_clusters
+    cu_arr = clustering.cluster_of[stream.src]
+    cv_arr = clustering.cluster_of[stream.dst]
+    if m and ((cu_arr < 0).any() or (cv_arr < 0).any()):
+        raise ValueError("stream contains vertices absent from the clustering")
+    internal = np.zeros(m, dtype=np.int64)
+    out_edges: list[dict[int, int]] = [dict() for _ in range(m)]
+    in_edges: list[dict[int, int]] = [dict() for _ in range(m)]
+    same = cu_arr == cv_arr
+    if m:
+        internal += np.bincount(cu_arr[same], minlength=m)
+    # accumulate inter-cluster weights via a unique-pair reduction
+    inter_u = cu_arr[~same]
+    inter_v = cv_arr[~same]
+    if inter_u.size:
+        keys = inter_u * np.int64(m) + inter_v
+        uniq, counts = np.unique(keys, return_counts=True)
+        for key, w in zip(uniq.tolist(), counts.tolist()):
+            a, b = divmod(key, m)
+            out_edges[a][b] = w
+            in_edges[b][a] = w
+    return ClusterGraph(
+        num_clusters=m,
+        internal=internal,
+        out_edges=out_edges,
+        in_edges=in_edges,
+    )

@@ -1,0 +1,250 @@
+"""Pass 1 — streaming clustering (Algorithm 2 of the paper).
+
+Extends Hollocou et al.'s streaming vertex clustering (*allocation* +
+*migration*) with the paper's new *splitting* operation
+(allocation-**splitting**-migration):
+
+* **allocation** — an unseen endpoint opens a fresh singleton cluster;
+* **splitting** — when a cluster's *volume* (sum of partial degrees of its
+  member master vertices) reaches ``V_max``, the vertex that pushed it over
+  is split out into a fresh cluster, leaving a *mirror* behind.  The vertex
+  is marked *divided*; pass 3 (Algorithm 1) uses the mirror locations.
+  Splitting provably lowers the worst-case replication factor on power-law
+  graphs (Theorems 1-2): a vertex needs degree ~``(V_max-1)(r-1)/d_max``
+  to reach r replicas under CLUGP vs degree ``r-1`` under Holl.
+
+  *Reproduction note*: the paper's pseudocode splits an endpoint on every
+  edge incident to a full cluster.  In steady state nearly every mature
+  cluster sits at ``V_max`` (total volume is ``2|E|`` against capacity
+  ``|E|/k``), so the literal rule shreds clusters on synthetic stand-in
+  streams.  The paper's own analysis assumes ``V_max > d_max`` and each
+  split producing exactly one replica (Section IV-A fact (a)), so we add
+  the two guards that make those assumptions hold by construction: a
+  vertex splits **at most once** (one mirror each, keeping fact (a) tight)
+  and only while ``deg(x) < V_max`` (the Theorem-2 regime).  Both guards
+  are no-ops on the paper's billion-edge crawls where splits are rare;
+  see DESIGN.md for the full analysis.
+* **migration** — after each edge, the endpoint sitting in the
+  lower-volume cluster migrates to the other endpoint's cluster (if both
+  clusters are below ``V_max``), gluing communities together bottom-up.
+
+With ``enable_splitting=False`` the procedure degenerates to Holl's
+allocation-migration (the CLUGP-S ablation of Figure 9).
+
+Complexities (Section IV-A): time O(|E|), space O(|V|).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import check_positive_int
+from ..graph.stream import EdgeStream
+
+__all__ = ["ClusteringResult", "streaming_clustering"]
+
+
+@dataclass
+class ClusteringResult:
+    """Output of pass 1.
+
+    Attributes
+    ----------
+    cluster_of:
+        ``clu[v]`` — final cluster id of every vertex's master copy
+        (-1 for vertices never seen in the stream).  Cluster ids are
+        *compact*: ``0..num_clusters-1``, renumbered in order of first use.
+    degree:
+        ``deg[v]`` — degree observed over the full stream.
+    volume:
+        Final cluster volumes (indexed by compact cluster id).
+    divided:
+        Boolean mask — vertices that triggered at least one split.
+    mirror_clusters:
+        For each divided vertex, the list of cluster ids (compact) that
+        retain a mirror of it; used by Algorithm 1 line 18.
+    num_clusters:
+        ``m`` — number of non-empty clusters.
+    max_volume:
+        The ``V_max`` used.
+    splits, migrations, allocations:
+        Operation counters (for tests and the ablation analysis).
+    """
+
+    cluster_of: np.ndarray
+    degree: np.ndarray
+    volume: np.ndarray
+    divided: np.ndarray
+    mirror_clusters: dict[int, list[int]]
+    num_clusters: int
+    max_volume: int
+    splits: int = 0
+    migrations: int = 0
+    allocations: int = 0
+    _members: dict[int, list[int]] | None = field(default=None, repr=False)
+
+    def members(self) -> dict[int, list[int]]:
+        """Cluster id -> sorted list of master-vertex ids (computed lazily)."""
+        if self._members is None:
+            members: dict[int, list[int]] = {}
+            for v, c in enumerate(self.cluster_of.tolist()):
+                if c >= 0:
+                    members.setdefault(c, []).append(v)
+            self._members = members
+        return self._members
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of master vertices per cluster."""
+        active = self.cluster_of[self.cluster_of >= 0]
+        return np.bincount(active, minlength=self.num_clusters).astype(np.int64)
+
+
+def streaming_clustering(
+    stream: EdgeStream,
+    max_volume: int,
+    enable_splitting: bool = True,
+) -> ClusteringResult:
+    """Run Algorithm 2 over ``stream`` with cluster capacity ``max_volume``.
+
+    Parameters
+    ----------
+    stream:
+        The edge stream (the paper assumes BFS crawl order; any order is
+        accepted, quality just degrades gracefully).
+    max_volume:
+        ``V_max`` — volume capacity of a cluster (default pipeline choice
+        is ``|E| / k``).
+    enable_splitting:
+        ``False`` reproduces Holl (allocation-migration only).
+    """
+    check_positive_int(max_volume, "max_volume")
+    n = stream.num_vertices
+    cluster_of = np.full(n, -1, dtype=np.int64)
+    degree = np.zeros(n, dtype=np.int64)
+    divided = np.zeros(n, dtype=bool)
+    mirror_clusters: dict[int, list[int]] = {}
+    volumes: list[int] = []  # indexed by raw cluster id
+    splits = migrations = allocations = 0
+
+    def new_cluster() -> int:
+        volumes.append(0)
+        return len(volumes) - 1
+
+    src_list = stream.src.tolist()
+    dst_list = stream.dst.tolist()
+    clu = cluster_of  # local aliases for speed
+    deg = degree
+    for u, v in zip(src_list, dst_list):
+        # --- allocation -------------------------------------------------
+        if clu[u] == -1:
+            clu[u] = new_cluster()
+            allocations += 1
+        if clu[v] == -1:
+            clu[v] = new_cluster()
+            allocations += 1
+        cu = int(clu[u])
+        cv = int(clu[v])
+        deg[u] += 1
+        deg[v] += 1
+        volumes[cu] += 1
+        volumes[cv] += 1
+        # --- splitting ----------------------------------------------------
+        if enable_splitting and u != v:
+            if (
+                volumes[cu] >= max_volume
+                and 1 < deg[u] < max_volume
+                and not divided[u]
+            ):
+                c_new = new_cluster()
+                divided[u] = True
+                mirror_clusters.setdefault(u, []).append(cu)
+                volumes[cu] -= int(deg[u])
+                volumes[c_new] += int(deg[u])
+                clu[u] = c_new
+                splits += 1
+            cv = int(clu[v])  # u's split may have lowered volumes[cv] when cv == cu
+            if (
+                volumes[cv] >= max_volume
+                and 1 < deg[v] < max_volume
+                and not divided[v]
+            ):
+                c_new = new_cluster()
+                divided[v] = True
+                mirror_clusters.setdefault(v, []).append(cv)
+                volumes[cv] -= int(deg[v])
+                volumes[c_new] += int(deg[v])
+                clu[v] = c_new
+                splits += 1
+        # --- migration ----------------------------------------------------
+        cu = int(clu[u])
+        cv = int(clu[v])
+        if cu != cv and volumes[cu] < max_volume and volumes[cv] < max_volume:
+            if volumes[cu] <= volumes[cv]:
+                volumes[cu] -= int(deg[u])
+                volumes[cv] += int(deg[u])
+                clu[u] = cv
+            else:
+                volumes[cv] -= int(deg[v])
+                volumes[cu] += int(deg[v])
+                clu[v] = cu
+            migrations += 1
+
+    return _compact(
+        cluster_of,
+        degree,
+        volumes,
+        divided,
+        mirror_clusters,
+        max_volume,
+        splits,
+        migrations,
+        allocations,
+    )
+
+
+def _compact(
+    cluster_of: np.ndarray,
+    degree: np.ndarray,
+    volumes: list[int],
+    divided: np.ndarray,
+    mirror_clusters: dict[int, list[int]],
+    max_volume: int,
+    splits: int,
+    migrations: int,
+    allocations: int,
+) -> ClusteringResult:
+    """Renumber surviving cluster ids to a dense ``0..m-1`` range.
+
+    Splits and migrations leave empty raw clusters behind; mirrors may also
+    point at clusters that later emptied — those mirror entries are kept
+    only if the cluster still has at least one master vertex (an empty
+    cluster is never mapped to a partition, so a mirror there is moot).
+    """
+    raw_count = len(volumes)
+    used = np.zeros(raw_count, dtype=bool)
+    active = cluster_of >= 0
+    used[cluster_of[active]] = True
+    remap = np.full(raw_count, -1, dtype=np.int64)
+    remap[used] = np.arange(int(used.sum()), dtype=np.int64)
+    compact_of = cluster_of.copy()
+    compact_of[active] = remap[cluster_of[active]]
+    compact_volumes = np.asarray(volumes, dtype=np.int64)[used]
+    compact_mirrors: dict[int, list[int]] = {}
+    for v, raw_ids in mirror_clusters.items():
+        kept = sorted({int(remap[c]) for c in raw_ids if used[c]})
+        if kept:
+            compact_mirrors[v] = kept
+    return ClusteringResult(
+        cluster_of=compact_of,
+        degree=degree,
+        volume=compact_volumes,
+        divided=divided,
+        mirror_clusters=compact_mirrors,
+        num_clusters=int(used.sum()),
+        max_volume=max_volume,
+        splits=splits,
+        migrations=migrations,
+        allocations=allocations,
+    )

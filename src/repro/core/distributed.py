@@ -1,0 +1,193 @@
+"""Distributed CLUGP (Section III-C, last paragraph).
+
+    "Of the system, each distributed node accesses partial streaming edges
+    and performs the three steps, clustering, game processing, and
+    transformation, locally.  After the three steps, the final graph
+    partitioning result is obtained by combining the partial partitioning
+    results of distributed nodes."
+
+This module simulates that deployment: the edge stream is sharded across
+``num_nodes`` ingest nodes (contiguous ranges — each crawler node ingests
+a contiguous part of the crawl), every node runs the full three-pass CLUGP
+pipeline on its shard *independently* (no shared tables, which is exactly
+the paper's scalability argument), and the per-shard edge assignments are
+concatenated back into a global assignment over the same ``k`` partitions.
+
+Because nodes never exchange vertex state, a vertex appearing in several
+shards may be placed inconsistently — that is the quality price of the
+fully parallel mode, and :func:`distributed_clugp` reports it via the
+returned per-node diagnostics so the trade-off is measurable (see
+``tests/test_core_distributed.py`` and the scalability example).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import StageTimes, Timer, check_positive_int
+from ..config import ClugpConfig
+from ..graph.stream import EdgeStream
+from ..partitioners.base import EdgePartitioner, PartitionAssignment
+from .partitioner import ClugpPartitioner
+
+__all__ = ["NodeReport", "DistributedClugpPartitioner", "distributed_clugp"]
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """Diagnostics of one ingest node's local pipeline run."""
+
+    node: int
+    num_edges: int
+    num_clusters: int
+    splits: int
+    game_rounds: int
+    seconds: float
+
+
+@dataclass
+class DistributedResult:
+    """Assignment plus per-node diagnostics."""
+
+    assignment: PartitionAssignment
+    nodes: list[NodeReport] = field(default_factory=list)
+
+    def max_node_seconds(self) -> float:
+        """Wall-clock of the slowest node — the deployment's critical path."""
+        return max((n.seconds for n in self.nodes), default=0.0)
+
+
+def _shard_ranges(num_edges: int, num_nodes: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal shard boundaries."""
+    base, extra = divmod(num_edges, num_nodes)
+    ranges = []
+    start = 0
+    for node in range(num_nodes):
+        stop = start + base + (1 if node < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def distributed_clugp(
+    stream: EdgeStream,
+    num_partitions: int,
+    num_nodes: int,
+    config: ClugpConfig | None = None,
+    seed: int = 0,
+    parallel_nodes: bool = True,
+) -> DistributedResult:
+    """Run the Section III-C distributed deployment of CLUGP.
+
+    Parameters
+    ----------
+    stream:
+        The global edge stream (crawl order).
+    num_partitions:
+        ``k`` — shared by every node; partial results target the same
+        partition space.
+    num_nodes:
+        Number of ingest nodes, each processing a contiguous shard.
+    config:
+        Per-node pipeline configuration (``V_max`` resolves against each
+        shard's edge count, as a real node would).
+    parallel_nodes:
+        Execute node pipelines on a thread pool (the deployment model) or
+        sequentially (deterministic debugging).
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    if num_nodes > max(1, stream.num_edges):
+        raise ValueError(
+            f"num_nodes={num_nodes} exceeds the number of edges {stream.num_edges}"
+        )
+    config = config or ClugpConfig(num_partitions=num_partitions)
+    ranges = _shard_ranges(stream.num_edges, num_nodes)
+
+    def run_node(node: int) -> tuple[int, np.ndarray, NodeReport]:
+        start, stop = ranges[node]
+        shard = EdgeStream(
+            stream.src[start:stop], stream.dst[start:stop], stream.num_vertices
+        )
+        partitioner = ClugpPartitioner(
+            num_partitions, seed=seed + node, config=config
+        )
+        with Timer() as timer:
+            assignment = partitioner.partition(shard)
+        report = NodeReport(
+            node=node,
+            num_edges=shard.num_edges,
+            num_clusters=partitioner.last_clustering.num_clusters,
+            splits=partitioner.last_clustering.splits,
+            game_rounds=partitioner.last_game_result.rounds,
+            seconds=timer.elapsed,
+        )
+        return node, assignment.edge_partition, report
+
+    results: list[tuple[int, np.ndarray, NodeReport]] = []
+    if parallel_nodes and num_nodes > 1:
+        with ThreadPoolExecutor(max_workers=num_nodes) as pool:
+            results = list(pool.map(run_node, range(num_nodes)))
+    else:
+        results = [run_node(node) for node in range(num_nodes)]
+    results.sort(key=lambda item: item[0])
+
+    edge_partition = np.empty(stream.num_edges, dtype=np.int64)
+    reports: list[NodeReport] = []
+    for node, partial, report in results:
+        start, stop = ranges[node]
+        edge_partition[start:stop] = partial
+        reports.append(report)
+    times = StageTimes()
+    times.add("total", sum(r.seconds for r in reports))
+    assignment = PartitionAssignment(stream, edge_partition, num_partitions, times)
+    return DistributedResult(assignment=assignment, nodes=reports)
+
+
+class DistributedClugpPartitioner(EdgePartitioner):
+    """Distributed CLUGP behind the standard partitioner interface.
+
+    Parameters
+    ----------
+    num_nodes:
+        Ingest nodes (default 4).
+    """
+
+    name = "clugp-dist"
+    passes = 3
+    preferred_order = "natural"
+
+    def __init__(
+        self,
+        num_partitions: int,
+        seed: int = 0,
+        num_nodes: int = 4,
+        config: ClugpConfig | None = None,
+    ) -> None:
+        super().__init__(num_partitions, seed)
+        self.num_nodes = check_positive_int(num_nodes, "num_nodes")
+        self.config = config
+        self.last_result: DistributedResult | None = None
+
+    def partition(self, stream: EdgeStream) -> PartitionAssignment:
+        self._last_stream = stream
+        result = distributed_clugp(
+            stream,
+            self.num_partitions,
+            num_nodes=min(self.num_nodes, max(1, stream.num_edges)),
+            config=self.config,
+            seed=self.seed,
+        )
+        self.last_result = result
+        return result.assignment
+
+    def _assign(self, stream: EdgeStream) -> np.ndarray:  # pragma: no cover
+        return self.partition(stream).edge_partition
+
+    def state_memory_bytes(self, stream: EdgeStream) -> int:
+        # per-node vertex tables over its shard; upper-bounded by the
+        # single-node footprint times the node count in the worst case of
+        # fully-overlapping shards
+        return 2 * stream.num_vertices * 8

@@ -1,0 +1,271 @@
+"""Pass 2 — game-theoretic cluster partitioning (Section V, Algorithm 3).
+
+Each cluster is a selfish player choosing one of the ``k`` partitions to
+minimize its individual cost (Equation 11)::
+
+    phi(a_i) = (lambda / k) * |c_i| * |a_i|                (load balancing)
+             + 1/2 * (|e(c_i, V\\a_i)| + |e(V\\a_i, c_i)|)  (edge cutting)
+
+The game is an *exact potential game* (Theorem 4) with potential
+(Equation 13)::
+
+    Phi(L) = (lambda / 2k) * sum_i |p_i|^2 + 1/2 * sum_i |e(p_i, V\\p_i)|
+
+so round-robin best response converges to a pure Nash equilibrium; rounds
+are bounded by the total inter-cluster edge count (Theorem 6), and the
+equilibrium quality is bounded by PoA <= k+1 / PoS <= 2 (Theorems 7-8).
+
+``lambda`` defaults to its Theorem-5 maximum
+``k^2 * sum_i |e(c_i, V\\c_i)| / (sum_i |c_i|)^2`` (the paper's
+experimental setting); Figure 11(b)'s *relative weight* knob scales the
+load term by ``w / (1 - w)`` on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+from ..config import GameConfig
+from .cluster_graph import ClusterGraph
+
+__all__ = [
+    "compute_lambda_max",
+    "compute_lambda_balanced",
+    "ClusterPartitioningGame",
+    "GameResult",
+    "exhaustive_optimum",
+]
+
+#: strict-improvement tolerance; moves must beat the current cost by this
+#: much, which (with integer cut weights) guarantees termination.
+_IMPROVEMENT_EPS = 1e-9
+
+
+def compute_lambda_max(cluster_graph: ClusterGraph, num_partitions: int) -> float:
+    """Theorem-5 upper bound ``k^2 * sum(cut) / (sum |c_i|)^2``."""
+    total_internal = cluster_graph.total_internal()
+    if total_internal == 0:
+        return 0.0
+    return (
+        num_partitions**2 * cluster_graph.total_cut() / float(total_internal) ** 2
+    )
+
+
+def compute_lambda_balanced(
+    cluster_graph: ClusterGraph, num_partitions: int, assignment: np.ndarray
+) -> float:
+    """Equation 15: ``lambda = k * sum(cut(p_i)) / sum(|p_i|^2)`` for the
+    given assignment (equal-importance normalization)."""
+    loads = np.bincount(
+        assignment, weights=cluster_graph.internal, minlength=num_partitions
+    )
+    denom = float(np.sum(loads**2))
+    if denom == 0.0:
+        return 0.0
+    cut = _total_partition_cut(cluster_graph, assignment)
+    return num_partitions * cut / denom
+
+
+def _total_partition_cut(cluster_graph: ClusterGraph, assignment: np.ndarray) -> int:
+    """``sum_i |e(p_i, V\\p_i)|`` — inter-partition edges (each once)."""
+    cut = 0
+    for c, nbrs in enumerate(cluster_graph.out_edges):
+        pc = assignment[c]
+        for nbr, w in nbrs.items():
+            if assignment[nbr] != pc:
+                cut += w
+    return cut
+
+
+@dataclass
+class GameResult:
+    """Outcome of the cluster-partitioning game."""
+
+    assignment: np.ndarray
+    rounds: int
+    moves: int
+    lambda_value: float
+    potential_trace: list[float] = field(default_factory=list)
+    converged: bool = True
+
+
+class ClusterPartitioningGame:
+    """Round-robin best-response dynamics for cluster partitioning.
+
+    Parameters
+    ----------
+    cluster_graph:
+        The weighted cluster digraph from pass 1/2.
+    num_partitions:
+        ``k``.
+    config:
+        Game parameters (lambda mode, relative weight, round cap, seed).
+    """
+
+    def __init__(
+        self,
+        cluster_graph: ClusterGraph,
+        num_partitions: int,
+        config: GameConfig | None = None,
+    ) -> None:
+        self.graph = cluster_graph
+        self.k = check_positive_int(num_partitions, "num_partitions")
+        self.config = config or GameConfig()
+        rng = as_rng(self.config.seed)
+        m = cluster_graph.num_clusters
+        # Algorithm 3 line 2: random initial assignment
+        self.assignment = rng.integers(0, self.k, size=m, dtype=np.int64)
+        self.loads = np.bincount(
+            self.assignment, weights=cluster_graph.internal.astype(np.float64),
+            minlength=self.k,
+        )
+        self.lambda_value = self._resolve_lambda()
+        w = self.config.relative_weight
+        self._lambda_eff = self.lambda_value * (w / (1.0 - w))
+        # symmetrized sparse neighbor lists, precomputed once
+        self._nbrs: list[list[tuple[int, int]]] = [
+            list(cluster_graph.undirected_neighbors(c).items()) for c in range(m)
+        ]
+        self._cut_degree = np.asarray(
+            [cluster_graph.cut_degree(c) for c in range(m)], dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------ #
+    # cost model
+    # ------------------------------------------------------------------ #
+
+    def _resolve_lambda(self) -> float:
+        mode = self.config.lambda_mode
+        if mode == "max":
+            return compute_lambda_max(self.graph, self.k)
+        if mode == "balanced":
+            return compute_lambda_balanced(self.graph, self.k, self.assignment)
+        return float(self.config.lambda_value)
+
+    def cost_vector(self, c: int) -> np.ndarray:
+        """Individual cost of cluster ``c`` for every partition choice.
+
+        ``|a_i|`` is the partition load *with* the cluster placed there, so
+        staying has cost based on the current load and moving accounts for
+        the cluster's own size landing in the target.
+        """
+        size = float(self.graph.internal[c])
+        cur = int(self.assignment[c])
+        loads_wo = self.loads.copy()
+        loads_wo[cur] -= size
+        load_cost = (self._lambda_eff / self.k) * size * (loads_wo + size)
+        # adjacency weight into each partition
+        adj = np.zeros(self.k, dtype=np.float64)
+        for nbr, w in self._nbrs[c]:
+            adj[self.assignment[nbr]] += w
+        cut_cost = 0.5 * (self._cut_degree[c] - adj)
+        return load_cost + cut_cost
+
+    def individual_cost(self, c: int) -> float:
+        """``phi(a_c)`` under the current assignment."""
+        return float(self.cost_vector(c)[self.assignment[c]])
+
+    def global_cost(self, assignment: np.ndarray | None = None) -> float:
+        """``phi(Lambda)`` (Equation 10) for the given/current assignment."""
+        a = self.assignment if assignment is None else np.asarray(assignment)
+        loads = np.bincount(
+            a, weights=self.graph.internal.astype(np.float64), minlength=self.k
+        )
+        cut = _total_partition_cut(self.graph, a)
+        return float((self._lambda_eff / self.k) * np.sum(loads**2) + cut)
+
+    def potential(self, assignment: np.ndarray | None = None) -> float:
+        """Exact potential ``Phi(Lambda)`` (Equation 13)."""
+        a = self.assignment if assignment is None else np.asarray(assignment)
+        loads = np.bincount(
+            a, weights=self.graph.internal.astype(np.float64), minlength=self.k
+        )
+        cut = _total_partition_cut(self.graph, a)
+        return float((self._lambda_eff / (2 * self.k)) * np.sum(loads**2) + 0.5 * cut)
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
+
+    def best_response(self, c: int) -> bool:
+        """Move cluster ``c`` to its cost-minimizing partition.
+
+        Returns True iff the cluster strictly improved (and thus moved).
+        """
+        costs = self.cost_vector(c)
+        cur = int(self.assignment[c])
+        best = int(np.argmin(costs))
+        if costs[best] < costs[cur] - _IMPROVEMENT_EPS:
+            size = float(self.graph.internal[c])
+            self.loads[cur] -= size
+            self.loads[best] += size
+            self.assignment[c] = best
+            return True
+        return False
+
+    def run(self) -> GameResult:
+        """Iterate best responses until Nash equilibrium (Algorithm 3)."""
+        m = self.graph.num_clusters
+        trace = [self.potential()]
+        total_moves = 0
+        rounds = 0
+        converged = False
+        for rounds in range(1, self.config.max_rounds + 1):
+            moves = 0
+            for c in range(m):
+                if self.best_response(c):
+                    moves += 1
+            total_moves += moves
+            trace.append(self.potential())
+            if moves == 0:
+                converged = True
+                break
+        return GameResult(
+            assignment=self.assignment.copy(),
+            rounds=rounds,
+            moves=total_moves,
+            lambda_value=self.lambda_value,
+            potential_trace=trace,
+            converged=converged,
+        )
+
+    def is_nash_equilibrium(self) -> bool:
+        """True iff no cluster has a strictly improving unilateral move."""
+        for c in range(self.graph.num_clusters):
+            costs = self.cost_vector(c)
+            if costs.min() < costs[self.assignment[c]] - _IMPROVEMENT_EPS:
+                return False
+        return True
+
+
+def exhaustive_optimum(
+    cluster_graph: ClusterGraph,
+    num_partitions: int,
+    lambda_value: float,
+) -> tuple[np.ndarray, float]:
+    """Brute-force the global optimum of Equation 10 (tiny instances only).
+
+    Used by the PoA/PoS bound tests (Theorems 7-8).  Complexity
+    ``k^m`` — guarded to ``k^m <= 2**20``.
+    """
+    m = cluster_graph.num_clusters
+    k = num_partitions
+    if k**m > 1 << 20:
+        raise ValueError(f"instance too large for brute force: k^m = {k}^{m}")
+    internal = cluster_graph.internal.astype(np.float64)
+    best_cost = np.inf
+    best: np.ndarray | None = None
+    for combo in product(range(k), repeat=m):
+        a = np.asarray(combo, dtype=np.int64)
+        loads = np.bincount(a, weights=internal, minlength=k)
+        cut = _total_partition_cut(cluster_graph, a)
+        cost = (lambda_value / k) * float(np.sum(loads**2)) + cut
+        if cost < best_cost:
+            best_cost = cost
+            best = a
+    assert best is not None
+    return best, float(best_cost)

@@ -1,0 +1,194 @@
+"""The CLUGP pipeline (Figure 1) and its ablation variants (Figure 9).
+
+Three restreaming passes:
+
+1. :func:`~repro.core.clustering.streaming_clustering` — vertex clusters;
+2. :func:`~repro.core.cluster_graph.build_cluster_graph` +
+   :class:`~repro.core.game.ClusterPartitioningGame` (or the batched
+   :func:`~repro.core.parallel.parallel_game`) — cluster -> partition map;
+3. :func:`~repro.core.transform.transform_partitions` — edge -> partition.
+
+Ablations:
+
+* :class:`ClugpNoSplitPartitioner` ("CLUGP-S") disables the splitting
+  operation — pass 1 degenerates to Hollocou's allocation-migration;
+* :class:`ClugpGreedyPartitioner` ("CLUGP-G") replaces the game with the
+  greedy rule "biggest cluster into currently smallest partition".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import StageTimes, Timer
+from ..config import ClugpConfig, GameConfig
+from ..graph.stream import EdgeStream
+from ..partitioners.base import EdgePartitioner, PartitionAssignment
+from .clustering import ClusteringResult, streaming_clustering
+from .cluster_graph import ClusterGraph, build_cluster_graph
+from .game import ClusterPartitioningGame, GameResult
+from .parallel import parallel_game
+from .transform import TransformStats, transform_partitions
+
+__all__ = [
+    "ClugpPartitioner",
+    "ClugpNoSplitPartitioner",
+    "ClugpGreedyPartitioner",
+    "greedy_cluster_assignment",
+]
+
+
+def greedy_cluster_assignment(cluster_graph: ClusterGraph, num_partitions: int) -> np.ndarray:
+    """CLUGP-G pass 2: big clusters first, each into the lightest partition.
+
+    This is the classic LPT bin-packing heuristic — balance-only, blind to
+    edge cutting — which is exactly what Figure 9 isolates.
+    """
+    order = np.argsort(-cluster_graph.internal, kind="stable")
+    loads = np.zeros(num_partitions, dtype=np.int64)
+    assignment = np.empty(cluster_graph.num_clusters, dtype=np.int64)
+    for c in order.tolist():
+        target = int(np.argmin(loads))
+        assignment[c] = target
+        loads[target] += int(cluster_graph.internal[c])
+    return assignment
+
+
+class ClugpPartitioner(EdgePartitioner):
+    """CLUGP: clustering-based restreaming vertex-cut graph partitioning.
+
+    Parameters
+    ----------
+    num_partitions:
+        ``k``.
+    seed:
+        Seed for the game's random initial assignment.
+    config:
+        Full :class:`~repro.config.ClugpConfig`; when omitted, a default
+        config with this ``k``/``seed`` is built.  Keyword conveniences
+        (``imbalance_factor``, ``max_cluster_volume``, ``parallel_game``,
+        ``game``) override single fields.
+
+    After :meth:`partition` the intermediate products of the three passes
+    are exposed as :attr:`last_clustering`, :attr:`last_cluster_graph`,
+    :attr:`last_game_result` and :attr:`last_transform_stats` for
+    inspection, testing, and the ablation benchmarks.
+    """
+
+    name = "clugp"
+    passes = 3
+    preferred_order = "natural"
+    _enable_splitting = True
+    _use_game = True
+
+    def __init__(
+        self,
+        num_partitions: int,
+        seed: int = 0,
+        config: ClugpConfig | None = None,
+        imbalance_factor: float | None = None,
+        max_cluster_volume: int | None = None,
+        parallel: bool | None = None,
+        game: GameConfig | None = None,
+    ) -> None:
+        super().__init__(num_partitions, seed)
+        if config is None:
+            config = ClugpConfig(num_partitions=num_partitions)
+        if config.num_partitions != num_partitions:
+            config = config.with_(num_partitions=num_partitions)
+        overrides = {}
+        if imbalance_factor is not None:
+            overrides["imbalance_factor"] = imbalance_factor
+        if max_cluster_volume is not None:
+            overrides["max_cluster_volume"] = max_cluster_volume
+        if parallel is not None:
+            overrides["parallel_game"] = parallel
+        overrides["enable_splitting"] = self._enable_splitting
+        overrides["use_game"] = self._use_game
+        if game is not None:
+            overrides["game"] = game
+        config = config.with_(**overrides)
+        if config.game.seed != seed:
+            config = config.with_(game=config.game.with_(seed=seed))
+        self.config = config
+        self.last_clustering: ClusteringResult | None = None
+        self.last_cluster_graph: ClusterGraph | None = None
+        self.last_game_result: GameResult | None = None
+        self.last_transform_stats: TransformStats | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def partition(self, stream: EdgeStream) -> PartitionAssignment:
+        """Run the three passes; stage timings are recorded per pass."""
+        self._last_stream = stream
+        times = StageTimes()
+        cfg = self.config
+        vmax = cfg.resolve_vmax(stream.num_edges)
+
+        with Timer() as t1:
+            clustering = streaming_clustering(
+                stream, vmax, enable_splitting=cfg.enable_splitting
+            )
+        times.add("clustering", t1.elapsed)
+
+        with Timer() as t2:
+            cluster_graph = build_cluster_graph(stream, clustering)
+            game_result = self._map_clusters(cluster_graph)
+        times.add("game", t2.elapsed)
+
+        with Timer() as t3:
+            edge_partition, stats = transform_partitions(
+                stream,
+                clustering,
+                game_result.assignment,
+                cfg.num_partitions,
+                imbalance_factor=cfg.imbalance_factor,
+            )
+        times.add("transform", t3.elapsed)
+
+        self.last_clustering = clustering
+        self.last_cluster_graph = cluster_graph
+        self.last_game_result = game_result
+        self.last_transform_stats = stats
+        return PartitionAssignment(stream, edge_partition, cfg.num_partitions, times)
+
+    def _assign(self, stream: EdgeStream) -> np.ndarray:  # pragma: no cover
+        # partition() is overridden wholesale; _assign exists to satisfy the
+        # abstract interface for callers that bypass partition().
+        return self.partition(stream).edge_partition
+
+    def _map_clusters(self, cluster_graph: ClusterGraph) -> GameResult:
+        cfg = self.config
+        if not cfg.use_game:
+            assignment = greedy_cluster_assignment(cluster_graph, cfg.num_partitions)
+            return GameResult(
+                assignment=assignment,
+                rounds=0,
+                moves=0,
+                lambda_value=0.0,
+                potential_trace=[],
+            )
+        if cfg.parallel_game:
+            return parallel_game(cluster_graph, cfg.num_partitions, cfg.game)
+        game = ClusterPartitioningGame(cluster_graph, cfg.num_partitions, cfg.game)
+        return game.run()
+
+    def state_memory_bytes(self, stream: EdgeStream) -> int:
+        """O(2|V|) vertex tables + cluster tables (Section VI: CLUGP keeps
+        the vertex->cluster map and the degree array)."""
+        m = self.last_clustering.num_clusters if self.last_clustering else 0
+        return 2 * stream.num_vertices * 8 + 3 * m * 8
+
+
+class ClugpNoSplitPartitioner(ClugpPartitioner):
+    """CLUGP-S ablation: splitting disabled (Holl-style pass 1)."""
+
+    name = "clugp-s"
+    _enable_splitting = False
+
+
+class ClugpGreedyPartitioner(ClugpPartitioner):
+    """CLUGP-G ablation: greedy cluster placement instead of the game."""
+
+    name = "clugp-g"
+    _use_game = False

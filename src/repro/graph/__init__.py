@@ -1,0 +1,35 @@
+"""Graph substrate: directed graphs, edge streams, I/O, generators, datasets."""
+
+from .digraph import DiGraph
+from .stream import EdgeStream, StreamOrder
+from .generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    powerlaw_configuration_graph,
+    rmat_graph,
+    star_graph,
+    web_crawl_graph,
+)
+from .datasets import DATASETS, load_dataset
+from .sampling import sample_edges, bfs_ball
+from . import io, properties
+
+__all__ = [
+    "DiGraph",
+    "EdgeStream",
+    "StreamOrder",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "planted_partition_graph",
+    "powerlaw_configuration_graph",
+    "rmat_graph",
+    "star_graph",
+    "web_crawl_graph",
+    "DATASETS",
+    "load_dataset",
+    "sample_edges",
+    "bfs_ball",
+    "io",
+    "properties",
+]

@@ -1,0 +1,154 @@
+"""Registry of synthetic stand-in datasets for the paper's corpora.
+
+Table III of the paper lists five corpora:
+
+===========  ==============  ======  ======  ========
+alias        source           |V|     |E|    size
+===========  ==============  ======  ======  ========
+UK           uk-2002          19M    0.3B    4.7GB
+Arabic       arabic-2005      22M    0.6B    11GB
+WebBase      webbase-2001    118M    1.0B    17.2GB
+IT           it-2004          41M    1.5B    18.8GB
+Twitter      twitter          41M    1.4B    18.3GB
+===========  ==============  ======  ======  ========
+
+Those are not redistributable and far beyond pure-Python streaming scale,
+so each alias maps to a *generator recipe* reproducing its salient shape at
+a configurable ``scale`` (default ~100K edges, ~1/10000 of the original):
+
+* the four web corpora use :func:`~repro.graph.generators.web_crawl_graph`
+  with densities matching their |E|/|V| ratios and strong host locality;
+* ``twitter`` uses preferential attachment (no crawl locality, higher hub
+  skew) so the Figure 4 behaviour — CLUGP's clustering edge disappears on
+  social graphs — is reproduced.
+
+Graphs are deterministic per (alias, scale, seed) and cached in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .digraph import DiGraph
+from .generators import barabasi_albert_graph, web_crawl_graph
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "WEB_DATASETS"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named synthetic dataset recipe.
+
+    ``build(scale, seed)`` returns a graph whose edge count is roughly
+    ``base_edges * scale``.
+    """
+
+    alias: str
+    source: str
+    kind: str  # "web" or "social"
+    paper_vertices: str
+    paper_edges: str
+    base_vertices: int
+    avg_out_degree: float
+    builder: Callable[[int, int], DiGraph]
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> DiGraph:
+        n = max(128, int(self.base_vertices * scale))
+        return self.builder(n, seed)
+
+
+def _web_builder(avg_out_degree: float, host_size: int, intra: float):
+    def build(num_vertices: int, seed: int) -> DiGraph:
+        return web_crawl_graph(
+            num_vertices,
+            avg_out_degree=avg_out_degree,
+            host_size=host_size,
+            intra_host_prob=intra,
+            seed=seed,
+        )
+
+    return build
+
+
+def _social_builder(edges_per_vertex: int):
+    def build(num_vertices: int, seed: int) -> DiGraph:
+        graph = barabasi_albert_graph(num_vertices, edges_per_vertex, seed=seed)
+        # social edge streams have no crawl locality: shuffle vertex order
+        # relationship to arrival by shuffling the stored edge order.
+        return graph.shuffled_copy(seed=seed + 1)
+
+    return build
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "uk": DatasetSpec(
+        alias="uk",
+        source="uk-2002 (synthetic stand-in)",
+        kind="web",
+        paper_vertices="19M",
+        paper_edges="0.3B",
+        base_vertices=12_000,
+        avg_out_degree=16.0,
+        builder=_web_builder(16.0, host_size=32, intra=0.90),
+    ),
+    "arabic": DatasetSpec(
+        alias="arabic",
+        source="arabic-2005 (synthetic stand-in)",
+        kind="web",
+        paper_vertices="22M",
+        paper_edges="0.6B",
+        base_vertices=10_000,
+        avg_out_degree=27.0,
+        builder=_web_builder(27.0, host_size=64, intra=0.92),
+    ),
+    "webbase": DatasetSpec(
+        alias="webbase",
+        source="webbase-2001 (synthetic stand-in)",
+        kind="web",
+        paper_vertices="118M",
+        paper_edges="1.0B",
+        base_vertices=24_000,
+        avg_out_degree=8.5,
+        builder=_web_builder(8.5, host_size=24, intra=0.86),
+    ),
+    "it": DatasetSpec(
+        alias="it",
+        source="it-2004 (synthetic stand-in)",
+        kind="web",
+        paper_vertices="41M",
+        paper_edges="1.5B",
+        base_vertices=11_000,
+        avg_out_degree=36.0,
+        builder=_web_builder(36.0, host_size=96, intra=0.92),
+    ),
+    "twitter": DatasetSpec(
+        alias="twitter",
+        source="twitter (synthetic stand-in)",
+        kind="social",
+        paper_vertices="41M",
+        paper_edges="1.4B",
+        base_vertices=8_000,
+        avg_out_degree=35.0,
+        builder=_social_builder(18),
+    ),
+}
+
+WEB_DATASETS = ("uk", "arabic", "webbase", "it")
+
+_cache: dict[tuple[str, float, int], DiGraph] = {}
+
+
+def load_dataset(alias: str, scale: float = 1.0, seed: int = 0) -> DiGraph:
+    """Build (or fetch from cache) the stand-in graph for ``alias``.
+
+    ``scale`` multiplies the base vertex count; ``seed`` selects the random
+    instance.  Raises ``KeyError`` with the known aliases on a bad name.
+    """
+    key = alias.lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {alias!r}; known: {sorted(DATASETS)}")
+    cache_key = (key, float(scale), int(seed))
+    if cache_key not in _cache:
+        _cache[cache_key] = DATASETS[key].build(scale=scale, seed=seed)
+    return _cache[cache_key]

@@ -1,0 +1,294 @@
+"""Directed graph core backed by numpy edge arrays and lazy CSR indices.
+
+The streaming partitioners in this library consume *edge streams*
+(:mod:`repro.graph.stream`); :class:`DiGraph` is the at-rest representation
+used to build streams, compute degrees, run the GAS system simulator, and
+check results against networkx.
+
+Vertices are dense integers ``0..num_vertices-1``.  Parallel edges and
+self-loops are allowed (web crawls contain both); helpers exist to strip
+them.  The CSR index arrays are built on first use and cached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A directed multigraph stored as parallel ``src``/``dst`` arrays.
+
+    Parameters
+    ----------
+    src, dst:
+        Integer arrays of equal length; edge ``i`` goes ``src[i] -> dst[i]``.
+    num_vertices:
+        Total vertex-id space. Defaults to ``max(src, dst) + 1``; may be
+        larger to include isolated vertices.
+    """
+
+    def __init__(self, src, dst, num_vertices: int | None = None) -> None:
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        if src.ndim != 1 or dst.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays")
+        if src.shape != dst.shape:
+            raise ValueError(
+                f"src and dst must have equal length, got {src.shape} vs {dst.shape}"
+            )
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise ValueError("vertex ids must be non-negative")
+        inferred = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        if num_vertices is None:
+            num_vertices = inferred
+        elif num_vertices < inferred:
+            raise ValueError(
+                f"num_vertices={num_vertices} is smaller than max vertex id + 1 = {inferred}"
+            )
+        self.src = src
+        self.dst = dst
+        self.num_vertices = int(num_vertices)
+        self._out_degree = None
+        self._in_degree = None
+        self._csr_out = None  # (indptr, indices) over dst sorted by src
+        self._csr_in = None  # (indptr, indices) over src sorted by dst
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(cls, edges, num_vertices: int | None = None) -> "DiGraph":
+        """Build from an iterable of ``(u, v)`` pairs."""
+        arr = np.asarray(list(edges), dtype=np.int64)
+        if arr.size == 0:
+            return cls(np.empty(0, np.int64), np.empty(0, np.int64), num_vertices or 0)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edges must be pairs (u, v)")
+        return cls(arr[:, 0], arr[:, 1], num_vertices)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0) -> "DiGraph":
+        """An edgeless graph on ``num_vertices`` vertices."""
+        return cls(np.empty(0, np.int64), np.empty(0, np.int64), num_vertices)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+    def edges(self) -> np.ndarray:
+        """Return the ``(num_edges, 2)`` edge array (a view-backed copy)."""
+        return np.stack([self.src, self.dst], axis=1)
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (parallel edges counted)."""
+        if self._out_degree is None:
+            self._out_degree = np.bincount(
+                self.src, minlength=self.num_vertices
+            ).astype(np.int64)
+        return self._out_degree
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex (parallel edges counted)."""
+        if self._in_degree is None:
+            self._in_degree = np.bincount(
+                self.dst, minlength=self.num_vertices
+            ).astype(np.int64)
+        return self._in_degree
+
+    def degrees(self) -> np.ndarray:
+        """Total (in+out) degree; self-loops count twice."""
+        return self.out_degrees() + self.in_degrees()
+
+    # ------------------------------------------------------------------ #
+    # CSR adjacency
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build_csr(key: np.ndarray, val: np.ndarray, n: int):
+        order = np.argsort(key, kind="stable")
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(key, minlength=n), out=indptr[1:])
+        return indptr, val[order], order
+
+    def csr_out(self):
+        """``(indptr, neighbors, edge_ids)`` for outgoing adjacency."""
+        if self._csr_out is None:
+            self._csr_out = self._build_csr(self.src, self.dst, self.num_vertices)
+        return self._csr_out
+
+    def csr_in(self):
+        """``(indptr, neighbors, edge_ids)`` for incoming adjacency."""
+        if self._csr_in is None:
+            self._csr_in = self._build_csr(self.dst, self.src, self.num_vertices)
+        return self._csr_in
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        indptr, nbrs, _ = self.csr_out()
+        return nbrs[indptr[v] : indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        indptr, nbrs, _ = self.csr_in()
+        return nbrs[indptr[v] : indptr[v + 1]]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Undirected neighborhood (may contain duplicates for reciprocal edges)."""
+        return np.concatenate([self.out_neighbors(v), self.in_neighbors(v)])
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+
+    def simplify(self, drop_self_loops: bool = True) -> "DiGraph":
+        """Return a copy without parallel edges (and optionally self-loops)."""
+        key = self.src * np.int64(self.num_vertices) + self.dst
+        _, first = np.unique(key, return_index=True)
+        src, dst = self.src[first], self.dst[first]
+        if drop_self_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        return DiGraph(src, dst, self.num_vertices)
+
+    def reverse(self) -> "DiGraph":
+        """Return the transpose graph."""
+        return DiGraph(self.dst.copy(), self.src.copy(), self.num_vertices)
+
+    def relabel(self, mapping: np.ndarray) -> "DiGraph":
+        """Apply a vertex relabeling ``new_id = mapping[old_id]``.
+
+        ``mapping`` must be a permutation of ``0..num_vertices-1``.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if mapping.shape != (self.num_vertices,):
+            raise ValueError("mapping must have one entry per vertex")
+        sorted_m = np.sort(mapping)
+        if not np.array_equal(sorted_m, np.arange(self.num_vertices)):
+            raise ValueError("mapping must be a permutation of vertex ids")
+        return DiGraph(mapping[self.src], mapping[self.dst], self.num_vertices)
+
+    def subgraph_edges(self, edge_mask) -> "DiGraph":
+        """Keep only edges where ``edge_mask`` is True (vertex set unchanged)."""
+        edge_mask = np.asarray(edge_mask, dtype=bool)
+        if edge_mask.shape != self.src.shape:
+            raise ValueError("edge_mask must have one entry per edge")
+        return DiGraph(self.src[edge_mask], self.dst[edge_mask], self.num_vertices)
+
+    def compact(self) -> tuple["DiGraph", np.ndarray]:
+        """Drop isolated vertices; returns ``(graph, old_ids)``.
+
+        ``old_ids[new_id]`` gives the original id of each retained vertex.
+        """
+        used = np.zeros(self.num_vertices, dtype=bool)
+        used[self.src] = True
+        used[self.dst] = True
+        old_ids = np.nonzero(used)[0]
+        remap = np.full(self.num_vertices, -1, dtype=np.int64)
+        remap[old_ids] = np.arange(old_ids.size)
+        return DiGraph(remap[self.src], remap[self.dst], old_ids.size), old_ids
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+
+    def bfs_order(self, source: int | None = None, directed: bool = False) -> np.ndarray:
+        """Vertex visitation order of a BFS covering all vertices.
+
+        Starts from ``source`` (default: highest-degree vertex, which is how
+        crawlers seed on hub pages) and restarts from the lowest-id
+        unvisited vertex until every vertex is ordered.  With
+        ``directed=False`` edges are followed both ways, matching how crawl
+        frontier order relates to link structure.
+        """
+        n = self.num_vertices
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        out_indptr, out_nbrs, _ = self.csr_out()
+        if directed:
+            adj = [(out_indptr, out_nbrs)]
+        else:
+            in_indptr, in_nbrs, _ = self.csr_in()
+            adj = [(out_indptr, out_nbrs), (in_indptr, in_nbrs)]
+        if source is None:
+            source = int(np.argmax(self.degrees())) if self.num_edges else 0
+        order = np.empty(n, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        pos = 0
+        queue: list[int] = []
+        seeds = [source] + [v for v in range(n) if v != source]
+        seed_idx = 0
+        while pos < n:
+            while seed_idx < len(seeds) and visited[seeds[seed_idx]]:
+                seed_idx += 1
+            queue.append(seeds[seed_idx])
+            visited[seeds[seed_idx]] = True
+            head = 0
+            while head < len(queue):
+                v = queue[head]
+                head += 1
+                order[pos] = v
+                pos += 1
+                for indptr, nbrs in adj:
+                    for w in nbrs[indptr[v] : indptr[v + 1]]:
+                        if not visited[w]:
+                            visited[w] = True
+                            queue.append(int(w))
+            queue.clear()
+        return order
+
+    def weakly_connected_components(self) -> np.ndarray:
+        """Component label per vertex (labels are component-min vertex ids)."""
+        n = self.num_vertices
+        parent = np.arange(n, dtype=np.int64)
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for u, v in zip(self.src, self.dst):
+            ru, rv = find(int(u)), find(int(v))
+            if ru != rv:
+                if ru < rv:
+                    parent[rv] = ru
+                else:
+                    parent[ru] = rv
+        labels = np.empty(n, dtype=np.int64)
+        for v in range(n):
+            labels[v] = find(v)
+        return labels
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+
+    def shuffled_copy(self, seed=None) -> "DiGraph":
+        """Copy with edges in a random order (same graph, new stream order)."""
+        rng = as_rng(seed)
+        perm = rng.permutation(self.num_edges)
+        return DiGraph(self.src[perm], self.dst[perm], self.num_vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+        )
+
+    def __hash__(self):  # DiGraph is mutable-array backed; identity hash
+        return id(self)

@@ -1,0 +1,289 @@
+"""Synthetic graph generators.
+
+The paper evaluates on billion-edge webgraph corpora (uk-2002, arabic-2005,
+webbase-2001, it-2004) and the Twitter social graph.  Those corpora are not
+redistributable here, and a pure-Python build cannot stream billions of
+edges anyway (repro band 3/5), so every experiment runs on *synthetic
+stand-ins* that preserve the three structural properties CLUGP's claims
+rest on:
+
+1. **power-law degree skew** (Section II-C) — `powerlaw_configuration_graph`
+   and `barabasi_albert_graph` give tunable exponents;
+2. **BFS crawl order with locality** — `web_crawl_graph` grows the graph by
+   simulated crawling, so vertex ids correlate with crawl time the way
+   UbiCrawler corpora do;
+3. **community structure** — `planted_partition_graph` and the crawl
+   generator's host-block mechanism create the clusters that pass 1 finds.
+
+All generators take a ``seed`` and are deterministic given it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int, check_probability
+from .digraph import DiGraph
+
+__all__ = [
+    "powerlaw_configuration_graph",
+    "barabasi_albert_graph",
+    "rmat_graph",
+    "erdos_renyi_graph",
+    "web_crawl_graph",
+    "planted_partition_graph",
+    "star_graph",
+    "powerlaw_degree_sequence",
+]
+
+
+def powerlaw_degree_sequence(
+    num_vertices: int,
+    alpha: float = 2.1,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    seed=None,
+) -> np.ndarray:
+    """Sample a degree sequence ``f(x) ~ x^-alpha`` by inverse transform.
+
+    ``alpha`` is the power-law exponent (web graphs: ~2.1 in-degree,
+    Section II-C cites Kumar/Kleinberg).  ``max_degree`` defaults to
+    ``sqrt(num_vertices * min_degree)``, the natural structural cutoff.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    check_positive_int(min_degree, "min_degree")
+    if alpha <= 1.0:
+        raise ValueError(f"alpha must be > 1 for a normalizable tail, got {alpha}")
+    rng = as_rng(seed)
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(np.sqrt(num_vertices * min_degree)) + 1)
+    u = rng.random(num_vertices)
+    # inverse CDF of the continuous truncated Pareto, then floor
+    a = 1.0 - alpha
+    lo, hi = float(min_degree), float(max_degree) + 1.0
+    samples = (lo**a + u * (hi**a - lo**a)) ** (1.0 / a)
+    return np.minimum(np.floor(samples).astype(np.int64), max_degree)
+
+
+def powerlaw_configuration_graph(
+    num_vertices: int,
+    alpha: float = 2.1,
+    min_degree: int = 2,
+    max_degree: int | None = None,
+    seed=None,
+) -> DiGraph:
+    """Directed configuration-model graph with power-law out/in degrees.
+
+    Out- and in-stubs are sampled from the same power-law and matched by a
+    random permutation; the total is trimmed so both sides agree.  Parallel
+    edges and self-loops may occur (as in real crawl snapshots).
+    """
+    rng = as_rng(seed)
+    out_deg = powerlaw_degree_sequence(
+        num_vertices, alpha, min_degree, max_degree, rng
+    )
+    in_deg = powerlaw_degree_sequence(num_vertices, alpha, min_degree, max_degree, rng)
+    src = np.repeat(np.arange(num_vertices, dtype=np.int64), out_deg)
+    dst = np.repeat(np.arange(num_vertices, dtype=np.int64), in_deg)
+    m = min(src.size, dst.size)
+    src = rng.permutation(src)[:m]
+    dst = rng.permutation(dst)[:m]
+    return DiGraph(src, dst, num_vertices)
+
+
+def barabasi_albert_graph(
+    num_vertices: int, edges_per_vertex: int = 4, seed=None
+) -> DiGraph:
+    """Preferential-attachment graph (power-law exponent ~3).
+
+    Each new vertex attaches ``edges_per_vertex`` out-edges to existing
+    vertices chosen proportionally to their current degree, implemented with
+    the standard repeated-endpoints trick.  Vertex ids are in arrival
+    order, so the natural edge order is already a growth/crawl order.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    check_positive_int(edges_per_vertex, "edges_per_vertex")
+    if num_vertices <= edges_per_vertex:
+        raise ValueError("num_vertices must exceed edges_per_vertex")
+    rng = as_rng(seed)
+    m = edges_per_vertex
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    # endpoint pool: every edge contributes both endpoints -> degree-biased
+    pool: list[int] = list(range(m))  # seed clique-ish start
+    for v in range(m, num_vertices):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(int(pool[rng.integers(len(pool))]))
+        for t in targets:
+            src_list.append(v)
+            dst_list.append(t)
+            pool.append(v)
+            pool.append(t)
+    return DiGraph(
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        num_vertices,
+    )
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed=None,
+) -> DiGraph:
+    """Recursive-matrix (R-MAT / Graph500) generator.
+
+    ``2**scale`` vertices, ``edge_factor * 2**scale`` edges.  The default
+    (a,b,c,d)=(0.57,0.19,0.19,0.05) parameters are the Graph500 skew, which
+    yields power-law-like in-degrees — the standard web-graph surrogate.
+    Fully vectorized: each of the ``scale`` bit positions is drawn for all
+    edges at once.
+    """
+    check_positive_int(scale, "scale")
+    check_positive_int(edge_factor, "edge_factor")
+    for name, val in (("a", a), ("b", b), ("c", c)):
+        check_probability(val, name)
+    if a + b + c >= 1.0:
+        raise ValueError("a + b + c must be < 1")
+    rng = as_rng(seed)
+    num_vertices = 1 << scale
+    num_edges = edge_factor * num_vertices
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(num_edges)
+        right = (r >= a + c) | ((r >= a) & (r < a + b))  # quadrants b, d
+        down = r >= a + b  # quadrants c, d
+        src = (src << 1) | down.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+    return DiGraph(src, dst, num_vertices)
+
+
+def erdos_renyi_graph(num_vertices: int, num_edges: int, seed=None) -> DiGraph:
+    """Uniform random directed multigraph G(n, m)."""
+    check_positive_int(num_vertices, "num_vertices")
+    if num_edges < 0:
+        raise ValueError("num_edges must be non-negative")
+    rng = as_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    return DiGraph(src, dst, num_vertices)
+
+
+def web_crawl_graph(
+    num_vertices: int,
+    avg_out_degree: float = 8.0,
+    host_size: int = 64,
+    intra_host_prob: float = 0.7,
+    hub_bias: float = 0.6,
+    seed=None,
+) -> DiGraph:
+    """Synthetic web graph grown in crawl order with host-level locality.
+
+    Model: pages arrive one at a time (id = crawl time).  Each page belongs
+    to a *host block* of ``host_size`` consecutive ids (UbiCrawler corpora
+    number pages per-host contiguously, which is exactly the locality CLUGP
+    exploits).  Each page emits ``Poisson(avg_out_degree)`` links; with
+    probability ``intra_host_prob`` a link targets a page of the same host —
+    uniform over the whole host block, so *forward* links to not-yet-crawled
+    pages occur, exactly how navigation menus reference pages the crawler
+    will fetch later.  Otherwise it targets an already crawled external
+    page — preferentially a *hub* with probability ``hub_bias``
+    (degree-proportional choice), uniform otherwise.
+
+    The result has power-law in-degrees (preferential attachment on the
+    external links), dense host communities, and natural-id ~ BFS-crawl
+    order, reproducing the three properties of the paper's corpora.  The
+    *natural* edge order of the returned graph is the crawl order the
+    paper's streaming model assumes.
+    """
+    check_positive_int(num_vertices, "num_vertices")
+    check_positive_int(host_size, "host_size")
+    check_probability(intra_host_prob, "intra_host_prob")
+    check_probability(hub_bias, "hub_bias")
+    if avg_out_degree <= 0:
+        raise ValueError("avg_out_degree must be positive")
+    rng = as_rng(seed)
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    pool: list[int] = [0]  # degree-biased endpoint pool for hub selection
+    out_counts = rng.poisson(avg_out_degree, size=num_vertices)
+    for v in range(1, num_vertices):
+        host_start = (v // host_size) * host_size
+        host_end = min(host_start + host_size, num_vertices)
+        for _ in range(int(out_counts[v])):
+            if rng.random() < intra_host_prob and host_end - host_start > 1:
+                t = v
+                while t == v:
+                    t = int(rng.integers(host_start, host_end))
+            elif rng.random() < hub_bias:
+                t = int(pool[rng.integers(len(pool))])
+            else:
+                t = int(rng.integers(0, v))
+            src_list.append(v)
+            dst_list.append(t)
+            pool.append(t)
+        pool.append(v)
+    return DiGraph(
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        num_vertices,
+    )
+
+
+def planted_partition_graph(
+    num_communities: int,
+    community_size: int,
+    p_in: float = 0.2,
+    p_out: float = 0.01,
+    seed=None,
+) -> DiGraph:
+    """Planted-partition (stochastic block) digraph.
+
+    Ground-truth communities are blocks of consecutive ids, so streaming
+    clustering quality can be evaluated against a known answer.
+    Edge counts are sampled per block pair (binomial) and endpoints drawn
+    uniformly inside the blocks — O(E) rather than O(V^2).
+    """
+    check_positive_int(num_communities, "num_communities")
+    check_positive_int(community_size, "community_size")
+    check_probability(p_in, "p_in")
+    check_probability(p_out, "p_out")
+    rng = as_rng(seed)
+    n = num_communities * community_size
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    for ci in range(num_communities):
+        for cj in range(num_communities):
+            p = p_in if ci == cj else p_out
+            if p == 0.0:
+                continue
+            m = int(rng.binomial(community_size * community_size, p))
+            if m == 0:
+                continue
+            srcs.append(
+                rng.integers(ci * community_size, (ci + 1) * community_size, m)
+            )
+            dsts.append(
+                rng.integers(cj * community_size, (cj + 1) * community_size, m)
+            )
+    if not srcs:
+        return DiGraph.empty(n)
+    return DiGraph(np.concatenate(srcs), np.concatenate(dsts), n)
+
+
+def star_graph(num_leaves: int, center: int = 0) -> DiGraph:
+    """Star ``center -> leaf_i`` for all leaves — the Figure 2 worst case.
+
+    The hub's edges arrive consecutively in natural order, which is the
+    adversarial stream for Hollocou clustering (every leaf edge opens a new
+    cluster once the hub's cluster is full).
+    """
+    check_positive_int(num_leaves, "num_leaves")
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    src = np.full(num_leaves, center, dtype=np.int64)
+    return DiGraph(src, leaves, num_leaves + 1)

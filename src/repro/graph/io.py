@@ -1,0 +1,133 @@
+"""Graph persistence: edge-list text, compressed npz binary, METIS format.
+
+Web-graph corpora ship as edge lists (SNAP style) or METIS adjacency files;
+this module reads and writes both plus a fast ``.npz`` binary used by the
+benchmark harness to cache generated stand-in datasets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .digraph import DiGraph
+
+__all__ = [
+    "write_edgelist",
+    "read_edgelist",
+    "write_npz",
+    "read_npz",
+    "write_metis",
+    "read_metis",
+]
+
+
+def write_edgelist(graph: DiGraph, path: str | os.PathLike, comment: str = "") -> None:
+    """Write a whitespace-separated ``u v`` edge list (SNAP style)."""
+    with open(path, "w", encoding="ascii") as f:
+        if comment:
+            for line in comment.splitlines():
+                f.write(f"# {line}\n")
+        f.write(f"# vertices {graph.num_vertices} edges {graph.num_edges}\n")
+        np.savetxt(f, graph.edges(), fmt="%d")
+
+
+def read_edgelist(path: str | os.PathLike, num_vertices: int | None = None) -> DiGraph:
+    """Read a ``u v`` edge list; ``#``-prefixed lines are comments.
+
+    A ``# vertices N edges M`` header (as written by :func:`write_edgelist`)
+    is honored so isolated trailing vertices survive a round trip.
+    """
+    header_vertices = None
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    with open(path, "r", encoding="ascii") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tokens = line[1:].split()
+                if len(tokens) >= 4 and tokens[0] == "vertices" and tokens[2] == "edges":
+                    header_vertices = int(tokens[1])
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            src_list.append(int(parts[0]))
+            dst_list.append(int(parts[1]))
+    n = num_vertices if num_vertices is not None else header_vertices
+    return DiGraph(
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        n,
+    )
+
+
+def write_npz(graph: DiGraph, path: str | os.PathLike) -> None:
+    """Write the graph as a compressed numpy archive."""
+    np.savez_compressed(
+        path,
+        src=graph.src,
+        dst=graph.dst,
+        num_vertices=np.int64(graph.num_vertices),
+    )
+
+
+def read_npz(path: str | os.PathLike) -> DiGraph:
+    """Read a graph written by :func:`write_npz`."""
+    with np.load(path) as data:
+        return DiGraph(data["src"], data["dst"], int(data["num_vertices"]))
+
+
+def write_metis(graph: DiGraph, path: str | os.PathLike) -> None:
+    """Write the undirected simplification in METIS adjacency format.
+
+    METIS files are 1-indexed, undirected, and disallow self-loops;
+    reciprocal directed edges collapse to one undirected edge.
+    """
+    n = graph.num_vertices
+    neighbor_sets: list[set[int]] = [set() for _ in range(n)]
+    for u, v in zip(graph.src.tolist(), graph.dst.tolist()):
+        if u == v:
+            continue
+        neighbor_sets[u].add(v)
+        neighbor_sets[v].add(u)
+    num_undirected = sum(len(s) for s in neighbor_sets) // 2
+    with open(path, "w", encoding="ascii") as f:
+        f.write(f"{n} {num_undirected}\n")
+        for u in range(n):
+            f.write(" ".join(str(v + 1) for v in sorted(neighbor_sets[u])) + "\n")
+
+
+def read_metis(path: str | os.PathLike) -> DiGraph:
+    """Read a METIS adjacency file as a digraph with both edge directions."""
+    with open(path, "r", encoding="ascii") as f:
+        lines = [ln for ln in (raw.strip() for raw in f) if ln and not ln.startswith("%")]
+    if not lines:
+        raise ValueError("empty METIS file")
+    header = lines[0].split()
+    n, m = int(header[0]), int(header[1])
+    if len(lines) - 1 != n:
+        raise ValueError(f"expected {n} adjacency lines, found {len(lines) - 1}")
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    for u, line in enumerate(lines[1:]):
+        for token in line.split():
+            v = int(token) - 1
+            if u < v:  # emit each undirected edge once, in both directions
+                src_list.append(u)
+                dst_list.append(v)
+                src_list.append(v)
+                dst_list.append(u)
+    graph = DiGraph(
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(dst_list, dtype=np.int64),
+        n,
+    )
+    if graph.num_edges != 2 * m:
+        raise ValueError(
+            f"METIS header declares {m} edges but file contains {graph.num_edges // 2}"
+        )
+    return graph

@@ -1,0 +1,78 @@
+"""Graph sampling used by the Figure 5 experiment (RF vs sampled size).
+
+The paper "randomly samples UK-2002 to create a series of graph datasets";
+we provide uniform edge sampling (the standard way to scale a web graph
+down while preserving its degree-law shape) plus BFS-ball sampling (which
+preserves locality, useful for crawl-order experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+from .digraph import DiGraph
+
+__all__ = ["sample_edges", "bfs_ball"]
+
+
+def sample_edges(graph: DiGraph, num_edges: int, seed=None, compact: bool = True) -> DiGraph:
+    """Uniformly sample ``num_edges`` edges without replacement.
+
+    With ``compact=True`` (default) isolated vertices are dropped and ids
+    re-densified, matching how the paper's sampled datasets are stated as
+    ``(|V|, |E|)`` pairs.
+    """
+    check_positive_int(num_edges, "num_edges")
+    if num_edges > graph.num_edges:
+        raise ValueError(
+            f"cannot sample {num_edges} edges from a graph with {graph.num_edges}"
+        )
+    rng = as_rng(seed)
+    chosen = rng.choice(graph.num_edges, size=num_edges, replace=False)
+    chosen.sort()  # keep original stream order among survivors
+    sub = DiGraph(graph.src[chosen], graph.dst[chosen], graph.num_vertices)
+    if compact:
+        sub, _ = sub.compact()
+    return sub
+
+
+def bfs_ball(graph: DiGraph, source: int, max_edges: int, compact: bool = True) -> DiGraph:
+    """Edges discovered by an undirected BFS from ``source``, capped at
+    ``max_edges`` — a locality-preserving subgraph sample.
+    """
+    check_positive_int(max_edges, "max_edges")
+    if not 0 <= source < graph.num_vertices:
+        raise ValueError(f"source {source} out of range")
+    out_indptr, out_nbrs, out_eids = graph.csr_out()
+    in_indptr, in_nbrs, in_eids = graph.csr_in()
+    visited = np.zeros(graph.num_vertices, dtype=bool)
+    edge_taken = np.zeros(graph.num_edges, dtype=bool)
+    taken = 0
+    queue = [source]
+    visited[source] = True
+    head = 0
+    while head < len(queue) and taken < max_edges:
+        v = queue[head]
+        head += 1
+        spans = (
+            (out_nbrs, out_eids, out_indptr[v], out_indptr[v + 1]),
+            (in_nbrs, in_eids, in_indptr[v], in_indptr[v + 1]),
+        )
+        for nbrs, eids, lo, hi in spans:
+            for idx in range(lo, hi):
+                if taken >= max_edges:
+                    break
+                eid = int(eids[idx])
+                if edge_taken[eid]:
+                    continue
+                edge_taken[eid] = True
+                taken += 1
+                w = int(nbrs[idx])
+                if not visited[w]:
+                    visited[w] = True
+                    queue.append(w)
+    sub = graph.subgraph_edges(edge_taken)
+    if compact:
+        sub, _ = sub.compact()
+    return sub

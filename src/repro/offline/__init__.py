@@ -1,0 +1,5 @@
+"""Offline (non-streaming) partitioners: the METIS-style comparator."""
+
+from .minimetis import MiniMetisPartitioner, multilevel_vertex_partition
+
+__all__ = ["MiniMetisPartitioner", "multilevel_vertex_partition"]

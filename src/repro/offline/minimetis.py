@@ -1,0 +1,257 @@
+"""mini-METIS: an offline multilevel edge-cut partitioner.
+
+The paper motivates streaming partitioning by the cost of offline
+multilevel algorithms ("METIS requires more than 8.5 hours to partition a
+1.5B-edge graph into 2 partitions", Section I).  To make that comparison
+runnable, this module implements the classic multilevel scheme:
+
+1. **coarsening** — repeated heavy-edge matching (match each vertex to its
+   heaviest unmatched neighbor, contract pairs) until the graph is small;
+2. **initial partitioning** — greedy balanced region growing over the
+   coarsest graph (k seeds, lightest-partition-first frontier expansion);
+3. **uncoarsening + refinement** — project the assignment back level by
+   level, applying boundary Fiduccia-Mattheyses single-vertex moves that
+   reduce edge cut subject to a vertex-weight balance constraint.
+
+The result is an edge-cut (vertex -> partition) assignment, converted to
+the library's vertex-cut interface by placing each edge in the partition
+of its lower-degree endpoint (cut the high-degree vertex — the same rule
+the streaming algorithms use).
+
+This is deliberately a faithful *miniature*: one matching pass per level,
+one FM sweep per level.  It reproduces METIS's characteristic profile —
+good quality, whole-graph memory, super-streaming runtime — not its exact
+cut numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+from ..graph.stream import EdgeStream
+from ..partitioners.base import EdgePartitioner
+
+__all__ = ["MiniMetisPartitioner", "multilevel_vertex_partition"]
+
+
+def _build_weighted_adjacency(
+    src: np.ndarray, dst: np.ndarray, n: int
+) -> list[dict[int, int]]:
+    """Undirected weighted adjacency (parallel edges merge into weights)."""
+    adj: list[dict[int, int]] = [dict() for _ in range(n)]
+    for u, v in zip(src.tolist(), dst.tolist()):
+        if u == v:
+            continue
+        adj[u][v] = adj[u].get(v, 0) + 1
+        adj[v][u] = adj[v].get(u, 0) + 1
+    return adj
+
+
+def _heavy_edge_matching(
+    adj: list[dict[int, int]], weights: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Match each vertex to its heaviest unmatched neighbor.
+
+    Returns ``match[v]`` = partner id (or v itself when unmatched).
+    Visiting order is randomized, as in METIS, to avoid pathological chains.
+    """
+    n = len(adj)
+    match = np.full(n, -1, dtype=np.int64)
+    for v in rng.permutation(n).tolist():
+        if match[v] != -1:
+            continue
+        best, best_w = -1, -1
+        for nbr, w in adj[v].items():
+            if match[nbr] == -1 and nbr != v and w > best_w:
+                best, best_w = nbr, w
+        if best == -1:
+            match[v] = v
+        else:
+            match[v] = best
+            match[best] = v
+    return match
+
+
+def _contract(
+    adj: list[dict[int, int]], weights: np.ndarray, match: np.ndarray
+) -> tuple[list[dict[int, int]], np.ndarray, np.ndarray]:
+    """Contract matched pairs; returns (coarse_adj, coarse_weights, map)."""
+    n = len(adj)
+    coarse_of = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if coarse_of[v] != -1:
+            continue
+        partner = int(match[v])
+        coarse_of[v] = next_id
+        if partner != v:
+            coarse_of[partner] = next_id
+        next_id += 1
+    coarse_weights = np.zeros(next_id, dtype=np.int64)
+    for v in range(n):
+        coarse_weights[coarse_of[v]] += weights[v]
+    coarse_adj: list[dict[int, int]] = [dict() for _ in range(next_id)]
+    for v in range(n):
+        cv = int(coarse_of[v])
+        row = coarse_adj[cv]
+        for nbr, w in adj[v].items():
+            cn = int(coarse_of[nbr])
+            if cn == cv:
+                continue
+            row[cn] = row.get(cn, 0) + w
+    return coarse_adj, coarse_weights, coarse_of
+
+
+def _initial_partition(
+    adj: list[dict[int, int]],
+    weights: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Greedy region growing: expand k frontiers, lightest partition first."""
+    n = len(adj)
+    part = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros(k, dtype=np.int64)
+    order = np.argsort(-weights, kind="stable")
+    frontiers: list[list[int]] = [[] for _ in range(k)]
+    seeds = order[:k].tolist()
+    for p, seed in enumerate(seeds):
+        part[seed] = p
+        loads[p] += weights[seed]
+        frontiers[p].extend(adj[seed].keys())
+    unassigned = int(n - len(seeds))
+    pool = [v for v in order.tolist() if part[v] == -1]
+    pool_idx = 0
+    while unassigned > 0:
+        p = int(np.argmin(loads))
+        v = -1
+        frontier = frontiers[p]
+        while frontier:
+            cand = frontier.pop()
+            if part[cand] == -1:
+                v = cand
+                break
+        if v == -1:
+            while pool_idx < len(pool) and part[pool[pool_idx]] != -1:
+                pool_idx += 1
+            if pool_idx == len(pool):
+                break
+            v = pool[pool_idx]
+        part[v] = p
+        loads[p] += weights[v]
+        frontiers[p].extend(adj[v].keys())
+        unassigned -= 1
+    return part
+
+
+def _fm_refine(
+    adj: list[dict[int, int]],
+    weights: np.ndarray,
+    part: np.ndarray,
+    k: int,
+    max_weight: float,
+    sweeps: int = 1,
+) -> np.ndarray:
+    """Boundary FM: greedily move vertices to their best-gain partition."""
+    loads = np.zeros(k, dtype=np.int64)
+    for v, p in enumerate(part.tolist()):
+        loads[p] += weights[v]
+    for _ in range(sweeps):
+        moved = 0
+        for v in range(len(adj)):
+            if not adj[v]:
+                continue
+            cur = int(part[v])
+            gain_to = np.zeros(k, dtype=np.int64)
+            for nbr, w in adj[v].items():
+                gain_to[part[nbr]] += w
+            internal = gain_to[cur]
+            gain_to[cur] = -1  # exclude staying
+            best = int(np.argmax(gain_to))
+            if (
+                gain_to[best] > internal
+                and loads[best] + weights[v] <= max_weight
+            ):
+                loads[cur] -= weights[v]
+                loads[best] += weights[v]
+                part[v] = best
+                moved += 1
+        if moved == 0:
+            break
+    return part
+
+
+def multilevel_vertex_partition(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+    num_partitions: int,
+    imbalance: float = 1.1,
+    coarsest_size: int | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Multilevel edge-cut partitioning; returns vertex -> partition ids."""
+    check_positive_int(num_partitions, "num_partitions")
+    rng = as_rng(seed)
+    k = num_partitions
+    if coarsest_size is None:
+        coarsest_size = max(64, 8 * k)
+    adj = _build_weighted_adjacency(src, dst, num_vertices)
+    weights = np.ones(num_vertices, dtype=np.int64)
+    maps: list[np.ndarray] = []
+    levels: list[tuple[list[dict[int, int]], np.ndarray]] = [(adj, weights)]
+    while len(adj) > coarsest_size:
+        match = _heavy_edge_matching(adj, weights, rng)
+        coarse_adj, coarse_weights, coarse_of = _contract(adj, weights, match)
+        if len(coarse_adj) >= len(adj):  # no progress (fully unmatched)
+            break
+        maps.append(coarse_of)
+        adj, weights = coarse_adj, coarse_weights
+        levels.append((adj, weights))
+    total_weight = float(num_vertices)
+    max_weight = imbalance * total_weight / k
+    part = _initial_partition(adj, weights, k, rng)
+    part = _fm_refine(adj, weights, part, k, max_weight)
+    # project back up the hierarchy
+    for coarse_of, (fine_adj, fine_weights) in zip(
+        reversed(maps), reversed(levels[:-1])
+    ):
+        part = part[coarse_of]
+        part = _fm_refine(fine_adj, fine_weights, part, k, max_weight)
+    return part
+
+
+class MiniMetisPartitioner(EdgePartitioner):
+    """Offline multilevel partitioner behind the streaming interface.
+
+    Loads the whole graph, runs :func:`multilevel_vertex_partition`, then
+    converts the edge-cut result to vertex-cut by assigning each edge to
+    the partition of its lower-degree endpoint.
+    """
+
+    name = "minimetis"
+    passes = 1  # but loads the whole stream into memory first
+
+    def __init__(self, num_partitions: int, seed: int = 0, imbalance: float = 1.1):
+        super().__init__(num_partitions, seed)
+        if imbalance < 1.0:
+            raise ValueError("imbalance must be >= 1.0")
+        self.imbalance = float(imbalance)
+
+    def _assign(self, stream: EdgeStream) -> np.ndarray:
+        part = multilevel_vertex_partition(
+            stream.src,
+            stream.dst,
+            stream.num_vertices,
+            self.num_partitions,
+            imbalance=self.imbalance,
+            seed=self.seed,
+        )
+        degrees = stream.degrees()
+        cut_src = degrees[stream.src] >= degrees[stream.dst]
+        return np.where(cut_src, part[stream.dst], part[stream.src]).astype(np.int64)
+
+    def state_memory_bytes(self, stream: EdgeStream) -> int:
+        # whole-graph adjacency in memory: the offline profile of Figure 6
+        return stream.num_vertices * 8 + stream.num_edges * 24

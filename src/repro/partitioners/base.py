@@ -1,0 +1,178 @@
+"""Partitioner interface and the shared assignment result type.
+
+Every algorithm in this library — the five streaming baselines, CLUGP and
+its ablations, and the offline mini-METIS — consumes an
+:class:`~repro.graph.EdgeStream` and produces a
+:class:`PartitionAssignment`: one partition id per edge (Problem 1 of the
+paper).  Quality metrics (replication factor, relative balance) live on the
+result object and in :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._util import StageTimes, Timer, check_positive_int
+from ..graph.stream import EdgeStream
+
+__all__ = ["PartitionAssignment", "EdgePartitioner"]
+
+
+class PartitionAssignment:
+    """The result of vertex-cut partitioning: ``edge_partition[i]`` is the
+    partition of the i-th edge of the stream.
+
+    Parameters
+    ----------
+    stream:
+        The partitioned stream (kept by reference for metric computation).
+    edge_partition:
+        int array, one entry in ``[0, num_partitions)`` per stream edge.
+    num_partitions:
+        ``k``.
+    stage_times:
+        Optional per-stage wall-clock seconds recorded by the partitioner.
+    """
+
+    def __init__(
+        self,
+        stream: EdgeStream,
+        edge_partition,
+        num_partitions: int,
+        stage_times: StageTimes | None = None,
+    ) -> None:
+        edge_partition = np.ascontiguousarray(edge_partition, dtype=np.int64)
+        if edge_partition.shape != (stream.num_edges,):
+            raise ValueError(
+                f"edge_partition must have one entry per edge "
+                f"({stream.num_edges}), got shape {edge_partition.shape}"
+            )
+        check_positive_int(num_partitions, "num_partitions")
+        if edge_partition.size:
+            lo, hi = int(edge_partition.min()), int(edge_partition.max())
+            if lo < 0 or hi >= num_partitions:
+                raise ValueError(
+                    f"edge partitions must lie in [0, {num_partitions}), "
+                    f"found range [{lo}, {hi}]"
+                )
+        self.stream = stream
+        self.edge_partition = edge_partition
+        self.num_partitions = int(num_partitions)
+        self.stage_times = stage_times or StageTimes()
+        self._vertex_partition_counts = None
+
+    # ------------------------------------------------------------------ #
+    # core quantities (Section II-B)
+    # ------------------------------------------------------------------ #
+
+    def partition_sizes(self) -> np.ndarray:
+        """``|p_i|`` — number of edges per partition."""
+        return np.bincount(
+            self.edge_partition, minlength=self.num_partitions
+        ).astype(np.int64)
+
+    def vertex_partition_counts(self) -> np.ndarray:
+        """``|P(v)|`` per vertex — number of partitions holding v.
+
+        A vertex is *in* a partition iff some incident edge is assigned
+        there.  Vertices with no edges have count 0.
+        """
+        if self._vertex_partition_counts is None:
+            n, k = self.stream.num_vertices, self.num_partitions
+            keys = np.concatenate(
+                [
+                    self.stream.src * np.int64(k) + self.edge_partition,
+                    self.stream.dst * np.int64(k) + self.edge_partition,
+                ]
+            )
+            unique_pairs = np.unique(keys)
+            counts = np.bincount(
+                (unique_pairs // np.int64(k)).astype(np.int64), minlength=n
+            )
+            self._vertex_partition_counts = counts.astype(np.int64)
+        return self._vertex_partition_counts
+
+    def replication_factor(self) -> float:
+        """``RF = (1/|V'|) * sum_v |P(v)|`` over vertices with >=1 edge."""
+        counts = self.vertex_partition_counts()
+        active = counts[counts > 0]
+        if active.size == 0:
+            return 0.0
+        return float(active.mean())
+
+    def relative_balance(self) -> float:
+        """``rho = k * max|p_i| / |E|`` (1.0 = perfectly balanced)."""
+        if self.stream.num_edges == 0:
+            return 1.0
+        return float(
+            self.num_partitions * self.partition_sizes().max() / self.stream.num_edges
+        )
+
+    def vertex_sets(self) -> list[np.ndarray]:
+        """Per-partition arrays of vertex ids present in that partition."""
+        k = self.num_partitions
+        result: list[np.ndarray] = []
+        for p in range(k):
+            mask = self.edge_partition == p
+            verts = np.union1d(self.stream.src[mask], self.stream.dst[mask])
+            result.append(verts)
+        return result
+
+    def total_time(self) -> float:
+        """Total recorded partitioning wall-clock seconds."""
+        return self.stage_times.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PartitionAssignment(k={self.num_partitions}, "
+            f"|E|={self.stream.num_edges}, RF={self.replication_factor():.3f})"
+        )
+
+
+class EdgePartitioner(ABC):
+    """Abstract vertex-cut edge partitioner.
+
+    Subclasses implement :meth:`_assign` and may override
+    :meth:`state_memory_bytes` (the Figure 6 accounting) and
+    :attr:`passes` (1 for streaming baselines, 3 for CLUGP).
+    """
+
+    #: human-readable algorithm name (used in reports and the registry)
+    name: str = "base"
+    #: number of passes over the stream the algorithm makes
+    passes: int = 1
+    #: stream order the algorithm performs best under (Section VI-A: the
+    #: paper evaluates every competitor under its best order — random for
+    #: the one-pass heuristics/hashes, BFS/crawl order for Mint and CLUGP)
+    preferred_order: str = "random"
+
+    def __init__(self, num_partitions: int, seed: int = 0) -> None:
+        self.num_partitions = check_positive_int(num_partitions, "num_partitions")
+        self.seed = int(seed)
+        self._last_stream: EdgeStream | None = None
+
+    def partition(self, stream: EdgeStream) -> PartitionAssignment:
+        """Partition ``stream``; returns the per-edge assignment."""
+        self._last_stream = stream
+        times = StageTimes()
+        with Timer() as t:
+            edge_partition = self._assign(stream)
+        times.add("total", t.elapsed)
+        return PartitionAssignment(stream, edge_partition, self.num_partitions, times)
+
+    @abstractmethod
+    def _assign(self, stream: EdgeStream) -> np.ndarray:
+        """Return the per-edge partition array for ``stream``."""
+
+    def state_memory_bytes(self, stream: EdgeStream) -> int:
+        """Analytic size of the algorithm's live state tables, in bytes.
+
+        Used for the Figure 6 space comparison.  The default of 0 matches
+        stateless hashing; stateful algorithms override.
+        """
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(k={self.num_partitions})"

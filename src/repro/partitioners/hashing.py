@@ -1,0 +1,32 @@
+"""Hashing: the PowerGraph random edge placement baseline.
+
+Each edge is placed by a deterministic hash of its endpoint pair.  Fully
+stateless (0 bytes of partitioner state, as in Figure 6) and k-insensitive
+in runtime (Figure 7), but quality is the worst of the competitor set: the
+expected replication factor approaches ``k(1 - (1 - 1/k)^{d})`` per vertex
+of degree d, i.e. every high-degree vertex is replicated nearly k times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import hash_pair_to_partition
+from ..graph.stream import EdgeStream
+from .base import EdgePartitioner
+
+__all__ = ["HashingPartitioner"]
+
+
+class HashingPartitioner(EdgePartitioner):
+    """PowerGraph ``random`` (edge-hash) vertex-cut partitioning."""
+
+    name = "hashing"
+
+    def _assign(self, stream: EdgeStream) -> np.ndarray:
+        return hash_pair_to_partition(
+            stream.src, stream.dst, self.num_partitions, seed=self.seed
+        )
+
+    def state_memory_bytes(self, stream: EdgeStream) -> int:
+        return 0  # a hash function only

@@ -1,0 +1,36 @@
+"""PowerGraph-style distributed GAS execution simulator.
+
+The paper evaluates partitionings on a real 32-node PowerGraph deployment
+(Figure 8).  This package replaces that testbed with a discrete cost-model
+simulator that executes the *same* vertex programs (PageRank, connected
+components, SSSP, label propagation) over the *same* master/mirror
+placement a PowerGraph cluster would derive from a vertex-cut partitioning,
+and accounts computation and communication exactly where the real system
+pays them:
+
+* per superstep, every partition gathers over its local edges, applies at
+  its local masters, and scatters over its local edges (compute cost);
+* every mirror sends one accumulator to its master (gather sync) and
+  receives one updated value (apply sync) — 2 * #mirrors messages per
+  superstep (communication cost);
+* wall-clock per superstep = max partition compute time + network time
+  (volume / bandwidth + per-superstep RTT rounds), the BSP model.
+"""
+
+from .placement import Placement, build_placement
+from .network import NetworkModel
+from .engine import GasEngine, SuperstepCost, RunCost
+from .apps import pagerank, connected_components, sssp, label_propagation
+
+__all__ = [
+    "Placement",
+    "build_placement",
+    "NetworkModel",
+    "GasEngine",
+    "SuperstepCost",
+    "RunCost",
+    "pagerank",
+    "connected_components",
+    "sssp",
+    "label_propagation",
+]

@@ -1,0 +1,17 @@
+"""Vertex programs for the GAS simulator: the paper's evaluation workloads."""
+
+from .pagerank import PageRankProgram, pagerank
+from .connected_components import ConnectedComponentsProgram, connected_components
+from .sssp import SsspProgram, sssp
+from .label_propagation import LabelPropagationProgram, label_propagation
+
+__all__ = [
+    "PageRankProgram",
+    "pagerank",
+    "ConnectedComponentsProgram",
+    "connected_components",
+    "SsspProgram",
+    "sssp",
+    "LabelPropagationProgram",
+    "label_propagation",
+]

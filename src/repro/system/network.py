@@ -1,0 +1,77 @@
+"""Network cost model for the GAS simulator.
+
+The paper's Figure 8(c) varies the inter-node RTT with PUMBA from 10ms to
+100ms; bandwidth and message size are properties of their cluster.  We
+expose all three as parameters; defaults approximate a 10GbE cluster with
+PowerGraph's ~16-byte accumulator messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth model for one BSP superstep.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Aggregate cluster bisection bandwidth.
+    rtt_seconds:
+        Round-trip latency between any two nodes.
+    bytes_per_message:
+        Payload of one mirror<->master sync message.
+    seconds_per_message:
+        Per-message CPU/RPC overhead (serialization, syscalls); this is
+        what actually dominates PowerGraph's sync phase on fast LANs, so it
+        is what lets replication-factor differences show up as runtime
+        differences (Figure 8 b).
+    rounds_per_superstep:
+        Synchronous message rounds per superstep; GAS pays one gather round
+        (mirror -> master) and one apply round (master -> mirror).
+    """
+
+    bandwidth_bytes_per_s: float = 1.25e9  # 10 GbE
+    rtt_seconds: float = 0.010
+    bytes_per_message: int = 16
+    seconds_per_message: float = 2e-6
+    rounds_per_superstep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.rtt_seconds < 0:
+            raise ValueError("rtt_seconds must be non-negative")
+        if self.bytes_per_message <= 0:
+            raise ValueError("bytes_per_message must be positive")
+        if self.seconds_per_message < 0:
+            raise ValueError("seconds_per_message must be non-negative")
+        if self.rounds_per_superstep <= 0:
+            raise ValueError("rounds_per_superstep must be positive")
+
+    def superstep_comm_seconds(self, num_messages: int) -> float:
+        """Wall-clock of one superstep's synchronization phase."""
+        volume = num_messages * self.bytes_per_message
+        return (
+            volume / self.bandwidth_bytes_per_s
+            + num_messages * self.seconds_per_message
+            + self.rounds_per_superstep * self.rtt_seconds
+        )
+
+    def message_volume_bytes(self, num_messages: int) -> int:
+        """Total bytes moved for ``num_messages`` sync messages."""
+        return num_messages * self.bytes_per_message
+
+    def with_rtt(self, rtt_seconds: float) -> "NetworkModel":
+        """Copy with a different RTT (the Figure 8(c) sweep)."""
+        return NetworkModel(
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+            rtt_seconds=rtt_seconds,
+            bytes_per_message=self.bytes_per_message,
+            seconds_per_message=self.seconds_per_message,
+            rounds_per_superstep=self.rounds_per_superstep,
+        )

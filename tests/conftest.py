@@ -1,0 +1,55 @@
+"""Shared fixtures: small deterministic graphs and streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    planted_partition_graph,
+    star_graph,
+    web_crawl_graph,
+)
+from repro.graph.stream import EdgeStream
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> DiGraph:
+    """The 7-vertex example of the paper's Figure 1."""
+    edges = [(0, 1), (0, 2), (1, 2), (0, 3), (3, 5), (5, 6), (3, 6), (0, 4)]
+    return DiGraph.from_edges(edges)
+
+
+@pytest.fixture(scope="session")
+def crawl_graph() -> DiGraph:
+    """A ~12K-edge synthetic web crawl (session-cached for speed)."""
+    return web_crawl_graph(
+        1200, avg_out_degree=10.0, host_size=30, intra_host_prob=0.88, seed=5
+    )
+
+
+@pytest.fixture(scope="session")
+def crawl_stream(crawl_graph) -> EdgeStream:
+    return EdgeStream.from_graph(crawl_graph, order="natural")
+
+
+@pytest.fixture(scope="session")
+def community_graph() -> DiGraph:
+    return planted_partition_graph(12, 40, p_in=0.2, p_out=0.004, seed=9)
+
+
+@pytest.fixture(scope="session")
+def random_graph() -> DiGraph:
+    return erdos_renyi_graph(400, 3000, seed=13)
+
+
+@pytest.fixture(scope="session")
+def hub_graph() -> DiGraph:
+    return star_graph(200)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

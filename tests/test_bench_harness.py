@@ -1,0 +1,107 @@
+"""Tests for the benchmark harness module itself."""
+
+import pytest
+
+from repro.bench.harness import (
+    DEFAULT_ALGORITHMS,
+    SweepResult,
+    memory_vs_partitions,
+    pagerank_costs,
+    rf_vs_partitions,
+    run_algorithm,
+    runtime_vs_partitions,
+    series_table,
+)
+from repro.graph.stream import EdgeStream
+
+
+@pytest.fixture(scope="module")
+def stream(crawl_graph):
+    return EdgeStream.from_graph(crawl_graph, order="natural")
+
+
+class TestSweepResult:
+    def test_add_and_get(self):
+        result = SweepResult(x_name="k", metric_name="RF")
+        result.add("a", 4, 1.5)
+        result.add("b", 4, 2.5)
+        result.add("a", 8, 1.8)
+        result.add("b", 8, 2.2)
+        assert result.get("a", 4) == 1.5
+        assert result.get("b", 8) == 2.2
+        assert result.x_values == [4, 8]
+
+    def test_winner_at(self):
+        result = SweepResult(x_name="k", metric_name="RF")
+        result.add("a", 4, 1.5)
+        result.add("b", 4, 1.2)
+        assert result.winner_at(4) == "b"
+
+    def test_str_renders_series(self):
+        result = SweepResult(x_name="k", metric_name="RF")
+        result.add("alg", 4, 1.234)
+        text = str(result)
+        assert "alg" in text and "1.234" in text
+
+    def test_series_table_title(self):
+        result = SweepResult(x_name="k", metric_name="RF")
+        result.add("alg", 4, 1.0)
+        assert series_table(result, title="T").startswith("T\n")
+
+
+class TestRunAlgorithm:
+    def test_uses_preferred_order(self, stream):
+        partitioner, assignment = run_algorithm("hdrf", stream, 4, seed=0)
+        assert partitioner.name == "hdrf"
+        assert assignment.num_partitions == 4
+
+    def test_kwargs_forwarded(self, stream):
+        partitioner, _ = run_algorithm("hdrf", stream, 4, lambda_bal=2.5)
+        assert partitioner.lambda_bal == 2.5
+
+    def test_natural_order_kept_for_clugp(self, stream):
+        _, assignment = run_algorithm("clugp", stream, 4)
+        # CLUGP runs on the given (crawl-order) stream itself
+        assert assignment.stream is stream
+
+    def test_disable_preferred_order(self, stream):
+        _, assignment = run_algorithm(
+            "hdrf", stream, 4, use_preferred_order=False
+        )
+        assert assignment.stream is stream
+
+
+class TestSweeps:
+    def test_rf_sweep_shape(self, stream):
+        result = rf_vs_partitions(stream, [2, 4], algorithms=("hashing", "dbh"))
+        assert set(result.series) == {"hashing", "dbh"}
+        assert result.x_values == [2, 4]
+        for values in result.series.values():
+            assert all(v >= 1.0 for v in values)
+
+    def test_runtime_sweep_positive(self, stream):
+        result = runtime_vs_partitions(stream, [2], algorithms=("hashing",))
+        assert result.get("hashing", 2) >= 0.0
+
+    def test_memory_sweep(self, stream):
+        result = memory_vs_partitions(stream, [4], algorithms=("hashing", "dbh"))
+        assert result.get("hashing", 4) == 0.0
+        assert result.get("dbh", 4) > 0
+
+    def test_pagerank_costs(self, stream):
+        costs = pagerank_costs(
+            stream, 4, algorithms=("hashing", "clugp"), max_supersteps=3
+        )
+        assert set(costs) == {"hashing", "clugp"}
+        for cost in costs.values():
+            assert cost.num_supersteps == 3
+
+    def test_default_algorithm_set_is_table1(self):
+        assert set(DEFAULT_ALGORITHMS) == {
+            "hdrf",
+            "greedy",
+            "hashing",
+            "dbh",
+            "mint",
+            "clugp",
+        }

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import io
+from repro.graph.generators import web_crawl_graph
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition"])
+        args_dict = vars(args)
+        assert args_dict["algorithm"] == "clugp"
+        assert args_dict["partitions"] == 32
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "--algorithm", "bogus"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for alias in ("uk", "arabic", "webbase", "it", "twitter"):
+            assert alias in out
+
+    def test_partition(self, capsys):
+        rc = main(
+            ["partition", "--scale", "0.02", "-k", "4", "--algorithm", "hashing"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replication_factor=" in out
+
+    def test_partition_clugp_preferred_order(self, capsys):
+        rc = main(["partition", "--scale", "0.02", "-k", "4", "--algorithm", "clugp"])
+        assert rc == 0
+        assert "algorithm=clugp" in capsys.readouterr().out
+
+    def test_partition_writes_output(self, tmp_path, capsys):
+        out_file = tmp_path / "parts.txt"
+        rc = main(
+            [
+                "partition",
+                "--scale",
+                "0.02",
+                "-k",
+                "4",
+                "--algorithm",
+                "dbh",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert rc == 0
+        parts = np.loadtxt(out_file, dtype=int)
+        assert parts.max() < 4
+
+    def test_partition_from_edgelist(self, tmp_path, capsys):
+        g = web_crawl_graph(200, avg_out_degree=5, seed=1)
+        path = tmp_path / "g.edges"
+        io.write_edgelist(g, path)
+        rc = main(
+            ["partition", "--edgelist", str(path), "-k", "2", "--algorithm", "hashing"]
+        )
+        assert rc == 0
+        assert f"|E|={g.num_edges}" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--scale", "0.02", "-k", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("hashing", "dbh", "greedy", "hdrf", "mint", "clugp"):
+            assert name in out
+
+    def test_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--scale",
+                "0.02",
+                "--k-values",
+                "2,4",
+                "--algorithms",
+                "hashing,clugp",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RF" in out and "clugp" in out
+
+    def test_sweep_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithms"):
+            main(["sweep", "--scale", "0.02", "--algorithms", "bogus"])
+
+    def test_pagerank(self, capsys):
+        rc = main(
+            ["pagerank", "--scale", "0.02", "-k", "4", "--rtt-ms", "20", "--supersteps", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "supersteps=5" in out
+        assert "simulated" in out

@@ -1,0 +1,70 @@
+"""Tests for ClugpConfig / GameConfig validation and defaults."""
+
+import pytest
+
+from repro.config import ClugpConfig, GameConfig
+
+
+class TestGameConfig:
+    def test_defaults_match_paper(self):
+        cfg = GameConfig()
+        assert cfg.lambda_mode == "max"  # Section VI-A: lambda at maximum
+        assert cfg.relative_weight == 0.5  # equal importance
+        assert cfg.batch_size == 6400  # paper default batch size
+
+    def test_invalid_lambda_mode(self):
+        with pytest.raises(ValueError, match="lambda_mode"):
+            GameConfig(lambda_mode="bogus")
+
+    @pytest.mark.parametrize("w", [0.0, 1.0, -0.2, 1.5])
+    def test_invalid_relative_weight(self, w):
+        with pytest.raises(ValueError, match="relative_weight"):
+            GameConfig(relative_weight=w)
+
+    @pytest.mark.parametrize("field", ["max_rounds", "batch_size", "num_threads"])
+    def test_positive_int_fields(self, field):
+        with pytest.raises(ValueError):
+            GameConfig(**{field: 0})
+
+    def test_with_returns_new_instance(self):
+        cfg = GameConfig()
+        cfg2 = cfg.with_(batch_size=128)
+        assert cfg2.batch_size == 128
+        assert cfg.batch_size == 6400
+        assert cfg2.lambda_mode == cfg.lambda_mode
+
+
+class TestClugpConfig:
+    def test_defaults(self):
+        cfg = ClugpConfig()
+        assert cfg.enable_splitting is True
+        assert cfg.use_game is True
+        assert cfg.imbalance_factor >= 1.0
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            ClugpConfig(num_partitions=0)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError, match="imbalance_factor"):
+            ClugpConfig(imbalance_factor=0.9)
+
+    def test_invalid_vmax(self):
+        with pytest.raises(ValueError):
+            ClugpConfig(max_cluster_volume=-5)
+
+    def test_resolve_vmax_default_is_edges_over_k(self):
+        cfg = ClugpConfig(num_partitions=16)
+        assert cfg.resolve_vmax(16_000) == 1000  # |E| / k, Section VI-A
+
+    def test_resolve_vmax_explicit_wins(self):
+        cfg = ClugpConfig(num_partitions=16, max_cluster_volume=77)
+        assert cfg.resolve_vmax(10**6) == 77
+
+    def test_resolve_vmax_floors_at_one(self):
+        cfg = ClugpConfig(num_partitions=64)
+        assert cfg.resolve_vmax(10) == 1
+
+    def test_with_nested_game(self):
+        cfg = ClugpConfig().with_(game=GameConfig(seed=9))
+        assert cfg.game.seed == 9

@@ -1,0 +1,143 @@
+"""Tests for the Section IV-B analytical model (Equations 3-9,
+Theorems 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    PowerLawModel,
+    min_degree_for_replicas_clugp,
+    min_degree_for_replicas_holl,
+    replication_factor_upper_bound,
+    tail_fraction,
+)
+
+
+class TestTailFraction:
+    def test_all_vertices_at_minimum_degree(self):
+        assert tail_fraction(1.0, alpha=2.1, gamma=1) == 1.0
+
+    def test_decreasing_in_degree(self):
+        values = [tail_fraction(d, 2.1, 1) for d in (2, 5, 20, 100)]
+        assert values == sorted(values, reverse=True)
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        assert tail_fraction(50, 1.5, 1) > tail_fraction(50, 3.0, 1)
+
+    def test_clipped_to_unit_interval(self):
+        assert 0.0 <= tail_fraction(1.5, 2.1, 1) <= 1.0
+
+    def test_equation3_closed_form(self):
+        # theta = (gamma / (d - 1))^(alpha - 1)
+        assert tail_fraction(11, 2.0, 1) == pytest.approx(0.1)
+        assert tail_fraction(11, 3.0, 1) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tail_fraction(5, alpha=1.0)
+        with pytest.raises(ValueError):
+            tail_fraction(5, alpha=2.0, gamma=0)
+
+
+class TestMinDegreeLadders:
+    def test_degenerate_values_match(self):
+        # d_min coincide for r <= 1 (used by the bound's shared terms)
+        for r in (0, 1):
+            assert min_degree_for_replicas_clugp(r, 1000, 50) == (
+                min_degree_for_replicas_holl(r)
+            )
+
+    def test_holl_is_linear(self):
+        assert min_degree_for_replicas_holl(5) == 4
+        assert min_degree_for_replicas_holl(10) == 9
+
+    def test_clugp_equation8(self):
+        vmax, dmax, r = 1000, 50, 3
+        expected = (vmax - 1) * (1 - (1 - 1 / (1 + dmax)) ** (r - 1)) + 2
+        assert min_degree_for_replicas_clugp(r, vmax, dmax) == pytest.approx(expected)
+
+    def test_theorem2_clugp_needs_higher_degree(self):
+        # d_min^clugp(r) > d_min^holl(r) for r >= 2 when vmax > dmax
+        for vmax, dmax in [(1000, 50), (500, 100), (10_000, 2_000)]:
+            for r in range(2, 12):
+                assert min_degree_for_replicas_clugp(
+                    r, vmax, dmax
+                ) > min_degree_for_replicas_holl(r)
+
+    def test_monotone_in_replicas(self):
+        ladder = [min_degree_for_replicas_clugp(r, 1000, 50) for r in range(1, 10)]
+        assert ladder == sorted(ladder)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_degree_for_replicas_clugp(-1, 10, 10)
+        with pytest.raises(ValueError):
+            min_degree_for_replicas_holl(-2)
+
+
+class TestRfBounds:
+    def test_theorem1_clugp_bound_below_holl(self):
+        for m in (8, 64, 512):
+            for alpha in (1.8, 2.1, 2.8):
+                clugp = replication_factor_upper_bound(m, alpha, 1, 100_000, 5_000, "clugp")
+                holl = replication_factor_upper_bound(m, alpha, 1, 100_000, 5_000, "holl")
+                assert clugp <= holl + 1e-12, (m, alpha)
+
+    def test_bounds_at_least_one(self):
+        assert replication_factor_upper_bound(4, 2.1, 1, 100, 10) >= 1.0
+
+    def test_trivial_when_m_leq_gamma(self):
+        assert replication_factor_upper_bound(2, 2.1, 2, 100, 10) == 1.0
+
+    def test_grows_with_cluster_count_for_holl(self):
+        small = replication_factor_upper_bound(8, 2.1, 1, 10_000, 500, "holl")
+        large = replication_factor_upper_bound(256, 2.1, 1, 10_000, 500, "holl")
+        assert large > small
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            replication_factor_upper_bound(4, 2.1, 1, 100, 10, "bogus")
+
+
+class TestPowerLawModel:
+    def test_advantage_nonnegative(self):
+        model = PowerLawModel(alpha=2.1, gamma=1, dmax=5000)
+        for m in (16, 128, 1024):
+            assert model.clugp_advantage(m, vmax=100_000) >= 0.0
+
+    def test_advantage_shrinks_with_lighter_tail(self):
+        heavy = PowerLawModel(alpha=1.9, gamma=1, dmax=5000)
+        light = PowerLawModel(alpha=3.0, gamma=1, dmax=5000)
+        assert heavy.clugp_advantage(256, 50_000) > light.clugp_advantage(256, 50_000)
+
+    def test_replica_ladder_shape(self):
+        model = PowerLawModel()
+        ladder = model.replica_ladder(vmax=1000, max_replicas=8)
+        assert ladder.shape == (9,)
+        assert (np.diff(ladder) >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawModel(alpha=0.9)
+        with pytest.raises(ValueError):
+            PowerLawModel(gamma=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    r=st.integers(2, 30),
+    vmax=st.integers(10, 10**6),
+    dmax=st.integers(1, 10**5),
+)
+def test_property_theorem2_whenever_vmax_exceeds_dmax(r, vmax, dmax):
+    # the paper's proof linearizes (1 - 1/(1+d_max))^(r-1) ~ 1 - (r-1)/(1+d_max),
+    # valid when r << d_max, and assumes V_max > d_max; CLUGP's ladder
+    # saturates at V_max + 1 while Holl's grows linearly, so outside that
+    # regime (huge r, or V_max barely above d_max) the closed forms can
+    # cross.  We assert the inequality exactly in the theorem's regime.
+    if vmax <= 2 * dmax or 2 * (r - 1) > dmax:
+        return
+    assert min_degree_for_replicas_clugp(r, vmax, dmax) > (
+        min_degree_for_replicas_holl(r)
+    )

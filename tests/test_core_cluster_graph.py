@@ -1,0 +1,95 @@
+"""Tests for the cluster multigraph builder (pass 2 input)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.stream import EdgeStream
+from repro.core.clustering import streaming_clustering
+from repro.core.cluster_graph import build_cluster_graph
+
+
+def clustered_stream(edges, vmax=1000):
+    s = EdgeStream.from_graph(DiGraph.from_edges(edges))
+    return s, streaming_clustering(s, max_volume=vmax)
+
+
+class TestBuild:
+    def test_intra_cluster_edges_internal(self):
+        s, clustering = clustered_stream([(0, 1), (1, 0)])
+        cg = build_cluster_graph(s, clustering)
+        assert cg.total_internal() == 2
+        assert cg.total_cut() == 0
+
+    def test_cross_cluster_edges_weighted(self):
+        # two triangles + one bridge; vmax large so triangles merge cleanly
+        s, clustering = clustered_stream(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)], vmax=6
+        )
+        cg = build_cluster_graph(s, clustering)
+        assert cg.total_internal() + cg.total_cut() == s.num_edges
+
+    def test_self_loop_is_internal(self):
+        s, clustering = clustered_stream([(0, 0), (0, 1)])
+        cg = build_cluster_graph(s, clustering)
+        assert cg.total_internal() >= 1
+
+    def test_in_out_mirror_each_other(self):
+        s, clustering = clustered_stream(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (4, 1)], vmax=6
+        )
+        cg = build_cluster_graph(s, clustering)
+        for c in range(cg.num_clusters):
+            for nbr, w in cg.out_edges[c].items():
+                assert cg.in_edges[nbr][c] == w
+
+    def test_undirected_neighbors_sums_directions(self):
+        s, clustering = clustered_stream([(0, 1), (2, 0), (0, 2)], vmax=2)
+        cg = build_cluster_graph(s, clustering)
+        for c in range(cg.num_clusters):
+            merged = cg.undirected_neighbors(c)
+            for nbr, w in merged.items():
+                expected = cg.out_edges[c].get(nbr, 0) + cg.in_edges[c].get(nbr, 0)
+                assert w == expected
+
+    def test_cut_degree(self):
+        s, clustering = clustered_stream(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)], vmax=6
+        )
+        cg = build_cluster_graph(s, clustering)
+        total_cut_degree = sum(cg.cut_degree(c) for c in range(cg.num_clusters))
+        assert total_cut_degree == 2 * cg.total_cut()
+
+    def test_rejects_unclustered_vertices(self):
+        s = EdgeStream([0], [1], num_vertices=2)
+        clustering = streaming_clustering(
+            EdgeStream([0], [1], num_vertices=2), max_volume=5
+        )
+        bigger = EdgeStream([0, 1], [1, 0], num_vertices=2)
+        # same clustering works for a permuted stream over the same vertices
+        cg = build_cluster_graph(bigger, clustering)
+        assert cg.total_internal() + cg.total_cut() == 2
+
+    def test_empty_stream(self):
+        s = EdgeStream([], [], num_vertices=0)
+        clustering = streaming_clustering(s, max_volume=5)
+        cg = build_cluster_graph(s, clustering)
+        assert cg.num_clusters == 0
+        assert cg.total_internal() == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=80
+    ),
+    vmax=st.integers(1, 30),
+)
+def test_property_every_edge_accounted(edges, vmax):
+    s, clustering = clustered_stream(edges, vmax=vmax)
+    cg = build_cluster_graph(s, clustering)
+    assert cg.total_internal() + cg.total_cut() == s.num_edges
+    # internal counts are non-negative and bounded by the stream
+    assert (cg.internal >= 0).all()
+    assert cg.internal.sum() <= s.num_edges

@@ -1,0 +1,100 @@
+"""Tests for the Section III-C distributed CLUGP deployment."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClugpConfig
+from repro.core.distributed import (
+    DistributedClugpPartitioner,
+    _shard_ranges,
+    distributed_clugp,
+)
+from repro.core.partitioner import ClugpPartitioner
+from repro.graph.stream import EdgeStream
+from repro.partitioners import HashingPartitioner
+
+
+@pytest.fixture(scope="module")
+def stream(crawl_graph):
+    return EdgeStream.from_graph(crawl_graph, order="natural")
+
+
+class TestShardRanges:
+    def test_cover_and_disjoint(self):
+        ranges = _shard_ranges(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_single_node(self):
+        assert _shard_ranges(5, 1) == [(0, 5)]
+
+    def test_equal_split(self):
+        ranges = _shard_ranges(8, 4)
+        assert all(stop - start == 2 for start, stop in ranges)
+
+
+class TestDistributedClugp:
+    def test_valid_global_assignment(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=4)
+        a = result.assignment
+        assert a.edge_partition.shape == (stream.num_edges,)
+        assert a.edge_partition.min() >= 0 and a.edge_partition.max() < 8
+        assert a.partition_sizes().sum() == stream.num_edges
+
+    def test_one_node_equals_single_machine(self, stream):
+        single = ClugpPartitioner(8, seed=3).partition(stream)
+        dist = distributed_clugp(stream, 8, num_nodes=1, seed=3)
+        assert np.array_equal(single.edge_partition, dist.assignment.edge_partition)
+
+    def test_node_reports(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=4)
+        assert len(result.nodes) == 4
+        assert sum(n.num_edges for n in result.nodes) == stream.num_edges
+        assert all(n.num_clusters > 0 for n in result.nodes)
+        assert result.max_node_seconds() > 0.0
+
+    def test_parallel_matches_sequential(self, stream):
+        par = distributed_clugp(stream, 8, num_nodes=4, seed=1, parallel_nodes=True)
+        seq = distributed_clugp(stream, 8, num_nodes=4, seed=1, parallel_nodes=False)
+        assert np.array_equal(
+            par.assignment.edge_partition, seq.assignment.edge_partition
+        )
+
+    def test_quality_stays_competitive(self, stream):
+        # independent shards pay a quality price but must stay well below
+        # hashing (the sanity floor for any clustering-based approach)
+        dist = distributed_clugp(stream, 16, num_nodes=4)
+        rf_hash = HashingPartitioner(16).partition(stream).replication_factor()
+        assert dist.assignment.replication_factor() < rf_hash
+
+    def test_balance_roughly_held(self, stream):
+        # each node enforces tau on its shard; the merged result can exceed
+        # tau only by the shard-boundary rounding
+        result = distributed_clugp(
+            stream, 8, num_nodes=4, config=ClugpConfig(imbalance_factor=1.05)
+        )
+        assert result.assignment.relative_balance() <= 1.15
+
+    def test_rejects_too_many_nodes(self):
+        tiny = EdgeStream([0], [1], num_vertices=2)
+        with pytest.raises(ValueError, match="num_nodes"):
+            distributed_clugp(tiny, 2, num_nodes=5)
+
+
+class TestPartitionerInterface:
+    def test_registry_name(self):
+        from repro.partitioners.registry import make_partitioner
+
+        p = make_partitioner("clugp-dist", 8, num_nodes=2)
+        assert isinstance(p, DistributedClugpPartitioner)
+
+    def test_partition_and_diagnostics(self, stream):
+        p = DistributedClugpPartitioner(8, num_nodes=4)
+        assignment = p.partition(stream)
+        assert assignment.num_partitions == 8
+        assert p.last_result is not None
+        assert len(p.last_result.nodes) == 4
+
+    def test_deterministic(self, stream):
+        a = DistributedClugpPartitioner(8, seed=2, num_nodes=3).partition(stream)
+        b = DistributedClugpPartitioner(8, seed=2, num_nodes=3).partition(stream)
+        assert np.array_equal(a.edge_partition, b.edge_partition)

@@ -1,0 +1,75 @@
+"""Tests for the batched parallel cluster-partitioning game (Section V-D)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GameConfig
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+from repro.core.clustering import streaming_clustering
+from repro.core.cluster_graph import ClusterGraph, build_cluster_graph
+from repro.core.game import ClusterPartitioningGame
+from repro.core.parallel import parallel_game
+
+
+@pytest.fixture(scope="module")
+def cluster_graph():
+    g = web_crawl_graph(800, avg_out_degree=8, host_size=25, seed=8)
+    s = EdgeStream.from_graph(g)
+    clustering = streaming_clustering(s, max_volume=s.num_edges // 32)
+    return build_cluster_graph(s, clustering)
+
+
+class TestParallelGame:
+    def test_produces_valid_assignment(self, cluster_graph):
+        cfg = GameConfig(seed=0, batch_size=16, num_threads=4)
+        result = parallel_game(cluster_graph, 8, cfg)
+        assert result.assignment.shape == (cluster_graph.num_clusters,)
+        assert result.assignment.min() >= 0 and result.assignment.max() < 8
+
+    def test_potential_decreases(self, cluster_graph):
+        cfg = GameConfig(seed=0, batch_size=16, num_threads=4)
+        result = parallel_game(cluster_graph, 8, cfg)
+        assert result.potential_trace[-1] <= result.potential_trace[0] + 1e-9
+
+    def test_converges(self, cluster_graph):
+        cfg = GameConfig(seed=0, batch_size=16, num_threads=4, max_rounds=100)
+        result = parallel_game(cluster_graph, 8, cfg)
+        assert result.converged
+
+    def test_quality_close_to_sequential(self, cluster_graph):
+        cfg = GameConfig(seed=0, batch_size=16, num_threads=4)
+        par = parallel_game(cluster_graph, 8, cfg)
+        seq_game = ClusterPartitioningGame(cluster_graph, 8, GameConfig(seed=0))
+        seq_game.run()
+        par_cost = ClusterPartitioningGame(cluster_graph, 8, GameConfig(seed=0))
+        par_cost.assignment = par.assignment.copy()
+        par_cost.loads = np.bincount(
+            par.assignment,
+            weights=cluster_graph.internal.astype(float),
+            minlength=8,
+        )
+        # the batched equilibrium is within 25% of the sequential one
+        assert par_cost.global_cost() <= 1.25 * seq_game.global_cost() + 1e-9
+
+    def test_single_batch_single_thread_matches_sequentialish(self, cluster_graph):
+        cfg = GameConfig(seed=3, batch_size=10**6, num_threads=1)
+        result = parallel_game(cluster_graph, 4, cfg)
+        assert result.converged
+
+    def test_thread_count_does_not_change_validity(self, cluster_graph):
+        for threads in (1, 2, 8):
+            cfg = GameConfig(seed=1, batch_size=32, num_threads=threads)
+            result = parallel_game(cluster_graph, 8, cfg)
+            assert result.assignment.max() < 8
+
+    def test_empty_cluster_graph(self):
+        empty = ClusterGraph(
+            num_clusters=0,
+            internal=np.empty(0, dtype=np.int64),
+            out_edges=[],
+            in_edges=[],
+        )
+        result = parallel_game(empty, 4, GameConfig(seed=0))
+        assert result.assignment.size == 0
+        assert result.rounds == 0

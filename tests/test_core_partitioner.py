@@ -1,0 +1,126 @@
+"""End-to-end tests for the CLUGP pipeline and its ablations."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClugpConfig, GameConfig
+from repro.core.partitioner import (
+    ClugpGreedyPartitioner,
+    ClugpNoSplitPartitioner,
+    ClugpPartitioner,
+    greedy_cluster_assignment,
+)
+from repro.core.cluster_graph import ClusterGraph
+from repro.graph.stream import EdgeStream
+from repro.partitioners import HashingPartitioner
+
+
+@pytest.fixture(scope="module")
+def stream(crawl_graph):
+    return EdgeStream.from_graph(crawl_graph, order="natural")
+
+
+class TestPipeline:
+    def test_valid_assignment(self, stream):
+        assignment = ClugpPartitioner(8).partition(stream)
+        assert assignment.edge_partition.shape == (stream.num_edges,)
+        assert assignment.edge_partition.max() < 8
+
+    def test_stage_times_recorded(self, stream):
+        p = ClugpPartitioner(8)
+        assignment = p.partition(stream)
+        for stage in ("clustering", "game", "transform"):
+            assert stage in assignment.stage_times
+
+    def test_intermediates_exposed(self, stream):
+        p = ClugpPartitioner(8)
+        p.partition(stream)
+        assert p.last_clustering is not None
+        assert p.last_cluster_graph is not None
+        assert p.last_game_result is not None
+        assert p.last_transform_stats is not None
+        assert p.last_transform_stats.total() == stream.num_edges
+
+    def test_tau_cap_respected(self, stream):
+        p = ClugpPartitioner(8, imbalance_factor=1.02)
+        assignment = p.partition(stream)
+        cap = p.last_transform_stats.load_cap
+        assert assignment.partition_sizes().max() <= cap
+
+    def test_deterministic(self, stream):
+        a = ClugpPartitioner(8, seed=5).partition(stream).edge_partition
+        b = ClugpPartitioner(8, seed=5).partition(stream).edge_partition
+        assert np.array_equal(a, b)
+
+    def test_beats_hashing_quality(self, stream):
+        rf_clugp = ClugpPartitioner(16).partition(stream).replication_factor()
+        rf_hash = HashingPartitioner(16).partition(stream).replication_factor()
+        assert rf_clugp < rf_hash
+
+    def test_three_passes_declared(self):
+        assert ClugpPartitioner.passes == 3
+        assert ClugpPartitioner.preferred_order == "natural"
+
+    def test_single_partition(self, stream):
+        assignment = ClugpPartitioner(1).partition(stream)
+        assert assignment.replication_factor() == 1.0
+
+    def test_parallel_flag(self, stream):
+        p = ClugpPartitioner(
+            8, parallel=True, game=GameConfig(batch_size=32, num_threads=2)
+        )
+        assignment = p.partition(stream)
+        assert assignment.edge_partition.max() < 8
+
+    def test_explicit_vmax(self, stream):
+        p = ClugpPartitioner(8, max_cluster_volume=50)
+        p.partition(stream)
+        assert p.last_clustering.max_volume == 50
+
+    def test_config_object_respected(self, stream):
+        cfg = ClugpConfig(num_partitions=4, imbalance_factor=1.3)
+        p = ClugpPartitioner(4, config=cfg)
+        assert p.config.imbalance_factor == 1.3
+
+    def test_config_k_mismatch_resolved(self, stream):
+        cfg = ClugpConfig(num_partitions=2)
+        p = ClugpPartitioner(8, config=cfg)
+        assert p.config.num_partitions == 8
+
+    def test_state_memory_accounts_vertex_tables(self, stream):
+        p = ClugpPartitioner(8)
+        p.partition(stream)
+        assert p.state_memory_bytes(stream) >= 2 * stream.num_vertices * 8
+
+
+class TestAblations:
+    def test_no_split_variant_never_splits(self, stream):
+        p = ClugpNoSplitPartitioner(8)
+        p.partition(stream)
+        assert p.last_clustering.splits == 0
+        assert p.name == "clugp-s"
+
+    def test_greedy_variant_skips_game(self, stream):
+        p = ClugpGreedyPartitioner(8)
+        p.partition(stream)
+        assert p.last_game_result.rounds == 0
+        assert p.name == "clugp-g"
+
+    def test_game_beats_greedy_placement(self, stream):
+        # Figure 9: the game-based placement has lower RF than CLUGP-G
+        rf_game = ClugpPartitioner(16, seed=1).partition(stream).replication_factor()
+        rf_greedy = (
+            ClugpGreedyPartitioner(16, seed=1).partition(stream).replication_factor()
+        )
+        assert rf_game <= rf_greedy
+
+    def test_greedy_cluster_assignment_lpt(self):
+        cg = ClusterGraph(
+            num_clusters=4,
+            internal=np.array([10, 1, 1, 8]),
+            out_edges=[{} for _ in range(4)],
+            in_edges=[{} for _ in range(4)],
+        )
+        assignment = greedy_cluster_assignment(cg, 2)
+        loads = np.bincount(assignment, weights=cg.internal, minlength=2)
+        assert loads.tolist() == [10.0, 10.0]

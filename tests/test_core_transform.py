@@ -1,0 +1,144 @@
+"""Tests for pass 3 — partition transformation (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+from repro.core.clustering import streaming_clustering
+from repro.core.cluster_graph import build_cluster_graph
+from repro.core.game import ClusterPartitioningGame
+from repro.core.transform import transform_partitions
+
+
+def pipeline_inputs(edges_or_graph, k, vmax=None):
+    if isinstance(edges_or_graph, list):
+        g = DiGraph.from_edges(edges_or_graph)
+    else:
+        g = edges_or_graph
+    s = EdgeStream.from_graph(g)
+    vmax = vmax or max(1, s.num_edges // k)
+    clustering = streaming_clustering(s, vmax)
+    cg = build_cluster_graph(s, clustering)
+    game = ClusterPartitioningGame(cg, k)
+    assignment = game.run().assignment
+    return s, clustering, assignment
+
+
+class TestRules:
+    def test_agreement_edges_follow_partition(self):
+        s, clustering, cluster_partition = pipeline_inputs(
+            [(0, 1), (1, 2), (2, 0)], k=2, vmax=100
+        )
+        edge_partition, stats = transform_partitions(
+            s, clustering, cluster_partition, 2, imbalance_factor=2.0
+        )
+        # triangle merges into one cluster -> all edges agree
+        assert stats.agreement == 3
+        assert np.unique(edge_partition).size == 1
+
+    def test_degree_rule_cuts_high_degree_endpoint(self):
+        # hub 0 in cluster A, leaves in cluster B; the edge between them
+        # should land in the leaf's partition (cut the hub)
+        g = DiGraph.from_edges(
+            [(0, 1), (0, 2), (0, 3), (4, 5), (5, 6), (6, 4), (0, 4)]
+        )
+        s = EdgeStream.from_graph(g)
+        clustering = streaming_clustering(s, max_volume=3, enable_splitting=False)
+        cu, c4 = clustering.cluster_of[0], clustering.cluster_of[4]
+        if cu != c4:  # only meaningful when they ended up separated
+            m = clustering.num_clusters
+            cluster_partition = np.arange(m) % 2
+            if cluster_partition[cu] != cluster_partition[c4]:
+                edge_partition, stats = transform_partitions(
+                    s, clustering, cluster_partition, 2, imbalance_factor=4.0
+                )
+                # last edge is (0, 4): deg(0) > deg(4) -> goes to 4's side
+                assert edge_partition[-1] == cluster_partition[c4]
+
+    def test_load_cap_strictly_enforced(self):
+        graph = web_crawl_graph(600, avg_out_degree=10, seed=1)
+        for tau in (1.0, 1.02, 1.1):
+            s, clustering, cluster_partition = pipeline_inputs(graph, k=8)
+            edge_partition, stats = transform_partitions(
+                s, clustering, cluster_partition, 8, imbalance_factor=tau
+            )
+            loads = np.bincount(edge_partition, minlength=8)
+            assert loads.max() <= stats.load_cap
+            assert loads.sum() == s.num_edges
+
+    def test_tau_one_gives_perfect_balance(self):
+        graph = web_crawl_graph(600, avg_out_degree=10, seed=2)
+        s, clustering, cluster_partition = pipeline_inputs(graph, k=4)
+        edge_partition, _ = transform_partitions(
+            s, clustering, cluster_partition, 4, imbalance_factor=1.0
+        )
+        loads = np.bincount(edge_partition, minlength=4)
+        assert loads.max() - loads.min() <= int(np.ceil(s.num_edges / 4))
+
+    def test_stats_cover_all_edges(self):
+        graph = web_crawl_graph(500, avg_out_degree=8, seed=3)
+        s, clustering, cluster_partition = pipeline_inputs(graph, k=4)
+        _, stats = transform_partitions(
+            s, clustering, cluster_partition, 4, imbalance_factor=1.05
+        )
+        assert stats.total() == s.num_edges
+
+    def test_mirror_rule_used_when_divided(self):
+        graph = web_crawl_graph(800, avg_out_degree=10, host_size=20, seed=4)
+        s = EdgeStream.from_graph(graph)
+        clustering = streaming_clustering(s, max_volume=s.num_edges // 32)
+        if clustering.splits == 0:
+            pytest.skip("no splits triggered on this instance")
+        cg = build_cluster_graph(s, clustering)
+        cluster_partition = ClusterPartitioningGame(cg, 8).run().assignment
+        _, stats = transform_partitions(
+            s, clustering, cluster_partition, 8, imbalance_factor=1.2
+        )
+        assert stats.mirror_reuse > 0
+
+
+class TestValidation:
+    def test_rejects_bad_tau(self):
+        s, clustering, cluster_partition = pipeline_inputs([(0, 1)], k=2, vmax=10)
+        with pytest.raises(ValueError, match="imbalance_factor"):
+            transform_partitions(s, clustering, cluster_partition, 2, 0.5)
+
+    def test_rejects_wrong_mapping_size(self):
+        s, clustering, _ = pipeline_inputs([(0, 1), (1, 2)], k=2, vmax=10)
+        with pytest.raises(ValueError, match="clusters"):
+            transform_partitions(s, clustering, np.array([0, 1, 0, 1, 0]), 2, 1.0)
+
+    def test_rejects_out_of_range_partition_ids(self):
+        s, clustering, cluster_partition = pipeline_inputs([(0, 1)], k=2, vmax=10)
+        bad = np.full_like(cluster_partition, 9)
+        with pytest.raises(ValueError, match="out of range"):
+            transform_partitions(s, clustering, bad, 2, 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=2, max_size=100
+    ),
+    k=st.integers(1, 6),
+    tau=st.floats(1.0, 1.5),
+)
+def test_property_transform_invariants(edges, k, tau):
+    s = EdgeStream.from_graph(DiGraph.from_edges(edges))
+    clustering = streaming_clustering(s, max_volume=max(1, s.num_edges // k))
+    cg = build_cluster_graph(s, clustering)
+    cluster_partition = ClusterPartitioningGame(cg, k).run().assignment
+    edge_partition, stats = transform_partitions(
+        s, clustering, cluster_partition, k, imbalance_factor=tau
+    )
+    # every edge assigned exactly once to a valid partition
+    assert edge_partition.shape == (s.num_edges,)
+    assert edge_partition.min() >= 0 and edge_partition.max() < k
+    # the tau cap holds strictly
+    loads = np.bincount(edge_partition, minlength=k)
+    assert loads.max() <= stats.load_cap
+    # rule counters account for every edge
+    assert stats.total() == s.num_edges

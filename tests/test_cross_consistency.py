@@ -1,0 +1,89 @@
+"""Cross-module consistency properties: the same quantity computed by two
+independent code paths must agree exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import mirror_count
+from repro.analysis.partition_stats import communication_matrix
+from repro.graph.digraph import DiGraph
+from repro.graph.stream import EdgeStream
+from repro.partitioners.base import PartitionAssignment
+from repro.system.engine import GasEngine
+from repro.system.network import NetworkModel
+from repro.system.placement import build_placement
+from repro.system.apps.pagerank import pagerank
+
+
+def random_assignment(edges, k, seed):
+    g = DiGraph.from_edges(edges)
+    stream = EdgeStream.from_graph(g)
+    rng = np.random.default_rng(seed)
+    parts = rng.integers(0, k, size=stream.num_edges, dtype=np.int64)
+    return PartitionAssignment(stream, parts, num_partitions=k)
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=1, max_size=60
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edge_lists, k=st.integers(1, 8), seed=st.integers(0, 100))
+def test_placement_rf_matches_assignment_rf(edges, k, seed):
+    a = random_assignment(edges, k, seed)
+    placement = build_placement(a)
+    assert placement.replication_factor() == pytest.approx(a.replication_factor())
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edge_lists, k=st.integers(1, 8), seed=st.integers(0, 100))
+def test_mirror_count_three_ways(edges, k, seed):
+    a = random_assignment(edges, k, seed)
+    placement = build_placement(a)
+    # metrics path, placement path, and communication-matrix path agree
+    assert mirror_count(a) == placement.total_mirrors
+    assert communication_matrix(a).sum() == placement.total_mirrors
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edge_lists, k=st.integers(1, 8), seed=st.integers(0, 100))
+def test_masters_equal_active_vertices(edges, k, seed):
+    a = random_assignment(edges, k, seed)
+    placement = build_placement(a)
+    assert placement.total_masters == a.stream.active_vertices().size
+
+
+@settings(max_examples=10, deadline=None)
+@given(edges=edge_lists, k=st.integers(1, 4), seed=st.integers(0, 50))
+def test_engine_message_accounting(edges, k, seed):
+    # in the first superstep every active vertex syncs: messages must be
+    # exactly 2 * total mirrors
+    a = random_assignment(edges, k, seed)
+    engine = GasEngine(a, network=NetworkModel(rtt_seconds=0.0))
+    _, cost = pagerank(engine, max_supersteps=1)
+    placement = build_placement(a)
+    assert cost.supersteps[0].messages == 2 * placement.total_mirrors
+
+
+@settings(max_examples=15, deadline=None)
+@given(edges=edge_lists, k=st.integers(1, 6), seed=st.integers(0, 50))
+def test_vertex_partition_counts_vs_vertex_sets(edges, k, seed):
+    a = random_assignment(edges, k, seed)
+    counts = a.vertex_partition_counts()
+    recomputed = np.zeros(a.stream.num_vertices, dtype=np.int64)
+    for p, verts in enumerate(a.vertex_sets()):
+        recomputed[verts] += 1
+    assert np.array_equal(counts, recomputed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(edges=edge_lists, k=st.integers(1, 6), seed=st.integers(0, 50))
+def test_partition_sizes_vs_manual_count(edges, k, seed):
+    a = random_assignment(edges, k, seed)
+    manual = np.zeros(k, dtype=np.int64)
+    for p in a.edge_partition.tolist():
+        manual[p] += 1
+    assert np.array_equal(a.partition_sizes(), manual)

@@ -1,0 +1,69 @@
+"""Tests for the dataset stand-in registry."""
+
+import pytest
+
+from repro.graph.datasets import DATASETS, WEB_DATASETS, load_dataset
+
+
+class TestRegistry:
+    def test_all_paper_corpora_present(self):
+        assert set(DATASETS) == {"uk", "arabic", "webbase", "it", "twitter"}
+
+    def test_web_datasets_tuple(self):
+        assert set(WEB_DATASETS) <= set(DATASETS)
+        assert all(DATASETS[a].kind == "web" for a in WEB_DATASETS)
+
+    def test_twitter_is_social(self):
+        assert DATASETS["twitter"].kind == "social"
+
+    def test_paper_metadata_recorded(self):
+        assert DATASETS["it"].paper_edges == "1.5B"
+        assert DATASETS["uk"].paper_vertices == "19M"
+
+
+class TestLoadDataset:
+    def test_unknown_alias(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_alias_case_insensitive(self):
+        assert load_dataset("UK", scale=0.02, seed=1) is load_dataset(
+            "uk", scale=0.02, seed=1
+        )
+
+    def test_cache_returns_same_object(self):
+        a = load_dataset("uk", scale=0.02, seed=3)
+        b = load_dataset("uk", scale=0.02, seed=3)
+        assert a is b
+
+    def test_different_seed_different_graph(self):
+        a = load_dataset("uk", scale=0.02, seed=1)
+        b = load_dataset("uk", scale=0.02, seed=2)
+        assert a != b
+
+    def test_scale_changes_size(self):
+        small = load_dataset("uk", scale=0.02, seed=1)
+        large = load_dataset("uk", scale=0.08, seed=1)
+        assert large.num_vertices > small.num_vertices
+
+    def test_minimum_size_floor(self):
+        g = load_dataset("uk", scale=1e-9, seed=1)
+        assert g.num_vertices >= 128
+
+    @pytest.mark.parametrize("alias", sorted(DATASETS))
+    def test_every_dataset_builds(self, alias):
+        g = load_dataset(alias, scale=0.02, seed=0)
+        assert g.num_edges > 0
+        assert g.num_vertices > 0
+
+    def test_web_datasets_have_host_locality(self):
+        g = load_dataset("arabic", scale=0.1, seed=0)
+        # arabic stand-in uses 64-page hosts with very high intra probability
+        same_host = (g.src // 64) == (g.dst // 64)
+        assert same_host.mean() > 0.6
+
+    def test_twitter_stream_is_shuffled(self):
+        g = load_dataset("twitter", scale=0.05, seed=0)
+        # BA generation emits src in increasing order; the social stand-in
+        # shuffles the stream so arrival order carries no locality.
+        assert not (g.src[:-1] <= g.src[1:]).all()

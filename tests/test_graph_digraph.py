@@ -1,0 +1,221 @@
+"""Tests for the DiGraph core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+
+
+def small_graph():
+    return DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (0, 2), (3, 3)])
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = small_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 5
+
+    def test_empty(self):
+        g = DiGraph.empty(5)
+        assert g.num_vertices == 5 and g.num_edges == 0
+
+    def test_from_edges_empty_list(self):
+        g = DiGraph.from_edges([])
+        assert g.num_vertices == 0 and g.num_edges == 0
+
+    def test_isolated_vertices_via_num_vertices(self):
+        g = DiGraph([0], [1], num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="equal length"):
+            DiGraph([0, 1], [1])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            DiGraph([-1], [0])
+
+    def test_rejects_too_small_num_vertices(self):
+        with pytest.raises(ValueError, match="num_vertices"):
+            DiGraph([0], [5], num_vertices=3)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            DiGraph([[0, 1]], [[1, 2]])
+
+    def test_edges_roundtrip(self):
+        g = small_graph()
+        assert np.array_equal(g.edges()[:, 0], g.src)
+        assert np.array_equal(g.edges()[:, 1], g.dst)
+
+
+class TestDegrees:
+    def test_out_degrees(self):
+        g = small_graph()
+        assert g.out_degrees().tolist() == [2, 1, 1, 1]
+
+    def test_in_degrees(self):
+        g = small_graph()
+        assert g.in_degrees().tolist() == [1, 1, 2, 1]
+
+    def test_total_degrees_self_loop_counts_twice(self):
+        g = small_graph()
+        assert g.degrees()[3] == 2
+
+    def test_degree_sum_is_twice_edges(self):
+        g = small_graph()
+        assert g.degrees().sum() == 2 * g.num_edges
+
+
+class TestAdjacency:
+    def test_out_neighbors(self):
+        g = small_graph()
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+
+    def test_in_neighbors(self):
+        g = small_graph()
+        assert sorted(g.in_neighbors(2).tolist()) == [0, 1]
+
+    def test_neighbors_union(self):
+        g = small_graph()
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+
+    def test_csr_edge_ids_consistent(self):
+        g = small_graph()
+        indptr, nbrs, eids = g.csr_out()
+        for v in range(g.num_vertices):
+            for idx in range(indptr[v], indptr[v + 1]):
+                assert g.src[eids[idx]] == v
+                assert g.dst[eids[idx]] == nbrs[idx]
+
+
+class TestTransforms:
+    def test_simplify_removes_parallel_and_loops(self):
+        g = DiGraph.from_edges([(0, 1), (0, 1), (1, 2), (3, 3)])
+        simple = g.simplify()
+        assert simple.num_edges == 2  # parallel (0,1) deduped, loop dropped
+        edges = {tuple(e) for e in simple.edges().tolist()}
+        assert (3, 3) not in edges and (0, 1) in edges
+
+    def test_simplify_keeps_loops_when_asked(self):
+        g = small_graph()
+        simple = g.simplify(drop_self_loops=False)
+        assert (3, 3) in {tuple(e) for e in simple.edges().tolist()}
+
+    def test_reverse(self):
+        g = small_graph()
+        rev = g.reverse()
+        assert np.array_equal(rev.src, g.dst)
+        assert np.array_equal(rev.dst, g.src)
+
+    def test_relabel_permutation(self):
+        g = small_graph()
+        mapping = np.array([3, 2, 1, 0])
+        rel = g.relabel(mapping)
+        assert rel.num_edges == g.num_edges
+        assert np.array_equal(np.sort(rel.degrees()), np.sort(g.degrees()))
+
+    def test_relabel_rejects_non_permutation(self):
+        g = small_graph()
+        with pytest.raises(ValueError, match="permutation"):
+            g.relabel(np.zeros(4, dtype=np.int64))
+
+    def test_relabel_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            small_graph().relabel(np.arange(3))
+
+    def test_subgraph_edges(self):
+        g = small_graph()
+        sub = g.subgraph_edges(np.array([True, False, True, False, False]))
+        assert sub.num_edges == 2
+        assert sub.num_vertices == g.num_vertices
+
+    def test_subgraph_edges_rejects_bad_mask(self):
+        with pytest.raises(ValueError):
+            small_graph().subgraph_edges(np.array([True]))
+
+    def test_compact_drops_isolated(self):
+        g = DiGraph([0, 5], [5, 0], num_vertices=10)
+        compacted, old_ids = g.compact()
+        assert compacted.num_vertices == 2
+        assert old_ids.tolist() == [0, 5]
+
+    def test_shuffled_copy_same_multiset(self):
+        g = small_graph()
+        shuffled = g.shuffled_copy(seed=3)
+        orig = sorted(map(tuple, g.edges().tolist()))
+        new = sorted(map(tuple, shuffled.edges().tolist()))
+        assert orig == new
+
+
+class TestTraversal:
+    def test_bfs_order_visits_all(self):
+        g = small_graph()
+        order = g.bfs_order()
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_bfs_order_starts_at_source(self):
+        g = small_graph()
+        assert g.bfs_order(source=2)[0] == 2
+
+    def test_bfs_order_empty_graph(self):
+        assert DiGraph.empty(0).bfs_order().size == 0
+
+    def test_bfs_covers_disconnected(self):
+        g = DiGraph([0, 3], [1, 4], num_vertices=6)
+        assert sorted(g.bfs_order().tolist()) == list(range(6))
+
+    def test_wcc_labels(self):
+        g = DiGraph([0, 2, 4], [1, 3, 5], num_vertices=7)
+        labels = g.weakly_connected_components()
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[6] == 6  # isolated vertex is its own component
+
+    def test_wcc_direction_ignored(self):
+        g = DiGraph([1], [0], num_vertices=2)
+        labels = g.weakly_connected_components()
+        assert labels[0] == labels[1]
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert small_graph() == small_graph()
+
+    def test_unequal_num_vertices(self):
+        assert DiGraph([0], [1]) != DiGraph([0], [1], num_vertices=5)
+
+    def test_not_equal_to_other_types(self):
+        assert small_graph().__eq__(42) is NotImplemented
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=1, max_size=100
+    )
+)
+def test_property_degree_sum_invariant(edges):
+    g = DiGraph.from_edges(edges)
+    assert g.out_degrees().sum() == g.num_edges
+    assert g.in_degrees().sum() == g.num_edges
+    assert g.degrees().sum() == 2 * g.num_edges
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=60
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_property_relabel_preserves_structure(edges, seed):
+    g = DiGraph.from_edges(edges)
+    rng = np.random.default_rng(seed)
+    mapping = rng.permutation(g.num_vertices)
+    rel = g.relabel(mapping)
+    # degree multiset is invariant under relabeling
+    assert sorted(rel.degrees().tolist()) == sorted(g.degrees().tolist())

@@ -1,0 +1,184 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    planted_partition_graph,
+    powerlaw_configuration_graph,
+    powerlaw_degree_sequence,
+    rmat_graph,
+    star_graph,
+    web_crawl_graph,
+)
+from repro.graph.properties import fit_powerlaw_alpha, gini_coefficient
+
+
+class TestPowerlawDegreeSequence:
+    def test_bounds(self):
+        deg = powerlaw_degree_sequence(5000, alpha=2.1, min_degree=2, max_degree=100, seed=1)
+        assert deg.min() >= 2 and deg.max() <= 100
+
+    def test_deterministic(self):
+        a = powerlaw_degree_sequence(100, seed=4)
+        b = powerlaw_degree_sequence(100, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        light = powerlaw_degree_sequence(20_000, alpha=3.5, seed=2)
+        heavy = powerlaw_degree_sequence(20_000, alpha=1.8, seed=2)
+        assert heavy.mean() > light.mean()
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(ValueError, match="alpha"):
+            powerlaw_degree_sequence(10, alpha=0.5)
+
+    def test_alpha_recoverable_by_mle(self):
+        deg = powerlaw_degree_sequence(
+            50_000, alpha=2.5, min_degree=2, max_degree=100_000, seed=3
+        )
+        # the discrete floor biases the continuous Hill estimator downward;
+        # the fit should still land in the right neighbourhood
+        fitted = fit_powerlaw_alpha(deg, d_min=2)
+        assert 2.0 < fitted < 3.0
+
+
+class TestConfigurationModel:
+    def test_shape(self):
+        g = powerlaw_configuration_graph(1000, seed=1)
+        assert g.num_vertices == 1000
+        assert g.num_edges > 500
+
+    def test_deterministic(self):
+        a = powerlaw_configuration_graph(300, seed=9)
+        b = powerlaw_configuration_graph(300, seed=9)
+        assert a == b
+
+    def test_degrees_are_skewed(self):
+        g = powerlaw_configuration_graph(5000, alpha=2.0, seed=2)
+        assert gini_coefficient(g.degrees()) > 0.2
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert_graph(500, edges_per_vertex=3, seed=1)
+        assert g.num_edges == (500 - 3) * 3
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(3, edges_per_vertex=3)
+
+    def test_hubs_emerge(self):
+        g = barabasi_albert_graph(3000, edges_per_vertex=4, seed=5)
+        deg = g.degrees()
+        assert deg.max() > 20 * np.median(deg[deg > 0])
+
+    def test_targets_precede_sources(self):
+        g = barabasi_albert_graph(100, edges_per_vertex=2, seed=0)
+        assert (g.dst < g.src).all()  # attachment targets are older vertices
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat_graph(scale=8, edge_factor=4, seed=1)
+        assert g.num_vertices == 256
+        assert g.num_edges == 1024
+
+    def test_deterministic(self):
+        assert rmat_graph(6, 4, seed=3) == rmat_graph(6, 4, seed=3)
+
+    def test_skewed_quadrants(self):
+        g = rmat_graph(scale=10, edge_factor=8, seed=2)
+        # Graph500 parameters concentrate edges on low ids
+        assert np.median(g.src) < g.num_vertices // 2
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(4, 4, a=0.5, b=0.3, c=0.3)
+
+
+class TestErdosRenyi:
+    def test_shape(self):
+        g = erdos_renyi_graph(100, 500, seed=1)
+        assert g.num_vertices == 100 and g.num_edges == 500
+
+    def test_zero_edges(self):
+        assert erdos_renyi_graph(10, 0).num_edges == 0
+
+    def test_rejects_negative_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, -1)
+
+    def test_nearly_uniform_degrees(self):
+        g = erdos_renyi_graph(500, 20_000, seed=4)
+        assert gini_coefficient(g.degrees()) < 0.2
+
+
+class TestWebCrawl:
+    def test_edges_reference_valid_pages(self):
+        g = web_crawl_graph(300, avg_out_degree=6, seed=1)
+        assert g.src.max() < 300 and g.dst.max() < 300
+
+    def test_deterministic(self):
+        assert web_crawl_graph(200, seed=7) == web_crawl_graph(200, seed=7)
+
+    def test_host_locality(self):
+        g = web_crawl_graph(
+            1000, avg_out_degree=8, host_size=50, intra_host_prob=0.9, seed=2
+        )
+        same_host = (g.src // 50) == (g.dst // 50)
+        assert same_host.mean() > 0.75  # ~90% requested, allow sampling slack
+
+    def test_forward_links_exist(self):
+        # crawl emits links to not-yet-crawled pages within the host block
+        g = web_crawl_graph(500, host_size=25, intra_host_prob=0.9, seed=3)
+        assert (g.dst > g.src).any()
+
+    def test_low_locality_configuration(self):
+        g = web_crawl_graph(
+            800, avg_out_degree=8, host_size=40, intra_host_prob=0.1, seed=4
+        )
+        same_host = (g.src // 40) == (g.dst // 40)
+        assert same_host.mean() < 0.5
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            web_crawl_graph(100, avg_out_degree=-1)
+        with pytest.raises(ValueError):
+            web_crawl_graph(100, intra_host_prob=1.5)
+
+
+class TestPlantedPartition:
+    def test_shape(self):
+        g = planted_partition_graph(4, 25, seed=1)
+        assert g.num_vertices == 100
+
+    def test_communities_denser_than_background(self):
+        g = planted_partition_graph(6, 50, p_in=0.2, p_out=0.005, seed=2)
+        same = (g.src // 50) == (g.dst // 50)
+        assert same.mean() > 0.7
+
+    def test_zero_probabilities(self):
+        g = planted_partition_graph(3, 10, p_in=0.0, p_out=0.0, seed=1)
+        assert g.num_edges == 0
+        assert g.num_vertices == 30
+
+    def test_deterministic(self):
+        assert planted_partition_graph(3, 20, seed=5) == planted_partition_graph(
+            3, 20, seed=5
+        )
+
+
+class TestStar:
+    def test_structure(self):
+        g = star_graph(10)
+        assert g.num_vertices == 11
+        assert g.num_edges == 10
+        assert (g.src == 0).all()
+        assert sorted(g.dst.tolist()) == list(range(1, 11))
+
+    def test_hub_degree(self):
+        g = star_graph(32)
+        assert g.degrees()[0] == 32

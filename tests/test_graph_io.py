@@ -1,0 +1,113 @@
+"""Tests for graph I/O round trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph import io
+
+
+@pytest.fixture
+def graph():
+    return DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (0, 3)])
+
+
+class TestEdgeList:
+    def test_roundtrip(self, graph, tmp_path):
+        path = tmp_path / "g.edges"
+        io.write_edgelist(graph, path)
+        loaded = io.read_edgelist(path)
+        assert loaded == graph
+
+    def test_header_preserves_isolated_vertices(self, tmp_path):
+        g = DiGraph([0], [1], num_vertices=9)
+        path = tmp_path / "g.edges"
+        io.write_edgelist(g, path)
+        assert io.read_edgelist(path).num_vertices == 9
+
+    def test_comment_written(self, graph, tmp_path):
+        path = tmp_path / "g.edges"
+        io.write_edgelist(graph, path, comment="hello\nworld")
+        text = path.read_text()
+        assert "# hello" in text and "# world" in text
+
+    def test_explicit_num_vertices_overrides(self, graph, tmp_path):
+        path = tmp_path / "g.edges"
+        io.write_edgelist(graph, path)
+        assert io.read_edgelist(path, num_vertices=50).num_vertices == 50
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("0 1\n2\n")
+        with pytest.raises(ValueError, match="malformed"):
+            io.read_edgelist(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("0 1\n\n1 2\n")
+        assert io.read_edgelist(path).num_edges == 2
+
+
+class TestNpz:
+    def test_roundtrip(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        io.write_npz(graph, path)
+        assert io.read_npz(path) == graph
+
+    def test_preserves_isolated_vertices(self, tmp_path):
+        g = DiGraph([2], [3], num_vertices=77)
+        path = tmp_path / "g.npz"
+        io.write_npz(g, path)
+        assert io.read_npz(path).num_vertices == 77
+
+
+class TestMetis:
+    def test_roundtrip_undirected_structure(self, graph, tmp_path):
+        path = tmp_path / "g.metis"
+        io.write_metis(graph, path)
+        loaded = io.read_metis(path)
+        # loaded has both directions of each undirected edge
+        undirected = {frozenset(e) for e in graph.simplify().edges().tolist()}
+        loaded_undirected = {frozenset(e) for e in loaded.edges().tolist()}
+        assert undirected == loaded_undirected
+
+    def test_header_counts(self, graph, tmp_path):
+        path = tmp_path / "g.metis"
+        io.write_metis(graph, path)
+        n, m = map(int, path.read_text().splitlines()[0].split())
+        assert n == graph.num_vertices
+        assert m == 4  # 4 undirected edges
+
+    def test_self_loops_dropped(self, tmp_path):
+        g = DiGraph.from_edges([(0, 0), (0, 1)])
+        path = tmp_path / "g.metis"
+        io.write_metis(g, path)
+        loaded = io.read_metis(path)
+        assert loaded.num_edges == 2  # (0,1) both ways
+
+    def test_reciprocal_edges_collapse(self, tmp_path):
+        g = DiGraph.from_edges([(0, 1), (1, 0)])
+        path = tmp_path / "g.metis"
+        io.write_metis(g, path)
+        n, m = map(int, path.read_text().splitlines()[0].split())
+        assert m == 1
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.metis"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            io.read_metis(path)
+
+    def test_wrong_line_count_raises(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n")
+        with pytest.raises(ValueError, match="adjacency lines"):
+            io.read_metis(path)
+
+
+def test_large_roundtrip_via_npz(tmp_path):
+    rng = np.random.default_rng(0)
+    g = DiGraph(rng.integers(0, 1000, 5000), rng.integers(0, 1000, 5000))
+    path = tmp_path / "big.npz"
+    io.write_npz(g, path)
+    assert io.read_npz(path) == g

@@ -1,0 +1,123 @@
+"""Tests for graph sampling and structural property analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import erdos_renyi_graph, powerlaw_configuration_graph
+from repro.graph.properties import (
+    degree_histogram,
+    degree_stats,
+    fit_powerlaw_alpha,
+    gini_coefficient,
+)
+from repro.graph.sampling import bfs_ball, sample_edges
+
+
+class TestSampleEdges:
+    def test_size(self):
+        g = erdos_renyi_graph(200, 2000, seed=1)
+        sub = sample_edges(g, 500, seed=2)
+        assert sub.num_edges == 500
+
+    def test_edges_are_subset(self):
+        g = erdos_renyi_graph(100, 800, seed=1)
+        sub = sample_edges(g, 100, seed=2, compact=False)
+        orig = set(map(tuple, g.edges().tolist()))
+        assert all(tuple(e) in orig for e in sub.edges().tolist())
+
+    def test_compact_densifies_ids(self):
+        g = erdos_renyi_graph(1000, 100, seed=3)
+        sub = sample_edges(g, 10, seed=4, compact=True)
+        assert sub.num_vertices <= 20
+
+    def test_preserves_stream_order_of_survivors(self):
+        g = DiGraph([0, 1, 2, 3], [1, 2, 3, 0])
+        sub = sample_edges(g, 4, seed=0, compact=False)
+        assert np.array_equal(sub.src, g.src)
+
+    def test_rejects_oversample(self):
+        g = erdos_renyi_graph(10, 20, seed=1)
+        with pytest.raises(ValueError, match="cannot sample"):
+            sample_edges(g, 21)
+
+    def test_deterministic(self):
+        g = erdos_renyi_graph(100, 500, seed=1)
+        a = sample_edges(g, 50, seed=9)
+        b = sample_edges(g, 50, seed=9)
+        assert a == b
+
+
+class TestBfsBall:
+    def test_respects_cap(self):
+        g = erdos_renyi_graph(300, 3000, seed=2)
+        sub = bfs_ball(g, source=0, max_edges=100, compact=False)
+        assert sub.num_edges <= 100
+
+    def test_connected_from_source(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (5, 6)])
+        sub = bfs_ball(g, source=0, max_edges=10, compact=False)
+        edges = set(map(tuple, sub.edges().tolist()))
+        assert (5, 6) not in edges
+        assert (0, 1) in edges and (1, 2) in edges
+
+    def test_rejects_bad_source(self):
+        g = erdos_renyi_graph(10, 20, seed=1)
+        with pytest.raises(ValueError, match="source"):
+            bfs_ball(g, source=99, max_edges=5)
+
+
+class TestProperties:
+    def test_degree_histogram_skips_zeros(self):
+        degrees = np.array([0, 0, 1, 1, 3])
+        values, counts = degree_histogram(degrees)
+        assert values.tolist() == [1, 3]
+        assert counts.tolist() == [2, 1]
+
+    def test_alpha_fit_on_known_tail(self):
+        rng = np.random.default_rng(5)
+        # discrete Pareto tail, alpha = 1 + 1.5 = 2.5, starting at d=10 so
+        # the discrete-floor bias of the Hill estimator is small
+        u = rng.random(100_000)
+        degrees = np.floor(10.0 * (1 - u) ** (-1 / 1.5)).astype(int)
+        alpha = fit_powerlaw_alpha(degrees, d_min=10)
+        assert 2.2 < alpha < 2.7
+
+    def test_alpha_fit_monotone_in_tail_heaviness(self):
+        rng = np.random.default_rng(6)
+        u = rng.random(50_000)
+        heavy = np.floor(10.0 * (1 - u) ** (-1 / 1.0)).astype(int)
+        light = np.floor(10.0 * (1 - u) ** (-1 / 3.0)).astype(int)
+        assert fit_powerlaw_alpha(heavy, 10) < fit_powerlaw_alpha(light, 10)
+
+    def test_alpha_nan_for_tiny_input(self):
+        assert np.isnan(fit_powerlaw_alpha(np.array([5])))
+
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 100.0
+        assert gini_coefficient(values) > 0.95
+
+    def test_gini_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_gini_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 2.0]))
+
+    def test_degree_stats_fields(self):
+        g = powerlaw_configuration_graph(2000, seed=1)
+        stats = degree_stats(g)
+        assert stats.num_vertices == 2000
+        assert stats.num_edges == g.num_edges
+        assert stats.max_degree >= stats.median_degree
+        assert 0.0 < stats.gini < 1.0
+
+    def test_degree_stats_empty_graph(self):
+        stats = degree_stats(DiGraph.empty(10))
+        assert stats.num_edges == 0
+        assert np.isnan(stats.alpha)

@@ -1,0 +1,87 @@
+"""Tests for the offline multilevel (mini-METIS) partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import planted_partition_graph, web_crawl_graph
+from repro.graph.stream import EdgeStream
+from repro.offline.minimetis import MiniMetisPartitioner, multilevel_vertex_partition
+from repro.partitioners import HashingPartitioner
+
+
+class TestMultilevel:
+    def test_partition_ids_valid(self, crawl_graph):
+        part = multilevel_vertex_partition(
+            crawl_graph.src, crawl_graph.dst, crawl_graph.num_vertices, 8
+        )
+        assert part.shape == (crawl_graph.num_vertices,)
+        assert part.min() >= 0 and part.max() < 8
+
+    def test_vertex_balance_constraint(self, crawl_graph):
+        part = multilevel_vertex_partition(
+            crawl_graph.src,
+            crawl_graph.dst,
+            crawl_graph.num_vertices,
+            4,
+            imbalance=1.1,
+        )
+        counts = np.bincount(part, minlength=4)
+        # FM never moves into an overweight partition; initial growth may
+        # overshoot slightly, so allow a small slack above the target
+        assert counts.max() <= 1.3 * crawl_graph.num_vertices / 4
+
+    def test_communities_not_torn(self):
+        g = planted_partition_graph(4, 30, p_in=0.3, p_out=0.002, seed=3)
+        part = multilevel_vertex_partition(g.src, g.dst, g.num_vertices, 4, seed=1)
+        # most vertices of each planted block should share a partition
+        agreements = 0
+        for b in range(4):
+            block = part[b * 30 : (b + 1) * 30]
+            agreements += np.bincount(block, minlength=4).max()
+        assert agreements > 0.7 * g.num_vertices
+
+    def test_deterministic(self, crawl_graph):
+        a = multilevel_vertex_partition(
+            crawl_graph.src, crawl_graph.dst, crawl_graph.num_vertices, 4, seed=2
+        )
+        b = multilevel_vertex_partition(
+            crawl_graph.src, crawl_graph.dst, crawl_graph.num_vertices, 4, seed=2
+        )
+        assert np.array_equal(a, b)
+
+    def test_edge_cut_better_than_random(self, crawl_graph):
+        part = multilevel_vertex_partition(
+            crawl_graph.src, crawl_graph.dst, crawl_graph.num_vertices, 8, seed=0
+        )
+        cut = (part[crawl_graph.src] != part[crawl_graph.dst]).mean()
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 8, crawl_graph.num_vertices)
+        rand_cut = (rand[crawl_graph.src] != rand[crawl_graph.dst]).mean()
+        assert cut < 0.7 * rand_cut
+
+
+class TestMiniMetisPartitioner:
+    def test_interface(self, crawl_stream):
+        assignment = MiniMetisPartitioner(8).partition(crawl_stream)
+        assert assignment.edge_partition.max() < 8
+        assert assignment.replication_factor() >= 1.0
+
+    def test_quality_beats_hashing(self, crawl_stream):
+        rf_metis = MiniMetisPartitioner(8).partition(crawl_stream).replication_factor()
+        rf_hash = HashingPartitioner(8).partition(crawl_stream).replication_factor()
+        assert rf_metis < rf_hash
+
+    def test_whole_graph_memory_profile(self, crawl_stream):
+        p = MiniMetisPartitioner(8)
+        # offline: state grows with |E|, unlike the streaming algorithms
+        assert p.state_memory_bytes(crawl_stream) > crawl_stream.num_edges * 8
+
+    def test_rejects_bad_imbalance(self):
+        with pytest.raises(ValueError):
+            MiniMetisPartitioner(4, imbalance=0.5)
+
+    def test_small_graph(self):
+        g = web_crawl_graph(150, avg_out_degree=5, seed=2)
+        stream = EdgeStream.from_graph(g)
+        assignment = MiniMetisPartitioner(2).partition(stream)
+        assert assignment.partition_sizes().sum() == stream.num_edges

@@ -1,0 +1,124 @@
+"""Tests for the extra partitioners: Grid, LDG, FENNEL."""
+
+import numpy as np
+import pytest
+
+from repro.graph.stream import EdgeStream
+from repro.partitioners import (
+    FennelPartitioner,
+    GridPartitioner,
+    HashingPartitioner,
+    LdgPartitioner,
+)
+
+
+@pytest.fixture(scope="module")
+def stream(crawl_graph):
+    return EdgeStream.from_graph(crawl_graph, order="natural")
+
+
+@pytest.mark.parametrize("cls", [GridPartitioner, LdgPartitioner, FennelPartitioner])
+class TestContract:
+    def test_valid_assignment(self, cls, stream):
+        assignment = cls(9).partition(stream)
+        assert assignment.edge_partition.min() >= 0
+        assert assignment.edge_partition.max() < 9
+        assert assignment.partition_sizes().sum() == stream.num_edges
+
+    def test_deterministic(self, cls, stream):
+        a = cls(8, seed=1).partition(stream).edge_partition
+        b = cls(8, seed=1).partition(stream).edge_partition
+        assert np.array_equal(a, b)
+
+    def test_single_partition(self, cls, stream):
+        assignment = cls(1).partition(stream)
+        assert assignment.replication_factor() == 1.0
+
+
+class TestGrid:
+    def test_structural_replication_cap(self, stream):
+        for k in (4, 9, 16, 25):
+            p = GridPartitioner(k)
+            assignment = p.partition(stream)
+            counts = assignment.vertex_partition_counts()
+            assert counts.max() <= p.max_replication()
+
+    def test_cap_below_k_for_square_k(self):
+        # 2*sqrt(k) - 1 < k for k >= 9
+        assert GridPartitioner(16).max_replication() < 16
+        assert GridPartitioner(25).max_replication() == 9
+
+    def test_non_square_k_works(self, stream):
+        assignment = GridPartitioner(7).partition(stream)
+        assert assignment.edge_partition.max() < 7
+
+    def test_better_than_hashing_at_large_k(self, stream):
+        rf_grid = GridPartitioner(64).partition(stream).replication_factor()
+        rf_hash = HashingPartitioner(64).partition(stream).replication_factor()
+        assert rf_grid < rf_hash
+
+    def test_roughly_balanced(self, stream):
+        assignment = GridPartitioner(16).partition(stream)
+        assert assignment.relative_balance() < 1.5
+
+
+class TestLdg:
+    def test_capacity_bounds_vertex_spread(self, stream):
+        p = LdgPartitioner(8, capacity_slack=1.1)
+        assignment = p.partition(stream)
+        # vertex placement is capacity-bounded -> edge balance is loose but
+        # partitions cannot collapse onto one node
+        sizes = assignment.partition_sizes()
+        assert np.count_nonzero(sizes) == 8
+
+    def test_quality_beats_hashing(self, stream):
+        rf_ldg = LdgPartitioner(16).partition(stream).replication_factor()
+        rf_hash = HashingPartitioner(16).partition(stream).replication_factor()
+        assert rf_ldg < rf_hash
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ValueError):
+            LdgPartitioner(4, capacity_slack=0)
+
+    def test_neighbors_colocate_on_community_graph(self, community_graph):
+        s = EdgeStream.from_graph(community_graph, order="natural")
+        assignment = LdgPartitioner(4).partition(s)
+        # within one planted block most edges should be internal
+        part_of_edge = assignment.edge_partition
+        src_block = s.src // 40
+        dst_block = s.dst // 40
+        same_block = src_block == dst_block
+        # edges within a block overwhelmingly land in that block's modal partition
+        assert assignment.replication_factor() < 3.0
+        assert same_block.any()
+
+
+class TestFennel:
+    def test_default_alpha_from_graph(self, stream):
+        p = FennelPartitioner(8)
+        assignment = p.partition(stream)
+        assert assignment.edge_partition.max() < 8
+
+    def test_explicit_alpha(self, stream):
+        looser = FennelPartitioner(8, alpha=1e-9).partition(stream)
+        tighter = FennelPartitioner(8, alpha=1e3).partition(stream)
+        # stronger balance penalty -> flatter vertex distribution -> lower
+        # max edge load
+        assert tighter.relative_balance() <= looser.relative_balance() + 1e-9
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            FennelPartitioner(4, gamma=1.0)
+
+    def test_quality_beats_hashing(self, stream):
+        rf = FennelPartitioner(16).partition(stream).replication_factor()
+        rf_hash = HashingPartitioner(16).partition(stream).replication_factor()
+        assert rf < rf_hash
+
+
+class TestRegistryIntegration:
+    def test_new_names_registered(self):
+        from repro.partitioners.registry import PARTITIONERS
+
+        for name in ("grid", "ldg", "fennel"):
+            assert name in PARTITIONERS

@@ -1,0 +1,223 @@
+"""Tests for the GAS simulator: placement, network, engine, apps."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.stream import EdgeStream
+from repro.partitioners import HashingPartitioner
+from repro.partitioners.base import PartitionAssignment
+from repro.core.partitioner import ClugpPartitioner
+from repro.system.engine import GasEngine
+from repro.system.network import NetworkModel
+from repro.system.placement import build_placement
+from repro.system.apps import (
+    connected_components,
+    label_propagation,
+    pagerank,
+    sssp,
+)
+from repro.system.apps.pagerank import PageRankProgram
+from repro.system.apps.sssp import SsspProgram
+
+networkx = pytest.importorskip("networkx")
+
+
+def tiny_assignment():
+    stream = EdgeStream([0, 1, 2, 0], [1, 2, 3, 3], num_vertices=4)
+    return PartitionAssignment(stream, [0, 0, 1, 1], num_partitions=2)
+
+
+class TestPlacement:
+    def test_masters_and_mirrors_account(self):
+        placement = build_placement(tiny_assignment())
+        assert placement.total_masters == 4  # every active vertex has one master
+        assert placement.total_mirrors == 2  # v0 and v2 span both partitions
+        assert placement.replication_factor() == pytest.approx(1.5)
+
+    def test_master_is_majority_partition(self):
+        stream = EdgeStream([0, 0, 0], [1, 2, 3], num_vertices=4)
+        a = PartitionAssignment(stream, [0, 0, 1], num_partitions=2)
+        placement = build_placement(a)
+        assert placement.master[0] == 0  # 2 of 3 edges in partition 0
+
+    def test_isolated_vertex_has_no_master(self):
+        stream = EdgeStream([0], [1], num_vertices=5)
+        a = PartitionAssignment(stream, [0], num_partitions=2)
+        placement = build_placement(a)
+        assert placement.master[4] == -1
+
+    def test_per_partition_sums(self):
+        placement = build_placement(tiny_assignment())
+        assert placement.masters_per_partition.sum() == placement.total_masters
+        assert placement.edges_per_partition.sum() == 4
+
+
+class TestNetworkModel:
+    def test_comm_seconds_components(self):
+        net = NetworkModel(
+            bandwidth_bytes_per_s=1e6,
+            rtt_seconds=0.01,
+            bytes_per_message=100,
+            seconds_per_message=0.0,
+            rounds_per_superstep=2,
+        )
+        # 1000 messages * 100B / 1e6 B/s = 0.1s + 2*0.01 RTT
+        assert net.superstep_comm_seconds(1000) == pytest.approx(0.12)
+
+    def test_message_volume(self):
+        net = NetworkModel(bytes_per_message=16)
+        assert net.message_volume_bytes(10) == 160
+
+    def test_with_rtt(self):
+        net = NetworkModel().with_rtt(0.5)
+        assert net.rtt_seconds == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            NetworkModel(rtt_seconds=-1)
+
+    def test_higher_rtt_costs_more(self):
+        low = NetworkModel().with_rtt(0.01)
+        high = NetworkModel().with_rtt(0.1)
+        assert high.superstep_comm_seconds(10) > low.superstep_comm_seconds(10)
+
+
+class TestEngine:
+    def test_run_reports_costs(self, crawl_stream):
+        a = HashingPartitioner(4).partition(crawl_stream)
+        engine = GasEngine(a)
+        _, cost = pagerank(engine, max_supersteps=5)
+        assert cost.num_supersteps == 5
+        assert cost.total_messages > 0
+        assert cost.total_seconds > 0
+        assert cost.total_bytes == cost.total_messages * engine.network.bytes_per_message
+
+    def test_more_mirrors_more_messages(self, crawl_stream):
+        bad = HashingPartitioner(8).partition(crawl_stream)
+        good = ClugpPartitioner(8).partition(crawl_stream)
+        net = NetworkModel()
+        _, cost_bad = pagerank(GasEngine(bad, network=net), max_supersteps=5)
+        _, cost_good = pagerank(GasEngine(good, network=net), max_supersteps=5)
+        assert cost_good.total_messages < cost_bad.total_messages
+
+    def test_rejects_bad_throughput(self):
+        with pytest.raises(ValueError):
+            GasEngine(tiny_assignment(), edges_per_second=0)
+
+    def test_rejects_bad_max_supersteps(self):
+        engine = GasEngine(tiny_assignment())
+        with pytest.raises(ValueError):
+            engine.run(PageRankProgram(), max_supersteps=0)
+
+
+class TestPageRank:
+    def test_matches_networkx(self, crawl_graph):
+        stream = EdgeStream.from_graph(crawl_graph)
+        a = HashingPartitioner(4).partition(stream)
+        ranks, _ = pagerank(GasEngine(a), tol=1e-12, max_supersteps=200)
+        G = networkx.MultiDiGraph()
+        G.add_nodes_from(range(crawl_graph.num_vertices))
+        G.add_edges_from(zip(crawl_graph.src.tolist(), crawl_graph.dst.tolist()))
+        expected = networkx.pagerank(G, alpha=0.85, tol=1e-12, max_iter=300)
+        vec = np.array([expected[i] for i in range(crawl_graph.num_vertices)])
+        assert np.abs(ranks - vec).max() < 1e-8
+
+    def test_ranks_sum_to_one(self):
+        engine = GasEngine(tiny_assignment())
+        ranks, _ = pagerank(engine, max_supersteps=100)
+        assert ranks.sum() == pytest.approx(1.0)
+
+    def test_partitioning_does_not_change_values(self, crawl_stream):
+        a1 = HashingPartitioner(2).partition(crawl_stream)
+        a2 = ClugpPartitioner(8).partition(crawl_stream)
+        r1, _ = pagerank(GasEngine(a1), max_supersteps=30)
+        r2, _ = pagerank(GasEngine(a2), max_supersteps=30)
+        assert np.allclose(r1, r2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageRankProgram(damping=1.5)
+        with pytest.raises(ValueError):
+            PageRankProgram(tol=0)
+
+
+class TestConnectedComponents:
+    def test_matches_union_find(self, crawl_graph):
+        stream = EdgeStream.from_graph(crawl_graph)
+        a = HashingPartitioner(4).partition(stream)
+        labels, _ = connected_components(GasEngine(a))
+        assert np.array_equal(labels, crawl_graph.weakly_connected_components())
+
+    def test_two_components(self):
+        stream = EdgeStream([0, 2], [1, 3], num_vertices=4)
+        a = PartitionAssignment(stream, [0, 1], num_partitions=2)
+        labels, cost = connected_components(GasEngine(a))
+        assert labels.tolist() == [0, 0, 2, 2]
+        assert cost.num_supersteps >= 1
+
+
+class TestSssp:
+    def test_path_distances(self):
+        stream = EdgeStream([0, 1, 2], [1, 2, 3], num_vertices=4)
+        a = PartitionAssignment(stream, [0, 0, 1], num_partitions=2)
+        dist, _ = sssp(GasEngine(a), source=0)
+        assert dist.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_unreachable_is_inf(self):
+        stream = EdgeStream([0], [1], num_vertices=3)
+        a = PartitionAssignment(stream, [0], num_partitions=1)
+        dist, _ = sssp(GasEngine(a), source=0)
+        assert np.isinf(dist[2])
+
+    def test_weighted(self):
+        stream = EdgeStream([0, 0, 1], [1, 2, 2], num_vertices=3)
+        a = PartitionAssignment(stream, [0, 0, 0], num_partitions=1)
+        dist, _ = sssp(GasEngine(a), source=0, weights=[5.0, 1.0, 1.0])
+        assert dist[2] == 1.0
+        assert dist[1] == 5.0
+
+    def test_matches_networkx(self, crawl_graph):
+        stream = EdgeStream.from_graph(crawl_graph)
+        a = HashingPartitioner(4).partition(stream)
+        source = int(np.argmax(crawl_graph.out_degrees()))
+        dist, _ = sssp(GasEngine(a), source=source)
+        G = networkx.DiGraph()
+        G.add_nodes_from(range(crawl_graph.num_vertices))
+        G.add_edges_from(zip(crawl_graph.src.tolist(), crawl_graph.dst.tolist()))
+        expected = networkx.single_source_shortest_path_length(G, source)
+        for v, d in expected.items():
+            assert dist[v] == d
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            SsspProgram(0, weights=[-1.0])
+
+    def test_rejects_bad_source(self):
+        engine = GasEngine(tiny_assignment())
+        with pytest.raises(ValueError, match="source"):
+            engine.run(SsspProgram(99))
+
+
+class TestLabelPropagation:
+    def test_communities_converge_on_planted(self, community_graph):
+        stream = EdgeStream.from_graph(community_graph)
+        a = HashingPartitioner(4).partition(stream)
+        labels, _ = label_propagation(GasEngine(a), max_iters=8)
+        # vertices in one planted block should mostly share a label
+        block = labels[:40]
+        dominant = np.bincount(block).max()
+        assert dominant > 20
+
+    def test_deterministic(self):
+        engine = GasEngine(tiny_assignment())
+        a, _ = label_propagation(engine, max_iters=3)
+        b, _ = label_propagation(engine, max_iters=3)
+        assert np.array_equal(a, b)
+
+    def test_bounded_iterations(self):
+        engine = GasEngine(tiny_assignment())
+        _, cost = label_propagation(engine, max_iters=2)
+        assert cost.num_supersteps <= 3
