@@ -69,7 +69,7 @@ from .analysis import (
     compare_partitioners,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Timer",

@@ -15,6 +15,9 @@ __all__ = [
     "splitmix64",
     "hash_to_partition",
     "hash_pair_to_partition",
+    "stable_argsort_bounded",
+    "vertex_partition_pairs",
+    "BitsetRows",
     "as_rng",
     "Timer",
     "StageTimes",
@@ -62,6 +65,70 @@ def hash_pair_to_partition(src, dst, num_partitions: int, seed: int = 0):
         key = (s * np.uint64(0x9E3779B97F4A7C15)) ^ (d + np.uint64(0x632BE59BD9B4E019))
     mixed = splitmix64(key ^ np.uint64(seed))
     return (mixed % np.uint64(num_partitions)).astype(np.int64)
+
+
+def stable_argsort_bounded(values: np.ndarray, upper: int) -> np.ndarray:
+    """Stable argsort of non-negative integers known to be ``< upper``.
+
+    numpy's ``kind="stable"`` dispatches to an O(m) radix sort only for
+    <= 16-bit dtypes; int64 keys fall back to timsort.  Bounded keys
+    (vertex ids, partition ids) can instead be decomposed into 16-bit
+    digits and LSD-radix sorted in one or two stable passes — ~5x faster
+    than the int64 path on typical chunk sizes.  Falls back to the plain
+    stable argsort when ``upper`` exceeds 2**32.
+    """
+    values = np.asarray(values)
+    if upper <= 1 << 16:
+        return np.argsort(values.astype(np.uint16), kind="stable")
+    if upper <= 1 << 32:
+        order = np.argsort((values & 0xFFFF).astype(np.uint16), kind="stable")
+        hi = (values >> np.int64(16)).astype(np.uint16)
+        return order[np.argsort(hi[order], kind="stable")]
+    return np.argsort(values, kind="stable")
+
+
+def vertex_partition_pairs(src, dst, edge_partition, num_partitions: int):
+    """Sparse (vertex, partition) incidence of a vertex-cut assignment.
+
+    Returns ``(vertices, partitions, counts)`` — one row per distinct
+    (vertex, partition) pair over both endpoints of every edge, sorted by
+    vertex then partition, with the number of incident edges backing each
+    pair.  This is the shared substrate behind replica counting, placement
+    construction, and the cut-edge metric; keeping the flat-key encoding
+    in one place keeps those paths consistent.
+    """
+    k = np.int64(num_partitions)
+    keys = np.concatenate([src * k + edge_partition, dst * k + edge_partition])
+    pairs, counts = np.unique(keys, return_counts=True)
+    return pairs // k, (pairs % k).astype(np.int64), counts
+
+
+class BitsetRows:
+    """Packed per-row bit membership: ``(rows, ceil(bits / 64))`` uint64.
+
+    The chunked HDRF/greedy paths track each vertex's partition set this
+    way — 8x smaller than a boolean table — while still exposing k-length
+    boolean masks for vectorized scoring.  ``rows`` is exposed directly so
+    hot loops can do word-level set algebra (``rows[u] & rows[v]``).
+    """
+
+    def __init__(self, num_rows: int, num_bits: int) -> None:
+        self.rows = np.zeros((num_rows, (num_bits + 63) // 64), dtype=np.uint64)
+        self._word = np.arange(num_bits, dtype=np.int64) // 64
+        self._shift = (np.arange(num_bits, dtype=np.int64) % 64).astype(np.uint64)
+        self._bit_word = [b >> 6 for b in range(num_bits)]
+        self._bit_mask = [np.uint64(1) << np.uint64(b & 63) for b in range(num_bits)]
+
+    def mask(self, words: np.ndarray) -> np.ndarray:
+        """Expand one packed row (or any word combination) to bool[bits]."""
+        return ((words[self._word] >> self._shift) & np.uint64(1)).astype(bool)
+
+    def add(self, row: int, bit: int) -> None:
+        self.rows[row, self._bit_word[bit]] |= self._bit_mask[bit]
+
+    def count(self) -> int:
+        """Total set bits across all rows."""
+        return int(np.unpackbits(self.rows.view(np.uint8)).sum())
 
 
 def as_rng(seed) -> np.random.Generator:

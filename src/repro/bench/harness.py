@@ -81,13 +81,32 @@ def run_algorithm(
     seed: int = 0,
     order_seed: int = 0,
     use_preferred_order: bool = True,
+    ingest: str = "default",
+    chunk_size: int | None = None,
     **kwargs,
 ) -> tuple[EdgePartitioner, PartitionAssignment]:
-    """Instantiate + run one registered algorithm under its best order."""
+    """Instantiate + run one registered algorithm under its best order.
+
+    ``ingest`` selects the ingestion path: ``"default"`` (the algorithm's
+    native :meth:`~EdgePartitioner.partition`), ``"chunked"`` (vectorized
+    ``(m, 2)`` chunk ingestion, optionally sized by ``chunk_size``), or
+    ``"per-edge"`` (the reference one-edge-at-a-time loop).  All three
+    produce identical assignments; they differ only in speed.
+    """
     partitioner = make_partitioner(name, num_partitions, seed=seed, **kwargs)
     if use_preferred_order and partitioner.preferred_order != "natural":
         stream = stream.reordered(partitioner.preferred_order, seed=order_seed)
-    return partitioner, partitioner.partition(stream)
+    if ingest == "default":
+        assignment = partitioner.partition(stream)
+    elif ingest == "chunked":
+        assignment = partitioner.partition_chunked(stream, chunk_size=chunk_size)
+    elif ingest == "per-edge":
+        assignment = partitioner.partition_per_edge(stream)
+    else:
+        raise ValueError(
+            f"ingest must be 'default', 'chunked', or 'per-edge', got {ingest!r}"
+        )
+    return partitioner, assignment
 
 
 def rf_vs_partitions(

@@ -50,6 +50,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="clugp", choices=sorted(PARTITIONERS), help="algorithm"
     )
     p_part.add_argument("--output", default=None, help="write edge->partition ids to this file")
+    p_part.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "ingest the stream as (N, 2) edge chunks (vectorized hot path; "
+            "multi-pass algorithms buffer the stream and ignore N)"
+        ),
+    )
 
     sub.add_parser("compare", parents=[common], help="compare all algorithms")
 
@@ -89,7 +99,10 @@ def _cmd_partition(args) -> int:
     partitioner = make_partitioner(args.algorithm, args.partitions, seed=args.seed)
     if partitioner.preferred_order != "natural":
         stream = stream.reordered(partitioner.preferred_order, seed=args.seed)
-    assignment = partitioner.partition(stream)
+    if args.chunk_size is not None:
+        assignment = partitioner.partition_chunked(stream, chunk_size=args.chunk_size)
+    else:
+        assignment = partitioner.partition(stream)
     report = quality_report(
         assignment,
         algorithm=partitioner.name,

@@ -42,9 +42,11 @@ class EdgeStream:
         Size of the vertex-id space.
 
     The stream supports numpy-style bulk access (``stream.src``), chunked
-    iteration (:meth:`batches`), and per-edge iteration (:meth:`__iter__`).
-    Algorithms that need multiple passes simply iterate again; the arrays
-    are immutable by convention.
+    iteration (:meth:`chunks` / :meth:`batches`), and per-edge iteration
+    (:meth:`__iter__`).  The chunked forms are the hot path: partitioners
+    consume ``(chunk_size, 2)`` int64 arrays so per-edge interpreter
+    overhead never touches the ingest loop.  Algorithms that need multiple
+    passes simply iterate again; the arrays are immutable by convention.
     """
 
     def __init__(self, src, dst, num_vertices: int) -> None:
@@ -118,6 +120,29 @@ class EdgeStream:
         for start in range(0, self.num_edges, batch_size):
             stop = start + batch_size
             yield self.src[start:stop], self.dst[start:stop]
+
+    def edge_array(self) -> np.ndarray:
+        """The stream as one ``(num_edges, 2)`` int64 array (a copy).
+
+        Column 0 is ``src``, column 1 is ``dst``.  Each call builds a
+        fresh array; the stream itself never holds a second copy of its
+        endpoints.
+        """
+        return np.stack((self.src, self.dst), axis=1)
+
+    def chunks(self, chunk_size: int):
+        """Yield ``(<=chunk_size, 2)`` int64 edge arrays in stream order.
+
+        This is the vectorized ingestion path: chunks are transient
+        per-slice arrays (O(chunk_size) temporary memory, nothing
+        retained), sized so downstream partitioners can process whole
+        batches with array operations instead of per-edge Python loops.
+        """
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        for start in range(0, self.num_edges, chunk_size):
+            stop = start + chunk_size
+            yield np.stack((self.src[start:stop], self.dst[start:stop]), axis=1)
 
     def to_graph(self) -> DiGraph:
         """Materialize the stream back into a :class:`DiGraph`."""

@@ -14,7 +14,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from .._util import StageTimes, Timer, check_positive_int
+from .._util import StageTimes, Timer, check_positive_int, vertex_partition_pairs
 from ..graph.stream import EdgeStream
 
 __all__ = ["PartitionAssignment", "EdgePartitioner"]
@@ -80,17 +80,13 @@ class PartitionAssignment:
         there.  Vertices with no edges have count 0.
         """
         if self._vertex_partition_counts is None:
-            n, k = self.stream.num_vertices, self.num_partitions
-            keys = np.concatenate(
-                [
-                    self.stream.src * np.int64(k) + self.edge_partition,
-                    self.stream.dst * np.int64(k) + self.edge_partition,
-                ]
+            verts, _, _ = vertex_partition_pairs(
+                self.stream.src,
+                self.stream.dst,
+                self.edge_partition,
+                self.num_partitions,
             )
-            unique_pairs = np.unique(keys)
-            counts = np.bincount(
-                (unique_pairs // np.int64(k)).astype(np.int64), minlength=n
-            )
+            counts = np.bincount(verts, minlength=self.stream.num_vertices)
             self._vertex_partition_counts = counts.astype(np.int64)
         return self._vertex_partition_counts
 
@@ -137,6 +133,18 @@ class EdgePartitioner(ABC):
     Subclasses implement :meth:`_assign` and may override
     :meth:`state_memory_bytes` (the Figure 6 accounting) and
     :attr:`passes` (1 for streaming baselines, 3 for CLUGP).
+
+    Chunked ingestion
+    -----------------
+    Single-pass partitioners additionally implement the incremental chunk
+    protocol — :meth:`begin_chunks`, :meth:`partition_chunk`,
+    :meth:`finish_chunks` — and set ``supports_chunks = True``.  The
+    protocol consumes ``(m, 2)`` int64 edge arrays from
+    :meth:`EdgeStream.chunks` so the hot path runs as numpy batch
+    operations; :meth:`partition_chunked` drives it end to end.
+    :meth:`partition_per_edge` keeps the faithful per-edge streaming loop
+    as the reference (and benchmark baseline) path; both paths must
+    produce bit-identical assignments.
     """
 
     #: human-readable algorithm name (used in reports and the registry)
@@ -147,6 +155,10 @@ class EdgePartitioner(ABC):
     #: paper evaluates every competitor under its best order — random for
     #: the one-pass heuristics/hashes, BFS/crawl order for Mint and CLUGP)
     preferred_order: str = "random"
+    #: whether the incremental chunk protocol is implemented
+    supports_chunks: bool = False
+    #: chunk size used by :meth:`partition_chunked` when none is given
+    default_chunk_size: int = 1 << 16
 
     def __init__(self, num_partitions: int, seed: int = 0) -> None:
         self.num_partitions = check_positive_int(num_partitions, "num_partitions")
@@ -162,9 +174,94 @@ class EdgePartitioner(ABC):
         times.add("total", t.elapsed)
         return PartitionAssignment(stream, edge_partition, self.num_partitions, times)
 
+    def partition_chunked(
+        self, stream: EdgeStream, chunk_size: int | None = None
+    ) -> PartitionAssignment:
+        """Partition ``stream`` by ingesting ``(m, 2)`` edge chunks.
+
+        Chunk-capable partitioners run the incremental protocol and never
+        see the stream as individual edges.  Multi-pass algorithms (which
+        buffer the whole stream regardless) fall back to :meth:`_assign`;
+        either way the assignment is bit-identical to :meth:`partition`.
+        """
+        self._last_stream = stream
+        if chunk_size is None:
+            size = self.default_chunk_size
+        else:
+            size = check_positive_int(chunk_size, "chunk_size")
+        times = StageTimes()
+        with Timer() as t:
+            if self.supports_chunks:
+                edge_partition = self._assign_chunks(stream, size)
+            else:
+                edge_partition = self._assign(stream)
+        times.add("total", t.elapsed)
+        return PartitionAssignment(stream, edge_partition, self.num_partitions, times)
+
+    def partition_per_edge(self, stream: EdgeStream) -> PartitionAssignment:
+        """Partition via the reference per-edge streaming loop.
+
+        This is the faithful one-edge-at-a-time path a non-vectorized
+        streaming system would execute; it is kept as the correctness
+        reference for the chunked path and as the benchmark baseline.
+        """
+        self._last_stream = stream
+        times = StageTimes()
+        with Timer() as t:
+            edge_partition = self._assign_per_edge(stream)
+        times.add("total", t.elapsed)
+        return PartitionAssignment(stream, edge_partition, self.num_partitions, times)
+
     @abstractmethod
     def _assign(self, stream: EdgeStream) -> np.ndarray:
         """Return the per-edge partition array for ``stream``."""
+
+    def _assign_per_edge(self, stream: EdgeStream) -> np.ndarray:
+        """Reference per-edge loop; defaults to :meth:`_assign`."""
+        return self._assign(stream)
+
+    def _assign_chunks(self, stream: EdgeStream, chunk_size: int) -> np.ndarray:
+        """Drive the incremental chunk protocol over the whole stream."""
+        self.begin_chunks(stream)
+        parts = [self.partition_chunk(chunk) for chunk in stream.chunks(chunk_size)]
+        tail = self.finish_chunks()
+        if tail.size:
+            parts.append(tail)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    # ------------------------------------------------------------------ #
+    # incremental chunk protocol (single-pass partitioners)
+    # ------------------------------------------------------------------ #
+
+    def begin_chunks(self, stream: EdgeStream) -> None:
+        """Reset incremental state before a chunked run.
+
+        Implementations may read stream *metadata* (``num_vertices``,
+        ``num_edges``) but must not look at edges ahead of the chunks
+        subsequently passed to :meth:`partition_chunk` — except explicit
+        multi-pass variants (e.g. DBH with ``exact_degrees``).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the chunk protocol"
+        )
+
+    def partition_chunk(self, edges: np.ndarray) -> np.ndarray:
+        """Ingest one ``(m, 2)`` int64 edge chunk; return assignments.
+
+        Returns the partition ids of the edges *committed* by this call —
+        normally all ``m`` of them, in order.  Batch-buffering algorithms
+        (Mint) may defer a tail of the chunk to the next call; deferred
+        edges are flushed by :meth:`finish_chunks`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the chunk protocol"
+        )
+
+    def finish_chunks(self) -> np.ndarray:
+        """Flush any edges buffered across :meth:`partition_chunk` calls."""
+        return np.empty(0, dtype=np.int64)
 
     def state_memory_bytes(self, stream: EdgeStream) -> int:
         """Analytic size of the algorithm's live state tables, in bytes.

@@ -2,12 +2,17 @@
 
 Arrange the k partitions in a (near-)square grid; each vertex hashes to a
 grid cell and its *constraint set* is that cell's row plus column.  An
-edge is placed in the least-loaded partition of the intersection of its
-endpoints' constraint sets (any row x column pair intersects, so the
-intersection is never empty).  This caps every vertex's replication at
-``2*sqrt(k) - 1`` — a hashing-family algorithm with a structural quality
-guarantee, commonly used as a PowerGraph default and a natural extra
-baseline between Hashing and DBH.
+edge may only be placed in the intersection of its endpoints' constraint
+sets (any row x column pair intersects, so the intersection is never
+empty); within the intersection the slot is picked by a second edge hash —
+PowerGraph's ``grid``/constrained-random ingress.  This caps every
+vertex's replication at ``2*sqrt(k) - 1`` — a hashing-family algorithm
+with a structural quality guarantee, commonly used as a PowerGraph default
+and a natural extra baseline between Hashing and DBH.
+
+Like plain hashing the algorithm is stateless, so the chunked path groups
+a ``(m, 2)`` edge chunk by its (cell_u, cell_v) key and resolves each
+group with one vectorized candidate lookup + hash.
 """
 
 from __future__ import annotations
@@ -16,11 +21,14 @@ import math
 
 import numpy as np
 
-from .._util import hash_to_partition
+from .._util import hash_pair_to_partition, hash_to_partition, stable_argsort_bounded
 from ..graph.stream import EdgeStream
 from .base import EdgePartitioner
 
 __all__ = ["GridPartitioner"]
+
+#: seed offset decorrelating the slot-choice hash from the cell hash
+_CHOICE_SEED = 0x5BD1E995
 
 
 class GridPartitioner(EdgePartitioner):
@@ -32,8 +40,16 @@ class GridPartitioner(EdgePartitioner):
     """
 
     name = "grid"
+    supports_chunks = True
+
+    def __init__(self, num_partitions: int, seed: int = 0) -> None:
+        super().__init__(num_partitions, seed)
+        self._intersections: dict[tuple[int, int], np.ndarray] = {}
+        self._sets: list[np.ndarray] | None = None
 
     def _constraint_sets(self) -> list[np.ndarray]:
+        if self._sets is not None:
+            return self._sets
         k = self.num_partitions
         rows = max(1, int(math.isqrt(k)))
         cols = math.ceil(k / rows)
@@ -44,34 +60,63 @@ class GridPartitioner(EdgePartitioner):
             col_members = [i * cols + c for i in range(rows + 1) if i * cols + c < k]
             members = sorted(set(row_members) | set(col_members))
             sets.append(np.asarray(members, dtype=np.int64))
+        self._sets = sets
         return sets
 
+    def _candidates(self, cu: int, cv: int) -> np.ndarray:
+        """Constraint-set intersection for a cell pair (cached)."""
+        key = (cu, cv) if cu <= cv else (cv, cu)
+        candidates = self._intersections.get(key)
+        if candidates is None:
+            constraint = self._constraint_sets()
+            candidates = np.intersect1d(
+                constraint[key[0]], constraint[key[1]], assume_unique=True
+            )
+            if candidates.size == 0:  # degenerate tiny-k layouts
+                candidates = np.asarray([cu], dtype=np.int64)
+            self._intersections[key] = candidates
+        return candidates
+
     def _assign(self, stream: EdgeStream) -> np.ndarray:
+        return self._assign_chunks(stream, max(1, stream.num_edges))
+
+    def begin_chunks(self, stream: EdgeStream) -> None:
+        pass  # stateless (the intersection cache is derived, not state)
+
+    def partition_chunk(self, edges: np.ndarray) -> np.ndarray:
         k = self.num_partitions
-        constraint = self._constraint_sets()
-        cell = hash_to_partition(
-            np.arange(stream.num_vertices, dtype=np.int64), k, seed=self.seed
-        )
-        loads = np.zeros(k, dtype=np.int64)
+        u, v = edges[:, 0], edges[:, 1]
+        cell_u = hash_to_partition(u, k, seed=self.seed)
+        cell_v = hash_to_partition(v, k, seed=self.seed)
+        key = cell_u * np.int64(k) + cell_v
+        out = np.empty(u.size, dtype=np.int64)
+        order = stable_argsort_bounded(key, k * k)
+        key_sorted = key[order]
+        starts = np.flatnonzero(np.r_[True, key_sorted[1:] != key_sorted[:-1]])
+        bounds = np.r_[starts, key_sorted.size]
+        for a, b in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            group = order[a:b]
+            cu, cv = divmod(int(key_sorted[a]), k)
+            candidates = self._candidates(cu, cv)
+            slots = hash_pair_to_partition(
+                u[group], v[group], candidates.size, seed=self.seed + _CHOICE_SEED
+            )
+            out[group] = candidates[slots]
+        return out
+
+    def _assign_per_edge(self, stream: EdgeStream) -> np.ndarray:
+        k, seed = self.num_partitions, self.seed
         out = np.empty(stream.num_edges, dtype=np.int64)
-        src_list = stream.src.tolist()
-        dst_list = stream.dst.tolist()
-        # precompute pairwise intersections lazily (k^2 pairs, cached)
-        inter_cache: dict[tuple[int, int], np.ndarray] = {}
-        for i, (u, v) in enumerate(zip(src_list, dst_list)):
-            cu, cv = int(cell[u]), int(cell[v])
-            key = (cu, cv) if cu <= cv else (cv, cu)
-            candidates = inter_cache.get(key)
-            if candidates is None:
-                candidates = np.intersect1d(
-                    constraint[key[0]], constraint[key[1]], assume_unique=True
+        for i, (u, v) in enumerate(zip(stream.src.tolist(), stream.dst.tolist())):
+            cu = int(hash_to_partition(u, k, seed=seed))
+            cv = int(hash_to_partition(v, k, seed=seed))
+            candidates = self._candidates(cu, cv)
+            slot = int(
+                hash_pair_to_partition(
+                    u, v, candidates.size, seed=seed + _CHOICE_SEED
                 )
-                if candidates.size == 0:  # degenerate tiny-k layouts
-                    candidates = np.asarray([cu], dtype=np.int64)
-                inter_cache[key] = candidates
-            target = int(candidates[np.argmin(loads[candidates])])
-            out[i] = target
-            loads[target] += 1
+            )
+            out[i] = candidates[slot]
         return out
 
     def max_replication(self) -> int:
@@ -80,6 +125,6 @@ class GridPartitioner(EdgePartitioner):
         return max(s.size for s in sets)
 
     def state_memory_bytes(self, stream: EdgeStream) -> int:
-        # vertex -> cell hash is recomputable; loads + constraint sets
+        # stateless placement; only the ~2*sqrt(k)-member constraint sets
         k = self.num_partitions
-        return 8 * k + 16 * k  # loads + ~2*sqrt(k) members per partition
+        return 16 * k

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._util import BitsetRows
 from ..graph.stream import EdgeStream
 from .base import EdgePartitioner
 
@@ -40,6 +41,7 @@ class HDRFPartitioner(EdgePartitioner):
     """
 
     name = "hdrf"
+    supports_chunks = True
 
     def __init__(
         self,
@@ -95,6 +97,55 @@ class HDRFPartitioner(EdgePartitioner):
             av.add(best_p)
         self._replica_entries = sum(len(s) for s in placed)
         return out
+
+    # ------------------------------------------------------------------ #
+    # chunk protocol
+    # ------------------------------------------------------------------ #
+    #
+    # HDRF's global-state recurrence forces a per-edge decision order, but
+    # the k-wide score scan inside it does not: the chunked path keeps the
+    # edge loop and replaces the Python scan over partitions with one
+    # vectorized score computation per edge.  Operation order is kept
+    # identical to ``_assign`` (same float adds in the same sequence, and
+    # argmax/strict-> both take the first maximum), so the two paths are
+    # bit-identical.
+
+    def begin_chunks(self, stream: EdgeStream) -> None:
+        self._loads = np.zeros(self.num_partitions, dtype=np.float64)
+        self._degree = np.zeros(stream.num_vertices, dtype=np.int64)
+        # vertex -> partition set as packed uint64 bitset rows, 8x smaller
+        # than a (n, k) boolean table
+        self._placed = BitsetRows(stream.num_vertices, self.num_partitions)
+
+    def partition_chunk(self, edges: np.ndarray) -> np.ndarray:
+        loads, degree, placed = self._loads, self._degree, self._placed
+        rows, unpack, place = placed.rows, placed.mask, placed.add
+        lam, eps = self.lambda_bal, self.epsilon
+        out = np.empty(edges.shape[0], dtype=np.int64)
+        u_list = edges[:, 0].tolist()
+        v_list = edges[:, 1].tolist()
+        for i, (u, v) in enumerate(zip(u_list, v_list)):
+            degree[u] += 1
+            degree[v] += 1
+            du, dv = int(degree[u]), int(degree[v])
+            theta_u = du / (du + dv)
+            gu = 1.0 + (1.0 - theta_u)
+            gv = 1.0 + theta_u
+            max_load = loads.max()
+            scale = lam / (eps + (max_load - loads.min()))
+            score = scale * (max_load - loads)
+            score[unpack(rows[u])] += gu
+            score[unpack(rows[v])] += gv
+            best = int(np.argmax(score))
+            out[i] = best
+            loads[best] += 1.0
+            place(u, best)
+            place(v, best)
+        return out
+
+    def finish_chunks(self) -> np.ndarray:
+        self._replica_entries = self._placed.count()
+        return np.empty(0, dtype=np.int64)
 
     def state_memory_bytes(self, stream: EdgeStream) -> int:
         """Partial-degree table + vertex->partition-set table (one 8-byte

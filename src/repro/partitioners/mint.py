@@ -18,11 +18,18 @@ Our implementation is faithful to that structure:
   (new replicas of u and v w.r.t. the *batch-local* assignment) +
   ``alpha * (committed_load[p] + pending[p]) / ideal_load``;
 * rounds repeat until no edge moves (or ``max_rounds``).
+
+The batch-local incidence table is a dense ``(batch_vertices, k)`` array
+(vertices renumbered per batch via ``np.unique``), so strategy
+initialization, incidence construction, and the per-move cost evaluation
+are all array operations.  The best-response sweep itself stays
+Gauss-Seidel — each move must observe the previous ones, which is the
+game's semantics.  Chunked ingestion buffers arriving edge chunks and
+commits a game per full batch, so batch boundaries (and therefore
+results) are independent of the chunk size.
 """
 
 from __future__ import annotations
-
-from collections import defaultdict
 
 import numpy as np
 
@@ -48,6 +55,7 @@ class MintPartitioner(EdgePartitioner):
 
     name = "mint"
     preferred_order = "natural"
+    supports_chunks = True
 
     def __init__(
         self,
@@ -67,20 +75,65 @@ class MintPartitioner(EdgePartitioner):
         self.max_rounds = int(max_rounds)
 
     def _assign(self, stream: EdgeStream) -> np.ndarray:
+        return self._assign_chunks(stream, max(1, stream.num_edges))
+
+    # ------------------------------------------------------------------ #
+    # chunk protocol
+    # ------------------------------------------------------------------ #
+
+    def begin_chunks(self, stream: EdgeStream) -> None:
         k = self.num_partitions
-        loads = np.zeros(k, dtype=np.int64)
-        out = np.empty(stream.num_edges, dtype=np.int64)
-        ideal = max(1.0, stream.num_edges / k)
-        offset = 0
-        degrees = np.zeros(stream.num_vertices, dtype=np.int64)
-        for src_chunk, dst_chunk in stream.batches(self.batch_size):
-            choice = self._play_batch(src_chunk, dst_chunk, loads, degrees, ideal)
-            out[offset : offset + choice.size] = choice
-            loads += np.bincount(choice, minlength=k)
-            np.add.at(degrees, src_chunk, 1)
-            np.add.at(degrees, dst_chunk, 1)
-            offset += choice.size
-        return out
+        self._loads = np.zeros(k, dtype=np.int64)
+        self._degrees = np.zeros(stream.num_vertices, dtype=np.int64)
+        self._ideal = max(1.0, stream.num_edges / k)
+        self._pending_edges: list[np.ndarray] = []
+        self._pending_count = 0
+
+    def partition_chunk(self, edges: np.ndarray) -> np.ndarray:
+        """Buffer the chunk and commit a game per full batch.
+
+        Edges beyond the last full batch stay buffered for the next chunk
+        (or :meth:`finish_chunks`), so assignments depend only on the
+        batch size, never on how the stream was chunked.
+        """
+        self._pending_edges.append(edges)
+        self._pending_count += edges.shape[0]
+        if self._pending_count < self.batch_size:
+            return np.empty(0, dtype=np.int64)
+        buffered = (
+            self._pending_edges[0]
+            if len(self._pending_edges) == 1
+            else np.concatenate(self._pending_edges)
+        )
+        committed = []
+        start = 0
+        while buffered.shape[0] - start >= self.batch_size:
+            committed.append(self._commit_batch(buffered[start : start + self.batch_size]))
+            start += self.batch_size
+        remainder = buffered[start:]
+        self._pending_edges = [remainder] if remainder.shape[0] else []
+        self._pending_count = remainder.shape[0]
+        return committed[0] if len(committed) == 1 else np.concatenate(committed)
+
+    def finish_chunks(self) -> np.ndarray:
+        if not self._pending_count:
+            return np.empty(0, dtype=np.int64)
+        buffered = (
+            self._pending_edges[0]
+            if len(self._pending_edges) == 1
+            else np.concatenate(self._pending_edges)
+        )
+        self._pending_edges = []
+        self._pending_count = 0
+        return self._commit_batch(buffered)
+
+    def _commit_batch(self, edges: np.ndarray) -> np.ndarray:
+        src, dst = edges[:, 0], edges[:, 1]
+        choice = self._play_batch(src, dst, self._loads, self._degrees, self._ideal)
+        self._loads += np.bincount(choice, minlength=self.num_partitions)
+        np.add.at(self._degrees, src, 1)
+        np.add.at(self._degrees, dst, 1)
+        return choice
 
     def _play_batch(
         self,
@@ -95,22 +148,24 @@ class MintPartitioner(EdgePartitioner):
         # initial strategy: hash of the (so-far) lower-degree endpoint
         anchor = np.where(degrees[src] <= degrees[dst], src, dst)
         choice = hash_to_partition(anchor, k, seed=self.seed)
-        # batch-local incidence: vertex -> per-partition counts of edges here
-        incident: dict[int, np.ndarray] = defaultdict(lambda: np.zeros(k, np.int64))
-        pending = np.zeros(k, dtype=np.int64)
-        src_l, dst_l = src.tolist(), dst.tolist()
-        for i in range(b):
-            p = int(choice[i])
-            incident[src_l[i]][p] += 1
-            incident[dst_l[i]][p] += 1
-            pending[p] += 1
+        # batch-local incidence: dense (batch vertices, k) counts of this
+        # batch's edges, with vertices renumbered into [0, |V_batch|)
+        local = np.unique(np.concatenate([src, dst]))
+        local_u = np.searchsorted(local, src)
+        local_v = np.searchsorted(local, dst)
+        incident = np.zeros((local.size, k), dtype=np.int64)
+        np.add.at(incident, (local_u, choice), 1)
+        np.add.at(incident, (local_v, choice), 1)
+        pending = np.bincount(choice, minlength=k).astype(np.int64)
+        u_list, v_list = local_u.tolist(), local_v.tolist()
         alpha = self.alpha
         for _ in range(self.max_rounds):
             moved = 0
             for i in range(b):
-                u, v = src_l[i], dst_l[i]
+                u, v = u_list[i], v_list[i]
                 cur = int(choice[i])
-                inc_u, inc_v = incident[u], incident[v]
+                inc_u = incident[u]
+                inc_v = incident[v]
                 # remove self from its own view while evaluating
                 inc_u[cur] -= 1
                 inc_v[cur] -= 1

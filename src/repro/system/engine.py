@@ -25,6 +25,7 @@ from typing import Protocol
 
 import numpy as np
 
+from .._util import stable_argsort_bounded
 from ..partitioners.base import PartitionAssignment
 from .network import NetworkModel
 from .placement import Placement, build_placement
@@ -132,8 +133,17 @@ class GasEngine:
         self.placement: Placement = build_placement(assignment)
         self.num_vertices = self.stream.num_vertices
         self.num_partitions = assignment.num_partitions
-        # per-partition edge ids for active-edge accounting
+        # CSR edge layout grouped by partition: endpoint arrays reordered
+        # so each partition's edges are one contiguous slice, making the
+        # per-superstep active-edge accounting a segmented sum instead of
+        # a per-edge scatter
         self._edge_partition = assignment.edge_partition
+        order = stable_argsort_bounded(self._edge_partition, self.num_partitions)
+        counts = np.bincount(self._edge_partition, minlength=self.num_partitions)
+        self._edge_indptr = np.zeros(self.num_partitions + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._edge_indptr[1:])
+        self._src_by_partition = self.stream.src[order]
+        self._dst_by_partition = self.stream.dst[order]
         self._sync_factor = self.placement.replica_counts - 1
         np.clip(self._sync_factor, 0, None, out=self._sync_factor)
 
@@ -141,12 +151,16 @@ class GasEngine:
     # cost primitives
     # ------------------------------------------------------------------ #
 
-    def _superstep_cost(
-        self, step: int, changed: np.ndarray, edge_active: np.ndarray
-    ) -> SuperstepCost:
+    def _superstep_cost(self, step: int, changed: np.ndarray) -> SuperstepCost:
         k = self.num_partitions
-        active_edge_counts = np.bincount(
-            self._edge_partition[edge_active], minlength=k
+        # an edge is active when either endpoint changed last superstep;
+        # evaluated in the partition-grouped CSR layout so per-partition
+        # counts are prefix-sum differences over contiguous slices
+        edge_active = changed[self._src_by_partition] | changed[self._dst_by_partition]
+        active_cumsum = np.zeros(edge_active.size + 1, dtype=np.int64)
+        np.cumsum(edge_active, out=active_cumsum[1:])
+        active_edge_counts = (
+            active_cumsum[self._edge_indptr[1:]] - active_cumsum[self._edge_indptr[:-1]]
         )
         master = self.placement.master
         active_master_counts = np.bincount(
@@ -163,7 +177,7 @@ class GasEngine:
         return SuperstepCost(
             superstep=step,
             active_vertices=int(np.count_nonzero(changed)),
-            active_edges=int(np.count_nonzero(edge_active)),
+            active_edges=int(active_edge_counts.sum()),
             messages=messages,
             bytes=self.network.message_volume_bytes(messages),
             compute_seconds=float(compute_per_partition.max(initial=0.0)),
@@ -185,8 +199,7 @@ class GasEngine:
         active = np.ones(self.num_vertices, dtype=bool)
         for step in range(max_supersteps):
             new_values, changed = program.superstep(self, values)
-            edge_active = active[self.stream.src] | active[self.stream.dst]
-            cost.add(self._superstep_cost(step, active, edge_active))
+            cost.add(self._superstep_cost(step, active))
             values = new_values
             active = changed
             if not changed.any():

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._util import vertex_partition_pairs
 from ..partitioners.base import PartitionAssignment
 
 __all__ = ["Placement", "build_placement"]
@@ -59,27 +60,34 @@ class Placement:
 
 
 def build_placement(assignment: PartitionAssignment) -> Placement:
-    """Derive the master/mirror layout from an edge partitioning."""
+    """Derive the master/mirror layout from an edge partitioning.
+
+    Works over the sparse (vertex, partition) incidence pairs — O(|E|)
+    space — rather than a dense ``n x k`` table, so placements of large
+    graphs at high partition counts stay cheap to build.  Master choice is
+    the partition with the most incident edges, ties to the lowest
+    partition id (same rule as the dense-table ``argmax``).
+    """
     stream = assignment.stream
     k = assignment.num_partitions
     n = stream.num_vertices
-    # (vertex, partition) incidence counts via a flat key bincount
-    keys = np.concatenate(
-        [
-            stream.src * np.int64(k) + assignment.edge_partition,
-            stream.dst * np.int64(k) + assignment.edge_partition,
-        ]
+    # sparse (vertex, partition) incidence counts via flat-key dedup
+    verts, parts, counts = vertex_partition_pairs(
+        stream.src, stream.dst, assignment.edge_partition, k
     )
-    pair_counts = np.bincount(keys, minlength=n * k)
-    table = pair_counts.reshape(n, k)
-    replica_counts = (table > 0).sum(axis=1).astype(np.int64)
-    master = np.where(replica_counts > 0, np.argmax(table, axis=1), -1).astype(
-        np.int64
-    )
+    replica_counts = np.bincount(verts, minlength=n).astype(np.int64)
+    # per-vertex first maximal count: sort by (vertex, -count, partition)
+    # and take each vertex segment's head
+    master = np.full(n, -1, dtype=np.int64)
+    if verts.size:
+        order = np.lexsort((parts, -counts, verts))
+        verts_sorted = verts[order]
+        heads = order[np.r_[True, verts_sorted[1:] != verts_sorted[:-1]]]
+        master[verts[heads]] = parts[heads]
     masters_per_partition = np.bincount(
         master[master >= 0], minlength=k
     ).astype(np.int64)
-    replicas_per_partition = (table > 0).sum(axis=0).astype(np.int64)
+    replicas_per_partition = np.bincount(parts, minlength=k).astype(np.int64)
     mirrors_per_partition = replicas_per_partition - masters_per_partition
     return Placement(
         num_partitions=k,

@@ -39,13 +39,34 @@ class TestMetrics:
         assert mirror_count(a) == 0
 
     def test_cut_edges_zero_when_colocated(self):
+        # 4-cycle, all edges in one partition: every endpoint is backed by
+        # its other incident edge, so no edge forced a new replica
         a = make_assignment([0, 0, 0, 0], k=2)
         assert cut_edges(a) == 0
 
-    def test_cut_edges_large_k_fallback(self):
+    def test_cut_edges_counts_forced_replicas(self):
+        # path 0-1-2 split across partitions: each edge's endpoints share
+        # nothing once the edge's own placement is discounted
         stream = EdgeStream([0, 1], [1, 2], num_vertices=3)
         a = PartitionAssignment(stream, [0, 70], num_partitions=100)
-        assert cut_edges(a) == 0  # each edge's endpoints share its partition
+        assert cut_edges(a) == 2
+
+    def test_cut_edges_backed_by_second_edge(self):
+        # parallel edges in the same partition back each other up
+        stream = EdgeStream([0, 0], [1, 1], num_vertices=2)
+        a = PartitionAssignment(stream, [1, 1], num_partitions=2)
+        assert cut_edges(a) == 0
+
+    def test_cut_edges_self_loops(self):
+        # a lone self-loop is cut; a self-loop backed by another edge is not
+        lone = PartitionAssignment(
+            EdgeStream([0], [0], num_vertices=1), [0], num_partitions=2
+        )
+        assert cut_edges(lone) == 1
+        backed = PartitionAssignment(
+            EdgeStream([0, 0], [0, 1], num_vertices=2), [0, 0], num_partitions=2
+        )
+        assert cut_edges(backed) == 1  # loop is backed; the (0,1) edge forces v1
 
     def test_quality_report_fields(self):
         a = make_assignment([0, 0, 1, 1])

@@ -1,0 +1,137 @@
+"""Chunked ingestion must be bit-identical to per-edge streaming.
+
+The chunked numpy path, the reference per-edge loop, and the default
+``partition()`` entry point are three implementations of the same
+algorithm; for every registered partitioner they must agree exactly —
+including across awkward chunk boundaries (chunk 1, primes, chunk larger
+than the stream, and chunks that straddle Mint's batch size).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+from repro.partitioners.dbh import DBHPartitioner
+from repro.partitioners.mint import MintPartitioner
+from repro.partitioners.registry import PARTITIONERS, make_partitioner
+
+ALL_NAMES = sorted(PARTITIONERS)
+#: single-pass partitioners with a native chunk protocol
+CHUNKED_NAMES = ["hashing", "dbh", "grid", "greedy", "hdrf", "mint"]
+
+
+@pytest.fixture(scope="module")
+def stream():
+    graph = web_crawl_graph(
+        500, avg_out_degree=7.0, host_size=20, intra_host_prob=0.85, seed=21
+    )
+    return EdgeStream.from_graph(graph, order="random", seed=4)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_every_registered_partitioner_chunked_equals_per_edge(name, stream):
+    reference = make_partitioner(name, 8, seed=1).partition_per_edge(stream)
+    chunked = make_partitioner(name, 8, seed=1).partition_chunked(stream, chunk_size=509)
+    default = make_partitioner(name, 8, seed=1).partition(stream)
+    assert np.array_equal(reference.edge_partition, chunked.edge_partition)
+    assert np.array_equal(reference.edge_partition, default.edge_partition)
+
+
+@pytest.mark.parametrize("name", CHUNKED_NAMES)
+@pytest.mark.parametrize("chunk_size", [1, 13, 1000, 10**9])
+def test_chunk_boundaries_do_not_change_assignments(name, chunk_size, stream):
+    reference = make_partitioner(name, 4, seed=2).partition(stream)
+    chunked = make_partitioner(name, 4, seed=2).partition_chunked(
+        stream, chunk_size=chunk_size
+    )
+    assert np.array_equal(reference.edge_partition, chunked.edge_partition)
+
+
+def test_supports_chunks_flags():
+    for name in CHUNKED_NAMES:
+        assert make_partitioner(name, 2).supports_chunks
+    assert not make_partitioner("clugp", 2).supports_chunks
+
+
+def test_mint_chunks_straddling_batches(stream):
+    # chunk size deliberately coprime with the batch size so games span
+    # chunk boundaries and the carry buffer is exercised
+    a = MintPartitioner(4, seed=0, batch_size=256).partition(stream)
+    b = MintPartitioner(4, seed=0, batch_size=256).partition_chunked(
+        stream, chunk_size=101
+    )
+    assert np.array_equal(a.edge_partition, b.edge_partition)
+
+
+def test_dbh_exact_degrees_chunked(stream):
+    a = DBHPartitioner(8, exact_degrees=True).partition(stream)
+    b = DBHPartitioner(8, exact_degrees=True).partition_chunked(stream, chunk_size=77)
+    c = DBHPartitioner(8, exact_degrees=True).partition_per_edge(stream)
+    assert np.array_equal(a.edge_partition, b.edge_partition)
+    assert np.array_equal(a.edge_partition, c.edge_partition)
+
+
+def test_chunked_empty_stream():
+    empty = EdgeStream([], [], num_vertices=0)
+    for name in CHUNKED_NAMES:
+        assignment = make_partitioner(name, 4).partition_chunked(empty)
+        assert assignment.edge_partition.size == 0
+
+
+def test_chunked_self_loops_and_parallel_edges():
+    stream = EdgeStream([0, 1, 0, 0, 1, 1], [0, 1, 1, 1, 0, 1], num_vertices=2)
+    for name in CHUNKED_NAMES:
+        a = make_partitioner(name, 3, seed=5).partition_per_edge(stream)
+        b = make_partitioner(name, 3, seed=5).partition_chunked(stream, chunk_size=2)
+        assert np.array_equal(a.edge_partition, b.edge_partition), name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=1, max_size=80
+    ),
+    chunk_size=st.integers(1, 90),
+    k=st.integers(1, 6),
+    name=st.sampled_from(CHUNKED_NAMES),
+)
+def test_property_chunked_matches_per_edge(edges, chunk_size, k, name):
+    graph = DiGraph.from_edges(edges)
+    stream = EdgeStream.from_graph(graph)
+    reference = make_partitioner(name, k, seed=3).partition_per_edge(stream)
+    chunked = make_partitioner(name, k, seed=3).partition_chunked(
+        stream, chunk_size=chunk_size
+    )
+    assert np.array_equal(reference.edge_partition, chunked.edge_partition)
+
+
+class TestStreamChunks:
+    def test_shapes_and_dtype(self):
+        stream = EdgeStream([0, 1, 2, 3, 4], [1, 2, 3, 4, 0], num_vertices=5)
+        chunks = list(stream.chunks(2))
+        assert [c.shape for c in chunks] == [(2, 2), (2, 2), (1, 2)]
+        assert all(c.dtype == np.int64 for c in chunks)
+
+    def test_chunks_cover_stream_in_order(self):
+        stream = EdgeStream([3, 1, 4], [0, 2, 2], num_vertices=5)
+        rebuilt = np.concatenate(list(stream.chunks(2)))
+        assert np.array_equal(rebuilt[:, 0], stream.src)
+        assert np.array_equal(rebuilt[:, 1], stream.dst)
+
+    def test_rejects_nonpositive_chunk_size(self):
+        stream = EdgeStream([0], [1], num_vertices=2)
+        with pytest.raises(ValueError):
+            list(stream.chunks(0))
+
+    def test_empty_stream_yields_no_chunks(self):
+        assert list(EdgeStream([], [], num_vertices=0).chunks(4)) == []
+
+    def test_edge_array_is_transient_copy(self):
+        stream = EdgeStream([0, 1], [1, 0], num_vertices=2)
+        arr = stream.edge_array()
+        assert arr.tolist() == [[0, 1], [1, 0]]
+        arr[0, 0] = 9  # mutating the copy must not touch the stream
+        assert stream.src[0] == 0

@@ -1,0 +1,108 @@
+"""Hash dtype/overflow regression tests.
+
+The chunked streaming core applies the hash functions to whole int64
+arrays while the per-edge reference path calls them one scalar at a time;
+an implicit-cast or overflow difference between the two would silently
+desynchronize the paths.  These tests pin (a) exact scalar/array parity
+across input dtypes and extreme ids, and (b) golden output values so a
+platform or numpy upgrade cannot quietly change placements.
+"""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    hash_pair_to_partition,
+    hash_to_partition,
+    splitmix64,
+    stable_argsort_bounded,
+)
+
+#: ids spanning the int64 range, including values whose uint64 products wrap
+EXTREME_IDS = [0, 1, 17, 255, 2**16, 2**31, 2**31 - 1, 2**62, 2**63 - 1]
+
+
+class TestScalarArrayParity:
+    def test_splitmix64_scalar_matches_array(self):
+        arr = np.asarray(EXTREME_IDS, dtype=np.int64)
+        array_out = splitmix64(arr)
+        for x, mixed in zip(EXTREME_IDS, array_out.tolist()):
+            assert int(splitmix64(x)) == mixed
+
+    @pytest.mark.parametrize("seed", [0, 1, 12345])
+    @pytest.mark.parametrize("k", [1, 2, 7, 64, 1013])
+    def test_hash_to_partition_scalar_matches_int64_array(self, seed, k):
+        arr = np.asarray(EXTREME_IDS, dtype=np.int64)
+        array_out = hash_to_partition(arr, k, seed=seed)
+        assert array_out.dtype == np.int64
+        for x, p in zip(EXTREME_IDS, array_out.tolist()):
+            assert int(hash_to_partition(x, k, seed=seed)) == p
+
+    @pytest.mark.parametrize("seed", [0, 9])
+    def test_hash_pair_scalar_matches_int64_array(self, seed):
+        u = np.asarray(EXTREME_IDS, dtype=np.int64)
+        v = np.asarray(EXTREME_IDS[::-1], dtype=np.int64)
+        array_out = hash_pair_to_partition(u, v, 13, seed=seed)
+        for x, y, p in zip(EXTREME_IDS, EXTREME_IDS[::-1], array_out.tolist()):
+            assert int(hash_pair_to_partition(x, y, 13, seed=seed)) == p
+
+    def test_narrow_dtypes_match_int64(self):
+        ids = [0, 1, 17, 255]
+        reference = hash_to_partition(np.asarray(ids, dtype=np.int64), 7, seed=3)
+        for dtype in (np.int32, np.uint32, np.uint64):
+            assert np.array_equal(
+                hash_to_partition(np.asarray(ids, dtype=dtype), 7, seed=3), reference
+            )
+
+    def test_uint64_top_bit_ids(self):
+        # ids above 2**63 cannot be vertex ids, but must still hash
+        # identically through the scalar and array paths
+        big = np.uint64(2**64 - 1)
+        scalar = int(hash_to_partition(big, 7, seed=0))
+        array = int(hash_to_partition(np.asarray([big], dtype=np.uint64), 7, seed=0)[0])
+        assert scalar == array
+
+    def test_results_in_range(self):
+        out = hash_pair_to_partition(
+            np.asarray(EXTREME_IDS, dtype=np.int64),
+            np.asarray(EXTREME_IDS, dtype=np.int64),
+            5,
+            seed=2,
+        )
+        assert out.min() >= 0 and out.max() < 5
+
+
+class TestGoldenValues:
+    def test_splitmix64_reference_vectors(self):
+        # splitmix64(x) is the SplitMix64 finalizer of state x; the x=0
+        # and x=1 values match the published first outputs of those seeds
+        assert int(splitmix64(0)) == 0xE220A8397B1DCDAF
+        assert int(splitmix64(1)) == 0x910A2DEC89025CC1
+        assert int(splitmix64(2)) == 0x975835DE1C9756CE
+        # pin observed values for the partition mapper so a platform or
+        # numpy change cannot silently move every edge
+        assert hash_to_partition(
+            np.asarray(EXTREME_IDS[:6], dtype=np.int64), 7, seed=3
+        ).tolist() == [2, 4, 1, 3, 4, 5]
+
+    def test_hash_pair_golden(self):
+        u = np.asarray([0, 1, 17], dtype=np.int64)
+        v = np.asarray([17, 1, 0], dtype=np.int64)
+        assert hash_pair_to_partition(u, v, 13, seed=9).tolist() == [3, 9, 1]
+
+
+class TestStableArgsortBounded:
+    @pytest.mark.parametrize("upper", [1, 100, 1 << 16, (1 << 16) + 5, 1 << 31, 1 << 40])
+    def test_matches_numpy_stable_sort(self, upper):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, upper, size=1000, dtype=np.int64)
+        expected = np.argsort(values, kind="stable")
+        assert np.array_equal(stable_argsort_bounded(values, upper), expected)
+
+    def test_stability_on_duplicates(self):
+        values = np.asarray([5, 3, 5, 3, 5, 0], dtype=np.int64)
+        order = stable_argsort_bounded(values, 6)
+        assert order.tolist() == [5, 1, 3, 0, 2, 4]
+
+    def test_empty(self):
+        assert stable_argsort_bounded(np.empty(0, dtype=np.int64), 10).size == 0
