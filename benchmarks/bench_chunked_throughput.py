@@ -21,6 +21,7 @@ Exit status is non-zero if either claim fails.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -42,6 +43,12 @@ from repro.partitioners.registry import PARTITIONERS, make_partitioner
 #: partitioners whose chunked path must clear the speedup bar
 SPEEDUP_ALGORITHMS = ("hashing", "dbh", "grid")
 SPEEDUP_FLOOR = 5.0
+
+#: multi-pass variants that must be exercised by the bit-identity sweep
+#: (their chunked path is the buffering begin/partition_chunk/finish
+#: protocol, not a trivial fallback — see benchmarks/bench_clugp_stages.py
+#: for their dedicated speedup figures)
+REQUIRED_IDENTITY = ("clugp", "clugp-s", "clugp-g")
 
 
 def build_stream(num_edges: int, seed: int = 7) -> EdgeStream:
@@ -106,6 +113,9 @@ def main(argv=None) -> int:
         action="store_true",
         help="CI smoke mode: small graph, single repeat, relaxed speedup floor",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write results as JSON"
+    )
     args = parser.parse_args(argv)
     if args.edges <= 0 or args.partitions <= 0 or args.chunk_size <= 0 or args.repeats <= 0:
         parser.error("--edges, --partitions, --chunk-size, and --repeats must be positive")
@@ -135,6 +145,9 @@ def main(argv=None) -> int:
                 f"{name}: speedup {row['speedup']:.1f}x below the {floor:.0f}x floor"
             )
 
+    missing = [name for name in REQUIRED_IDENTITY if name not in PARTITIONERS]
+    if missing:
+        failures.append(f"identity sweep is missing required variants: {missing}")
     identity_edges = min(args.edges, 20_000)
     mismatches = check_bit_identical(identity_edges, args.partitions, chunk_size=1013)
     if mismatches:
@@ -142,8 +155,26 @@ def main(argv=None) -> int:
     else:
         print(
             f"\nbit-identity: chunked == per-edge for all {len(PARTITIONERS)} "
-            f"registered partitioners ({identity_edges} edges, chunk_size=1013)"
+            f"registered partitioners incl. {'/'.join(REQUIRED_IDENTITY)} "
+            f"({identity_edges} edges, chunk_size=1013)"
         )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(
+                {
+                    "edges": stream.num_edges,
+                    "vertices": stream.num_vertices,
+                    "partitions": args.partitions,
+                    "chunk_size": args.chunk_size,
+                    "floor": floor,
+                    "speedups": rows,
+                    "identity_mismatches": mismatches,
+                },
+                fh,
+                indent=2,
+            )
+        print(f"wrote {args.json}")
 
     if failures:
         print("\nFAIL:\n  " + "\n  ".join(failures))

@@ -24,6 +24,7 @@ __all__ = [
     "DEFAULT_ALGORITHMS",
     "SweepResult",
     "run_algorithm",
+    "clugp_stage_times",
     "rf_vs_partitions",
     "runtime_vs_partitions",
     "memory_vs_partitions",
@@ -107,6 +108,107 @@ def run_algorithm(
             f"ingest must be 'default', 'chunked', or 'per-edge', got {ingest!r}"
         )
     return partitioner, assignment
+
+
+def clugp_stage_times(
+    stream: EdgeStream,
+    num_partitions: int,
+    variant: str = "clugp",
+    seed: int = 0,
+    chunk_size: int = 1 << 16,
+    repeats: int = 3,
+) -> dict[str, dict[str, float]]:
+    """Best-of-``repeats`` per-pass wall-clock of one CLUGP variant.
+
+    Returns ``{"per-edge": {...}, "chunked": {...}}`` where each inner dict
+    maps pass name (``clustering`` / ``game`` / ``transform``) and
+    ``total`` to seconds.  The per-edge side times the retained reference
+    loops (:func:`repro.core.clustering.streaming_clustering`, the
+    per-neighbor game scorer,
+    :func:`repro.core.transform.transform_partitions`); the chunked side
+    times the vectorized chunk engines (:class:`ClusteringState`, the
+    CSR/adjacency-table game, :class:`TransformState`).  Both paths are
+    asserted bit-identical before timings are returned.
+    """
+    import numpy as np
+
+    from .._util import Timer
+    from ..core.clustering import ClusteringState, streaming_clustering
+    from ..core.cluster_graph import build_cluster_graph
+    from ..core.transform import TransformState, transform_partitions
+
+    partitioner = make_partitioner(variant, num_partitions, seed=seed)
+    cfg = partitioner.config
+    vmax = cfg.resolve_vmax(stream.num_edges)
+    baseline = None
+    results: dict[str, dict[str, float]] = {}
+    for ingest in ("per-edge", "chunked"):
+        stages: dict[str, float] = {}
+        for _ in range(repeats):
+            partitioner = make_partitioner(variant, num_partitions, seed=seed)
+            if ingest == "per-edge":
+                with Timer() as t1:
+                    clustering = streaming_clustering(
+                        stream, vmax, enable_splitting=cfg.enable_splitting
+                    )
+                with Timer() as t2:
+                    cluster_graph = build_cluster_graph(stream, clustering)
+                    game = partitioner._map_clusters(cluster_graph, vectorized=False)
+                with Timer() as t3:
+                    edge_partition, _ = transform_partitions(
+                        stream,
+                        clustering,
+                        game.assignment,
+                        cfg.num_partitions,
+                        imbalance_factor=cfg.imbalance_factor,
+                    )
+            else:
+                with Timer() as t1:
+                    state = ClusteringState(
+                        stream.num_vertices,
+                        vmax,
+                        enable_splitting=cfg.enable_splitting,
+                    )
+                    for src, dst in stream.batches(chunk_size):
+                        state.ingest_pair(src, dst)
+                    clustering = state.finalize()
+                with Timer() as t2:
+                    cluster_graph = build_cluster_graph(stream, clustering)
+                    game = partitioner._map_clusters(cluster_graph)
+                with Timer() as t3:
+                    transform = TransformState(
+                        clustering,
+                        game.assignment,
+                        cfg.num_partitions,
+                        num_edges=stream.num_edges,
+                        num_vertices=stream.num_vertices,
+                        imbalance_factor=cfg.imbalance_factor,
+                    )
+                    parts = [
+                        transform.ingest_pair(src, dst)
+                        for src, dst in stream.batches(chunk_size)
+                    ]
+                    edge_partition = (
+                        np.concatenate(parts)
+                        if parts
+                        else np.empty(0, dtype=np.int64)
+                    )
+            run_stages = {
+                "clustering": t1.elapsed,
+                "game": t2.elapsed,
+                "transform": t3.elapsed,
+                "total": t1.elapsed + t2.elapsed + t3.elapsed,
+            }
+            for name, seconds in run_stages.items():
+                stages[name] = min(stages.get(name, float("inf")), seconds)
+        if baseline is None:
+            baseline = edge_partition
+        elif not np.array_equal(baseline, edge_partition):
+            raise AssertionError(
+                f"{variant}: chunked and per-edge assignments diverged"
+            )
+        results[ingest] = stages
+    return results
 
 
 def rf_vs_partitions(

@@ -6,27 +6,84 @@ clusters:
 
 * ``internal[c]`` = ``|c|`` = number of intra-cluster edges (paper notation
   ``|e(c_i, c_i)|``) — the *size* a cluster contributes to a partition;
-* ``out_edges[c]`` / ``in_edges[c]`` = weighted inter-cluster adjacency —
-  the cut volumes the game's edge-cutting term optimizes.
+* ``indptr/indices/weights`` = the weighted inter-cluster adjacency in
+  immutable CSR form (the DGL-style immutable graph index) — the cut
+  volumes the game's edge-cutting term optimizes.
 
-Building it is one O(|E|) sweep (this is the I/O part of pass 2).
+The graph is stored as three CSR triples over compact cluster ids:
+
+* out-CSR (``indptr``, ``indices``, ``weights``) — edges leaving a cluster,
+  neighbor ids sorted ascending within each row;
+* in-CSR (``in_indptr``, ``in_indices``, ``in_weights``) — edges entering;
+* a lazily-built symmetrized CSR (:meth:`sym`) with merged weights
+  ``w(c, n) = out + in``, which is what the game's best-response scoring
+  slices per cluster.
+
+Building it is one O(|E|) vectorized sweep (this is the I/O part of
+pass 2): endpoints are gathered through ``cluster_of``, inter-cluster
+pairs are radix-grouped with :func:`repro._util.stable_argsort_bounded`,
+and run-length encoding yields the CSR arrays directly — no per-edge
+Python, no dict-of-dicts.
+
+:meth:`undirected_neighbors` / :meth:`out_dict` / :meth:`in_dict` remain
+as dict-shaped compatibility shims for diagnostic code and tests; the hot
+paths (game scoring, partition-cut sums) consume the arrays.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._util import stable_argsort_bounded
 from ..graph.stream import EdgeStream
 from .clustering import ClusteringResult
 
 __all__ = ["ClusterGraph", "build_cluster_graph"]
 
 
+def _segment_sums(weights: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row integer weight sums of a CSR — exact (no float round-trip)."""
+    csum = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(weights)])
+    return csum[indptr[1:]] - csum[indptr[:-1]]
+
+
+def _radix_group(
+    keys: np.ndarray, upper: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Radix-sort bounded integer keys and run-length-encode the result.
+
+    Returns ``(order, unique_keys, starts)``: ``keys[order]`` is sorted and
+    ``starts`` marks the first position of each distinct key in it.  The
+    shared group-by step behind the CSR builders.
+    """
+    order = stable_argsort_bounded(keys, upper)
+    skeys = keys[order]
+    boundary = np.empty(skeys.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = skeys[1:] != skeys[:-1]
+    starts = np.flatnonzero(boundary)
+    return order, skeys[starts], starts
+
+
+def _csr_from_pairs(
+    rows: np.ndarray, cols: np.ndarray, weights: np.ndarray, m: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR triple from (row, col, weight) pairs already unique per (row, col).
+
+    Pairs are radix-grouped by row then column, so ``indices`` come out
+    sorted ascending within each row.
+    """
+    order = stable_argsort_bounded(rows * np.int64(m) + cols, m * m if m else 1)
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=m), out=indptr[1:])
+    return indptr, cols[order], weights[order]
+
+
 @dataclass
 class ClusterGraph:
-    """Weighted digraph over clusters.
+    """Weighted digraph over clusters, CSR-backed.
 
     Attributes
     ----------
@@ -34,34 +91,165 @@ class ClusterGraph:
         ``m``.
     internal:
         ``internal[c]`` — intra-cluster edge count ``|c|``.
-    out_edges / in_edges:
-        Per-cluster dicts ``{neighbor_cluster: weight}`` of inter-cluster
-        edges leaving / entering the cluster.
+    indptr / indices / weights:
+        Out-direction CSR: the inter-cluster edges leaving cluster ``c``
+        are ``indices[indptr[c]:indptr[c+1]]`` with integer weights
+        ``weights[indptr[c]:indptr[c+1]]``; neighbor ids sorted ascending.
+    in_indptr / in_indices / in_weights:
+        Same layout for edges entering each cluster.
     """
 
     num_clusters: int
     internal: np.ndarray
-    out_edges: list[dict[int, int]]
-    in_edges: list[dict[int, int]]
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+    in_indptr: np.ndarray
+    in_indices: np.ndarray
+    in_weights: np.ndarray
+    _sym: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _cut_degrees: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _out_rows: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dicts(
+        cls,
+        num_clusters: int,
+        internal: np.ndarray,
+        out_edges: list[dict[int, int]],
+        in_edges: list[dict[int, int]],
+    ) -> "ClusterGraph":
+        """Build from per-cluster neighbor dicts (tests, handmade fixtures)."""
+        rows, cols, ws = [], [], []
+        for c, nbrs in enumerate(out_edges):
+            for nbr, w in sorted(nbrs.items()):
+                rows.append(c)
+                cols.append(nbr)
+                ws.append(w)
+        rows_a = np.asarray(rows, dtype=np.int64)
+        cols_a = np.asarray(cols, dtype=np.int64)
+        ws_a = np.asarray(ws, dtype=np.int64)
+        indptr, indices, weights = _csr_from_pairs(rows_a, cols_a, ws_a, num_clusters)
+        in_indptr, in_indices, in_weights = _csr_from_pairs(
+            cols_a, rows_a, ws_a, num_clusters
+        )
+        graph = cls(
+            num_clusters=num_clusters,
+            internal=np.asarray(internal, dtype=np.int64),
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            in_weights=in_weights,
+        )
+        # in_edges is accepted for interface symmetry; it must be the exact
+        # transpose of out_edges (every builder in the repo guarantees this)
+        if in_edges is not None:
+            expected: list[dict[int, int]] = [dict() for _ in range(num_clusters)]
+            for c, nbrs in enumerate(out_edges):
+                for nbr, w in nbrs.items():
+                    expected[nbr][c] = w
+            if [dict(d) for d in in_edges] != expected:
+                raise ValueError("in_edges does not mirror out_edges")
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # scalar accounting
+    # ------------------------------------------------------------------ #
 
     def total_internal(self) -> int:
         """Sum of intra-cluster edges."""
         return int(self.internal.sum())
 
-    def cut_degree(self, c: int) -> int:
-        """``|e(c, V\\c)| + |e(V\\c, c)|`` — total cut weight incident to c."""
-        return sum(self.out_edges[c].values()) + sum(self.in_edges[c].values())
-
     def total_cut(self) -> int:
         """``sum_c |e(c, V\\c)|`` — total inter-cluster edges (each once)."""
-        return sum(sum(d.values()) for d in self.out_edges)
+        return int(self.weights.sum())
+
+    def cut_degrees(self) -> np.ndarray:
+        """``|e(c, V\\c)| + |e(V\\c, c)|`` per cluster, as one int64 array."""
+        if self._cut_degrees is None:
+            self._cut_degrees = _segment_sums(self.weights, self.indptr) + _segment_sums(
+                self.in_weights, self.in_indptr
+            )
+        return self._cut_degrees
+
+    def cut_degree(self, c: int) -> int:
+        """Total cut weight incident to cluster ``c``."""
+        return int(self.cut_degrees()[c])
+
+    def out_rows(self) -> np.ndarray:
+        """Row (source-cluster) id of every out-CSR entry; cached COO view."""
+        if self._out_rows is None:
+            self._out_rows = np.repeat(
+                np.arange(self.num_clusters, dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._out_rows
+
+    # ------------------------------------------------------------------ #
+    # symmetrized adjacency (the game's view)
+    # ------------------------------------------------------------------ #
+
+    def sym(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Symmetrized CSR ``(indptr, indices, weights)`` with merged
+        weights ``w(c, n) = out + in``; built lazily, cached."""
+        if self._sym is None:
+            m = self.num_clusters
+            rows = np.concatenate(
+                [
+                    np.repeat(np.arange(m, dtype=np.int64), np.diff(self.indptr)),
+                    np.repeat(np.arange(m, dtype=np.int64), np.diff(self.in_indptr)),
+                ]
+            )
+            cols = np.concatenate([self.indices, self.in_indices])
+            ws = np.concatenate([self.weights, self.in_weights])
+            if rows.size == 0:
+                self._sym = (
+                    np.zeros(m + 1, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+            else:
+                # merge duplicate (row, col) pairs with a run-length sum
+                order, ukeys, starts = _radix_group(rows * np.int64(m) + cols, m * m)
+                merged = np.add.reduceat(ws[order], starts)
+                urows = ukeys // m
+                ucols = ukeys % m
+                indptr = np.zeros(m + 1, dtype=np.int64)
+                np.cumsum(np.bincount(urows, minlength=m), out=indptr[1:])
+                self._sym = (indptr, ucols, merged.astype(np.int64))
+        return self._sym
+
+    # ------------------------------------------------------------------ #
+    # dict-shaped compatibility shims
+    # ------------------------------------------------------------------ #
+
+    def out_dict(self, c: int) -> dict[int, int]:
+        """``{neighbor: weight}`` of edges leaving cluster ``c``."""
+        s, e = int(self.indptr[c]), int(self.indptr[c + 1])
+        return dict(zip(self.indices[s:e].tolist(), self.weights[s:e].tolist()))
+
+    def in_dict(self, c: int) -> dict[int, int]:
+        """``{neighbor: weight}`` of edges entering cluster ``c``."""
+        s, e = int(self.in_indptr[c]), int(self.in_indptr[c + 1])
+        return dict(zip(self.in_indices[s:e].tolist(), self.in_weights[s:e].tolist()))
 
     def undirected_neighbors(self, c: int) -> dict[int, int]:
-        """Symmetrized neighbor weights ``w(c, n) = out + in``."""
-        merged = dict(self.out_edges[c])
-        for nbr, w in self.in_edges[c].items():
-            merged[nbr] = merged.get(nbr, 0) + w
-        return merged
+        """Symmetrized neighbor weights ``w(c, n) = out + in``.
+
+        Compatibility shim over :meth:`sym` — diagnostic code and the
+        non-vectorized game reference still consume dicts; hot paths slice
+        the CSR arrays directly.
+        """
+        indptr, indices, weights = self.sym()
+        s, e = int(indptr[c]), int(indptr[c + 1])
+        return dict(zip(indices[s:e].tolist(), weights[s:e].tolist()))
 
     def edge_count_check(self, num_stream_edges: int, num_self_loops: int = 0) -> bool:
         """Invariant: internal + inter + self-loops accounts for every edge."""
@@ -74,6 +262,7 @@ def build_cluster_graph(stream: EdgeStream, clustering: ClusteringResult) -> Clu
     """Map every stream edge through ``cluster_of`` and accumulate weights.
 
     Self-cluster edges (including vertex self-loops) count as internal.
+    One vectorized O(|E|) sweep: gather, radix group-by, run-length encode.
     """
     m = clustering.num_clusters
     cu_arr = clustering.cluster_of[stream.src]
@@ -81,24 +270,27 @@ def build_cluster_graph(stream: EdgeStream, clustering: ClusteringResult) -> Clu
     if m and ((cu_arr < 0).any() or (cv_arr < 0).any()):
         raise ValueError("stream contains vertices absent from the clustering")
     internal = np.zeros(m, dtype=np.int64)
-    out_edges: list[dict[int, int]] = [dict() for _ in range(m)]
-    in_edges: list[dict[int, int]] = [dict() for _ in range(m)]
     same = cu_arr == cv_arr
     if m:
         internal += np.bincount(cu_arr[same], minlength=m)
-    # accumulate inter-cluster weights via a unique-pair reduction
     inter_u = cu_arr[~same]
     inter_v = cv_arr[~same]
     if inter_u.size:
-        keys = inter_u * np.int64(m) + inter_v
-        uniq, counts = np.unique(keys, return_counts=True)
-        for key, w in zip(uniq.tolist(), counts.tolist()):
-            a, b = divmod(key, m)
-            out_edges[a][b] = w
-            in_edges[b][a] = w
+        _, ukeys, starts = _radix_group(inter_u * np.int64(m) + inter_v, m * m)
+        counts = np.diff(np.concatenate([starts, [inter_u.size]])).astype(np.int64)
+        rows = ukeys // m
+        cols = ukeys % m
+    else:
+        rows = cols = counts = np.empty(0, dtype=np.int64)
+    indptr, indices, weights = _csr_from_pairs(rows, cols, counts, m)
+    in_indptr, in_indices, in_weights = _csr_from_pairs(cols, rows, counts, m)
     return ClusterGraph(
         num_clusters=m,
         internal=internal,
-        out_edges=out_edges,
-        in_edges=in_edges,
+        indptr=indptr,
+        indices=indices,
+        weights=weights,
+        in_indptr=in_indptr,
+        in_indices=in_indices,
+        in_weights=in_weights,
     )

@@ -32,6 +32,29 @@ With ``enable_splitting=False`` the procedure degenerates to Holl's
 allocation-migration (the CLUGP-S ablation of Figure 9).
 
 Complexities (Section IV-A): time O(|E|), space O(|V|).
+
+Chunked ingestion
+-----------------
+:class:`ClusteringState` consumes ``(m, 2)`` int64 edge chunks (the PR-1
+chunk protocol) and produces **bit-identical** results to the per-edge
+reference loop :func:`streaming_clustering`.  The state is held in flat
+arrays (``cluster_of``, ``degree``, ``divided``, a growable ``volumes``
+buffer, parallel mirror tables); per chunk a conservative vectorized
+classifier separates edges into
+
+* a *boring* set — both endpoints already clustered and provably unable
+  to allocate, split, or migrate anywhere in the chunk — committed as two
+  ``bincount`` adds (degree and volume increments), and
+* a *suspect* set — handled by a tight list-backed scalar loop that
+  replays the exact reference semantics.
+
+Boring and suspect edges touch **disjoint** vertex/cluster state (the
+classifier's dirty-set cascade guarantees it), so their effects commute
+and the interleaving does not matter — this is the chunked-equivalence
+argument spelled out in DESIGN.md.  On streams where migrations never die
+out the classifier marks most edges suspect; the state then adaptively
+skips classification and stays in the tight scalar mode, which alone is
+several times faster than the numpy-scalar-indexing reference loop.
 """
 
 from __future__ import annotations
@@ -40,10 +63,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._util import check_positive_int
+from .._util import check_positive_int, stable_argsort_bounded
 from ..graph.stream import EdgeStream
 
-__all__ = ["ClusteringResult", "streaming_clustering"]
+__all__ = [
+    "ClusteringResult",
+    "ClusteringState",
+    "streaming_clustering",
+    "streaming_clustering_chunked",
+]
 
 
 @dataclass
@@ -86,13 +114,29 @@ class ClusteringResult:
     _members: dict[int, list[int]] | None = field(default=None, repr=False)
 
     def members(self) -> dict[int, list[int]]:
-        """Cluster id -> sorted list of master-vertex ids (computed lazily)."""
+        """Cluster id -> sorted list of master-vertex ids (computed lazily).
+
+        One argsort-based group-by: active vertices are radix-grouped by
+        cluster id (stable, so members stay in ascending vertex order) and
+        the dict-of-lists is sliced out of the single sorted array.
+        """
         if self._members is None:
-            members: dict[int, list[int]] = {}
-            for v, c in enumerate(self.cluster_of.tolist()):
-                if c >= 0:
-                    members.setdefault(c, []).append(v)
-            self._members = members
+            active = np.flatnonzero(self.cluster_of >= 0)
+            if active.size == 0:
+                self._members = {}
+            else:
+                labels = self.cluster_of[active]
+                order = stable_argsort_bounded(labels, self.num_clusters)
+                grouped = active[order]
+                counts = np.bincount(labels, minlength=self.num_clusters)
+                bounds = np.concatenate(
+                    [np.zeros(1, dtype=np.int64), np.cumsum(counts)]
+                )
+                self._members = {
+                    c: grouped[bounds[c] : bounds[c + 1]].tolist()
+                    for c in range(self.num_clusters)
+                    if counts[c]
+                }
         return self._members
 
     def cluster_sizes(self) -> np.ndarray:
@@ -107,6 +151,10 @@ def streaming_clustering(
     enable_splitting: bool = True,
 ) -> ClusteringResult:
     """Run Algorithm 2 over ``stream`` with cluster capacity ``max_volume``.
+
+    This is the faithful per-edge reference loop (the path a non-vectorized
+    streaming system executes); :class:`ClusteringState` is the chunked
+    production path and must stay bit-identical to it.
 
     Parameters
     ----------
@@ -204,10 +252,346 @@ def streaming_clustering(
     )
 
 
+class ClusteringState:
+    """Incremental pass-1 state consuming ``(m, 2)`` int64 edge chunks.
+
+    Drives Algorithm 2 over a chunked stream with results bit-identical to
+    :func:`streaming_clustering`.  See the module docstring for the
+    boring/suspect decomposition; DESIGN.md proves its equivalence.
+
+    Usage::
+
+        state = ClusteringState(stream.num_vertices, vmax)
+        for chunk in stream.chunks(chunk_size):
+            state.ingest(chunk)
+        result = state.finalize()
+    """
+
+    #: re-probe the classifier every this many chunks while in scalar mode
+    _PROBE_EVERY = 16
+    #: suspect fraction above which classification is skipped
+    _SCALAR_THRESHOLD = 0.5
+    #: cascade iterations before conservatively marking everything suspect
+    _MAX_CASCADE = 64
+
+    def __init__(
+        self, num_vertices: int, max_volume: int, enable_splitting: bool = True
+    ) -> None:
+        check_positive_int(max_volume, "max_volume")
+        self.num_vertices = int(num_vertices)
+        self.max_volume = int(max_volume)
+        self.enable_splitting = bool(enable_splitting)
+        n = self.num_vertices
+        # array-mode state (authoritative when _lists is None)
+        self._clu = np.full(n, -1, dtype=np.int64)
+        self._deg = np.zeros(n, dtype=np.int64)
+        self._div = np.zeros(n, dtype=bool)
+        self._vol = np.zeros(16, dtype=np.int64)
+        self.num_raw = 0
+        # list-mode state (authoritative when set): [clu, deg, div, vol]
+        self._lists: tuple[list, list, list, list] | None = None
+        self._mirror_v: list[int] = []
+        self._mirror_c: list[int] = []
+        self.splits = 0
+        self.migrations = 0
+        self.allocations = 0
+        self.edges_ingested = 0
+        self.edges_suspect = 0
+        self._chunk_index = 0
+        self._scalar_bias = False
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # state-mode management
+    # ------------------------------------------------------------------ #
+
+    def _to_arrays(self) -> None:
+        if self._lists is None:
+            return
+        clu_l, deg_l, div_l, vol_l = self._lists
+        self._clu = np.asarray(clu_l, dtype=np.int64)
+        self._deg = np.asarray(deg_l, dtype=np.int64)
+        self._div = np.asarray(div_l, dtype=bool)
+        self.num_raw = len(vol_l)
+        if self.num_raw > self._vol.size:
+            self._vol = np.zeros(max(self.num_raw, 2 * self._vol.size), dtype=np.int64)
+        self._vol[: self.num_raw] = vol_l
+        self._lists = None
+
+    def _to_lists(self) -> tuple[list, list, list, list]:
+        if self._lists is None:
+            self._lists = (
+                self._clu.tolist(),
+                self._deg.tolist(),
+                self._div.tolist(),
+                self._vol[: self.num_raw].tolist(),
+            )
+        return self._lists
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, edges: np.ndarray) -> None:
+        """Consume one ``(m, 2)`` edge chunk."""
+        edges = np.asarray(edges, dtype=np.int64)
+        self.ingest_pair(edges[:, 0], edges[:, 1])
+
+    def ingest_pair(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Consume one chunk given as endpoint column arrays.
+
+        Same semantics as :meth:`ingest`; whole-stream drivers use this
+        with :meth:`EdgeStream.batches` to skip the ``(m, 2)`` stack copy.
+        """
+        if self._finalized:
+            raise RuntimeError("ClusteringState already finalized")
+        m = u.shape[0]
+        if m == 0:
+            return
+        self.edges_ingested += m
+        probe = self._chunk_index % self._PROBE_EVERY == 0
+        self._chunk_index += 1
+        if self._scalar_bias and not probe:
+            # stay in tight scalar mode: no classification, no conversions
+            self._scalar_loop(u.tolist(), v.tolist())
+            self.edges_suspect += m
+            return
+        self._to_arrays()
+        suspect = self._classify(u, v)
+        ns = int(suspect.sum())
+        self.edges_suspect += ns
+        self._scalar_bias = ns > self._SCALAR_THRESHOLD * m
+        if ns < m:
+            self._commit_boring(u, v, ~suspect)
+        if ns:
+            if ns == m:
+                su = u.tolist()
+                sv = v.tolist()
+            else:
+                su = u[suspect].tolist()
+                sv = v[suspect].tolist()
+            self._scalar_loop(su, sv)
+
+    def _classify(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Conservative suspect mask: edges that *may* allocate, split, or
+        migrate given any execution of the chunk, closed over the dirty-set
+        cascade (suspect edges dirty their endpoints and clusters; edges
+        touching dirty state become suspect in turn)."""
+        n = self.num_vertices
+        nr = self.num_raw
+        vmax = self.max_volume
+        clu = self._clu
+        cu = clu[u]
+        cv = clu[v]
+        endpoints = np.concatenate([u, v])
+        alloc_s = (cu < 0) | (cv < 0)
+        both = ~alloc_s
+        suspect = alloc_s.copy()
+        if nr:
+            vol0 = self._vol[:nr]
+            ecl = np.concatenate([cu, cv])
+            seen_ecl = ecl[ecl >= 0]
+            vol_up = vol0 + np.bincount(seen_ecl, minlength=nr)
+            cu0 = np.maximum(cu, 0)
+            cv0 = np.maximum(cv, 0)
+            if self.enable_splitting:
+                cnt = np.bincount(endpoints, minlength=n)
+                deg0u = self._deg[u]
+                deg0v = self._deg[v]
+                not_loop = u != v
+                suspect |= (
+                    both
+                    & not_loop
+                    & ~self._div[u]
+                    & (deg0u + cnt[u] > 1)
+                    & (deg0u + 1 < vmax)
+                    & (vol_up[cu0] >= vmax)
+                )
+                suspect |= (
+                    both
+                    & not_loop
+                    & ~self._div[v]
+                    & (deg0v + cnt[v] > 1)
+                    & (deg0v + 1 < vmax)
+                    & (vol_up[cv0] >= vmax)
+                )
+            suspect |= both & (cu != cv) & (vol0[cu0] < vmax) & (vol0[cv0] < vmax)
+        if suspect.mean() > self._SCALAR_THRESHOLD:
+            # the cascade only grows the set and the chunk is going to the
+            # scalar path regardless — all-suspect is always conservative
+            suspect[:] = True
+            return suspect
+        # dirty-set cascade to fixpoint
+        dirty_v = np.zeros(n, dtype=bool)
+        dirty_c = np.zeros(max(nr, 1), dtype=bool)
+        cu0 = np.maximum(cu, 0)
+        cv0 = np.maximum(cv, 0)
+        for _ in range(self._MAX_CASCADE):
+            dirty_v[u[suspect]] = True
+            dirty_v[v[suspect]] = True
+            scu = cu[suspect]
+            scv = cv[suspect]
+            dirty_c[scu[scu >= 0]] = True
+            dirty_c[scv[scv >= 0]] = True
+            fresh = ~suspect & (
+                dirty_v[u]
+                | dirty_v[v]
+                | ((cu >= 0) & dirty_c[cu0])
+                | ((cv >= 0) & dirty_c[cv0])
+            )
+            if not fresh.any():
+                return suspect
+            suspect |= fresh
+            if suspect.mean() > self._SCALAR_THRESHOLD:
+                break
+        suspect[:] = True  # conservative fallback: everything scalar
+        return suspect
+
+    def _commit_boring(
+        self, u: np.ndarray, v: np.ndarray, boring: np.ndarray
+    ) -> None:
+        """Apply the boring edges' degree/volume increments in bulk.
+
+        Boring edges only increment state of *clean* vertices and clusters
+        (disjoint from everything the scalar loop touches), so a bulk
+        commit is order-independent and exact."""
+        bend = np.concatenate([u[boring], v[boring]])
+        self._deg += np.bincount(bend, minlength=self.num_vertices)
+        if self.num_raw:
+            bc = np.concatenate([self._clu[u[boring]], self._clu[v[boring]]])
+            self._vol[: self.num_raw] += np.bincount(bc, minlength=self.num_raw)
+
+    def _scalar_loop(self, su: list[int], sv: list[int]) -> None:
+        """Replay the exact reference semantics over the suspect edges.
+
+        List-backed: Python list indexing is several times faster than
+        numpy scalar indexing, which is what makes the sequential
+        allocation/splitting/migration tail cheap."""
+        clu_l, deg_l, div_l, vol_l = self._to_lists()
+        vmax = self.max_volume
+        splitting = self.enable_splitting
+        mirror_v = self._mirror_v
+        mirror_c = self._mirror_c
+        splits = self.splits
+        migrations = self.migrations
+        allocations = self.allocations
+        next_raw = len(vol_l)
+        vol_append = vol_l.append
+        # vcu/vcv shadow vol_l[cui]/vol_l[cvi] through the whole edge body so
+        # the hot path does one list read per cluster instead of four; every
+        # write keeps the shadow and the list in lockstep
+        for ui, vi in zip(su, sv):
+            cui = clu_l[ui]
+            if cui == -1:
+                cui = next_raw
+                next_raw += 1
+                vol_append(0)
+                clu_l[ui] = cui
+                allocations += 1
+            cvi = clu_l[vi]
+            if cvi == -1:
+                cvi = next_raw
+                next_raw += 1
+                vol_append(0)
+                clu_l[vi] = cvi
+                allocations += 1
+            du = deg_l[ui] + 1
+            deg_l[ui] = du
+            dv = deg_l[vi] + 1
+            deg_l[vi] = dv
+            if cui == cvi:
+                vcu = vcv = vol_l[cui] + 2
+                vol_l[cui] = vcu
+            else:
+                vcu = vol_l[cui] + 1
+                vol_l[cui] = vcu
+                vcv = vol_l[cvi] + 1
+                vol_l[cvi] = vcv
+            if splitting and ui != vi:
+                if vcu >= vmax and 1 < du < vmax and not div_l[ui]:
+                    div_l[ui] = True
+                    mirror_v.append(ui)
+                    mirror_c.append(cui)
+                    vcu -= du
+                    vol_l[cui] = vcu
+                    if cvi == cui:
+                        vcv = vcu  # u split out of the shared cluster
+                    vol_append(du)
+                    # u moves to the fresh cluster (v's cluster id is
+                    # untouched; only the old cluster's volume dropped)
+                    clu_l[ui] = cui = next_raw
+                    next_raw += 1
+                    vcu = du
+                    splits += 1
+                if vcv >= vmax and 1 < dv < vmax and not div_l[vi]:
+                    div_l[vi] = True
+                    mirror_v.append(vi)
+                    mirror_c.append(cvi)
+                    vcv -= dv
+                    vol_l[cvi] = vcv
+                    if cui == cvi:
+                        vcu = vcv  # v split out of the shared cluster
+                    vol_append(dv)
+                    clu_l[vi] = cvi = next_raw
+                    next_raw += 1
+                    vcv = dv
+                    splits += 1
+            if cui != cvi and vcu < vmax and vcv < vmax:
+                if vcu <= vcv:
+                    vol_l[cui] = vcu - du
+                    vol_l[cvi] = vcv + du
+                    clu_l[ui] = cvi
+                else:
+                    vol_l[cvi] = vcv - dv
+                    vol_l[cui] = vcu + dv
+                    clu_l[vi] = cui
+                migrations += 1
+        self.splits = splits
+        self.migrations = migrations
+        self.allocations = allocations
+
+    # ------------------------------------------------------------------ #
+
+    def finalize(self) -> ClusteringResult:
+        """Compact cluster ids and return the :class:`ClusteringResult`."""
+        self._finalized = True
+        self._to_arrays()
+        mirror_clusters: dict[int, list[int]] = {}
+        for vtx, c in zip(self._mirror_v, self._mirror_c):
+            mirror_clusters.setdefault(vtx, []).append(c)
+        return _compact(
+            self._clu,
+            self._deg,
+            self._vol[: self.num_raw],
+            self._div,
+            mirror_clusters,
+            self.max_volume,
+            self.splits,
+            self.migrations,
+            self.allocations,
+        )
+
+
+def streaming_clustering_chunked(
+    stream: EdgeStream,
+    max_volume: int,
+    enable_splitting: bool = True,
+    chunk_size: int = 1 << 16,
+) -> ClusteringResult:
+    """Run Algorithm 2 by chunked ingestion; bit-identical to
+    :func:`streaming_clustering` for every chunk size."""
+    state = ClusteringState(
+        stream.num_vertices, max_volume, enable_splitting=enable_splitting
+    )
+    for chunk in stream.chunks(chunk_size):
+        state.ingest(chunk)
+    return state.finalize()
+
+
 def _compact(
     cluster_of: np.ndarray,
     degree: np.ndarray,
-    volumes: list[int],
+    volumes,
     divided: np.ndarray,
     mirror_clusters: dict[int, list[int]],
     max_volume: int,

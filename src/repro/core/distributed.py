@@ -10,8 +10,11 @@ This module simulates that deployment: the edge stream is sharded across
 ``num_nodes`` ingest nodes (contiguous ranges — each crawler node ingests
 a contiguous part of the crawl), every node runs the full three-pass CLUGP
 pipeline on its shard *independently* (no shared tables, which is exactly
-the paper's scalability argument), and the per-shard edge assignments are
-concatenated back into a global assignment over the same ``k`` partitions.
+the paper's scalability argument) through the chunked ingestion protocol
+(``begin_chunks`` / ``partition_chunk`` / ``finish_chunks``, i.e. the node
+consumes its crawl buffer-by-buffer), and the per-shard edge assignments
+are concatenated back into a global assignment over the same ``k``
+partitions.
 
 Because nodes never exchange vertex state, a vertex appearing in several
 shards may be placed inconsistently — that is the quality price of the
@@ -79,6 +82,7 @@ def distributed_clugp(
     config: ClugpConfig | None = None,
     seed: int = 0,
     parallel_nodes: bool = True,
+    chunk_size: int | None = None,
 ) -> DistributedResult:
     """Run the Section III-C distributed deployment of CLUGP.
 
@@ -97,6 +101,11 @@ def distributed_clugp(
     parallel_nodes:
         Execute node pipelines on a thread pool (the deployment model) or
         sequentially (deterministic debugging).
+    chunk_size:
+        Each node ingests its shard through the chunked pipeline in
+        ``(chunk_size, 2)`` batches (default: the partitioner's chunk
+        size) — the node-local equivalent of a crawler handing the
+        partitioner one fetch buffer at a time.
     """
     check_positive_int(num_nodes, "num_nodes")
     if num_nodes > max(1, stream.num_edges):
@@ -115,7 +124,7 @@ def distributed_clugp(
             num_partitions, seed=seed + node, config=config
         )
         with Timer() as timer:
-            assignment = partitioner.partition(shard)
+            assignment = partitioner.partition_chunked(shard, chunk_size=chunk_size)
         report = NodeReport(
             node=node,
             num_edges=shard.num_edges,
@@ -153,6 +162,8 @@ class DistributedClugpPartitioner(EdgePartitioner):
     ----------
     num_nodes:
         Ingest nodes (default 4).
+    chunk_size:
+        Per-node chunked ingestion batch size (None = partitioner default).
     """
 
     name = "clugp-dist"
@@ -165,10 +176,12 @@ class DistributedClugpPartitioner(EdgePartitioner):
         seed: int = 0,
         num_nodes: int = 4,
         config: ClugpConfig | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         super().__init__(num_partitions, seed)
         self.num_nodes = check_positive_int(num_nodes, "num_nodes")
         self.config = config
+        self.chunk_size = chunk_size
         self.last_result: DistributedResult | None = None
 
     def partition(self, stream: EdgeStream) -> PartitionAssignment:
@@ -179,6 +192,7 @@ class DistributedClugpPartitioner(EdgePartitioner):
             num_nodes=min(self.num_nodes, max(1, stream.num_edges)),
             config=self.config,
             seed=self.seed,
+            chunk_size=self.chunk_size,
         )
         self.last_result = result
         return result.assignment

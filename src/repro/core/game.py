@@ -19,6 +19,19 @@ equilibrium quality is bounded by PoA <= k+1 / PoS <= 2 (Theorems 7-8).
 ``k^2 * sum_i |e(c_i, V\\c_i)| / (sum_i |c_i|)^2`` (the paper's
 experimental setting); Figure 11(b)'s *relative weight* knob scales the
 load term by ``w / (1 - w)`` on top.
+
+Vectorization
+-------------
+Best response evaluates all ``k`` candidate costs of a cluster as one
+vectorized delta against the CSR neighbor slice of the symmetrized
+cluster graph (:meth:`ClusterGraph.sym`).  :meth:`run` additionally keeps
+an incrementally-maintained ``(m, k)`` adjacency table — ``ADJ[c, p]`` is
+the merged weight from ``c``'s neighbors currently placed in partition
+``p`` — updated per move in O(deg(c)) array ops, so a full round costs
+O(m) small numpy calls instead of O(sum deg) Python iterations.  All
+adjacency weights are integers, so the table path, the on-demand bincount
+path, and the retained per-neighbor reference loop (``vectorized=False``)
+produce bit-identical float costs and therefore identical move sequences.
 """
 
 from __future__ import annotations
@@ -43,6 +56,10 @@ __all__ = [
 #: strict-improvement tolerance; moves must beat the current cost by this
 #: much, which (with integer cut weights) guarantees termination.
 _IMPROVEMENT_EPS = 1e-9
+
+#: cap on the m*k adjacency table kept by :meth:`run` (8 bytes per cell);
+#: larger games fall back to per-cluster on-demand bincounts.
+_ADJ_TABLE_MAX_CELLS = 1 << 26
 
 
 def compute_lambda_max(cluster_graph: ClusterGraph, num_partitions: int) -> float:
@@ -71,14 +88,16 @@ def compute_lambda_balanced(
 
 
 def _total_partition_cut(cluster_graph: ClusterGraph, assignment: np.ndarray) -> int:
-    """``sum_i |e(p_i, V\\p_i)|`` — inter-partition edges (each once)."""
-    cut = 0
-    for c, nbrs in enumerate(cluster_graph.out_edges):
-        pc = assignment[c]
-        for nbr, w in nbrs.items():
-            if assignment[nbr] != pc:
-                cut += w
-    return cut
+    """``sum_i |e(p_i, V\\p_i)|`` — inter-partition edges (each once).
+
+    One vectorized pass over the out-CSR: an inter-cluster edge is cut iff
+    its endpoint clusters sit in different partitions.
+    """
+    if cluster_graph.indices.size == 0:
+        return 0
+    rows = cluster_graph.out_rows()
+    cut_mask = assignment[rows] != assignment[cluster_graph.indices]
+    return int(cluster_graph.weights[cut_mask].sum())
 
 
 @dataclass
@@ -99,11 +118,16 @@ class ClusterPartitioningGame:
     Parameters
     ----------
     cluster_graph:
-        The weighted cluster digraph from pass 1/2.
+        The weighted cluster digraph from pass 1/2 (CSR-backed).
     num_partitions:
         ``k``.
     config:
         Game parameters (lambda mode, relative weight, round cap, seed).
+    vectorized:
+        ``True`` (default) scores best responses against CSR neighbor
+        slices; ``False`` keeps the faithful per-neighbor Python loop as
+        the reference scorer.  Both produce bit-identical assignments
+        (integer adjacency sums are exact in either order).
     """
 
     def __init__(
@@ -111,10 +135,12 @@ class ClusterPartitioningGame:
         cluster_graph: ClusterGraph,
         num_partitions: int,
         config: GameConfig | None = None,
+        vectorized: bool = True,
     ) -> None:
         self.graph = cluster_graph
         self.k = check_positive_int(num_partitions, "num_partitions")
         self.config = config or GameConfig()
+        self.vectorized = bool(vectorized)
         rng = as_rng(self.config.seed)
         m = cluster_graph.num_clusters
         # Algorithm 3 line 2: random initial assignment
@@ -126,13 +152,22 @@ class ClusterPartitioningGame:
         self.lambda_value = self._resolve_lambda()
         w = self.config.relative_weight
         self._lambda_eff = self.lambda_value * (w / (1.0 - w))
-        # symmetrized sparse neighbor lists, precomputed once
-        self._nbrs: list[list[tuple[int, int]]] = [
-            list(cluster_graph.undirected_neighbors(c).items()) for c in range(m)
-        ]
-        self._cut_degree = np.asarray(
-            [cluster_graph.cut_degree(c) for c in range(m)], dtype=np.float64
-        )
+        # symmetrized CSR neighbor view (weights as float64 so the per-call
+        # bincount needs no cast; values are integers, hence exact)
+        self._sym_indptr, self._sym_indices, sym_w = cluster_graph.sym()
+        self._sym_weights = sym_w.astype(np.float64)
+        self._cut_degree = cluster_graph.cut_degrees().astype(np.float64)
+        self._nbrs_cache: list[list[tuple[int, int]]] | None = None
+
+    @property
+    def _nbrs(self) -> list[list[tuple[int, int]]]:
+        """Per-cluster ``(neighbor, weight)`` lists — reference scorer view."""
+        if self._nbrs_cache is None:
+            self._nbrs_cache = [
+                list(self.graph.undirected_neighbors(c).items())
+                for c in range(self.graph.num_clusters)
+            ]
+        return self._nbrs_cache
 
     # ------------------------------------------------------------------ #
     # cost model
@@ -146,6 +181,22 @@ class ClusterPartitioningGame:
             return compute_lambda_balanced(self.graph, self.k, self.assignment)
         return float(self.config.lambda_value)
 
+    def _adjacency_row(self, c: int) -> np.ndarray:
+        """Merged neighbor weight of ``c`` into each partition (float64)."""
+        if self.vectorized:
+            s, e = int(self._sym_indptr[c]), int(self._sym_indptr[c + 1])
+            if s == e:
+                return np.zeros(self.k, dtype=np.float64)
+            return np.bincount(
+                self.assignment[self._sym_indices[s:e]],
+                weights=self._sym_weights[s:e],
+                minlength=self.k,
+            )
+        adj = np.zeros(self.k, dtype=np.float64)
+        for nbr, w in self._nbrs[c]:
+            adj[self.assignment[nbr]] += w
+        return adj
+
     def cost_vector(self, c: int) -> np.ndarray:
         """Individual cost of cluster ``c`` for every partition choice.
 
@@ -158,11 +209,7 @@ class ClusterPartitioningGame:
         loads_wo = self.loads.copy()
         loads_wo[cur] -= size
         load_cost = (self._lambda_eff / self.k) * size * (loads_wo + size)
-        # adjacency weight into each partition
-        adj = np.zeros(self.k, dtype=np.float64)
-        for nbr, w in self._nbrs[c]:
-            adj[self.assignment[nbr]] += w
-        cut_cost = 0.5 * (self._cut_degree[c] - adj)
+        cut_cost = 0.5 * (self._cut_degree[c] - self._adjacency_row(c))
         return load_cost + cut_cost
 
     def individual_cost(self, c: int) -> float:
@@ -207,18 +254,90 @@ class ClusterPartitioningGame:
             return True
         return False
 
-    def run(self) -> GameResult:
-        """Iterate best responses until Nash equilibrium (Algorithm 3)."""
+    def _build_adj_table(self) -> np.ndarray | None:
+        """The ``(m, k)`` merged-adjacency table, or None when too large."""
         m = self.graph.num_clusters
+        if not self.vectorized or m * self.k > _ADJ_TABLE_MAX_CELLS:
+            return None
+        adj = np.zeros((m, self.k), dtype=np.float64)
+        if self._sym_indices.size:
+            rows = np.repeat(
+                np.arange(m, dtype=np.int64), np.diff(self._sym_indptr)
+            )
+            np.add.at(
+                adj, (rows, self.assignment[self._sym_indices]), self._sym_weights
+            )
+        return adj
+
+    def run(self) -> GameResult:
+        """Iterate best responses until Nash equilibrium (Algorithm 3).
+
+        Uses the incremental adjacency table when it fits: each move
+        updates only the moved cluster's neighbor rows, so rounds are O(m)
+        vectorized cost evaluations plus O(moved degree) table updates.
+        """
+        m = self.graph.num_clusters
+        adj = self._build_adj_table()
+        internal = self.graph.internal
+        cut_degree = self._cut_degree
+        lam_over_k = self._lambda_eff / self.k
+        indptr, indices = self._sym_indptr, self._sym_indices
+        sym_w = self._sym_weights
         trace = [self.potential()]
         total_moves = 0
         rounds = 0
         converged = False
+        internal_l = internal.tolist()
+        loads = self.loads
+        assignment = self.assignment
+        # a cluster re-evaluated with zero moves anywhere since its last
+        # evaluation sees the exact same loads and neighbor assignment, so
+        # it provably repeats its no-move decision — skip it.  This makes
+        # sparse late rounds (and the final all-quiet round) nearly free
+        # without changing the move sequence.
+        move_counter = 0
+        last_eval = [-1] * m
         for rounds in range(1, self.config.max_rounds + 1):
             moves = 0
             for c in range(m):
-                if self.best_response(c):
+                if last_eval[c] == move_counter:
+                    continue
+                last_eval[c] = move_counter
+                if adj is None:
+                    if self.best_response(c):
+                        moves += 1
+                        move_counter += 1
+                        # a mover must be re-evaluated: its post-move cost
+                        # involves a float load roundtrip, so the no-move
+                        # proof does not apply to it
+                        last_eval[c] = -1
+                    continue
+                size = internal_l[c] + 0.0
+                cur = int(assignment[c])
+                # exact in-place rewrite of cost_vector(): scalar factors
+                # and elementwise ops match the reference expression
+                # bit-for-bit (IEEE multiplication is commutative and the
+                # addition order is unchanged)
+                costs = loads + size
+                costs[cur] = (loads[cur] - size) + size
+                costs *= lam_over_k * size
+                cut = cut_degree[c] - adj[c]
+                cut *= 0.5
+                costs += cut
+                best = int(costs.argmin())
+                if costs[best] < costs[cur] - _IMPROVEMENT_EPS:
+                    loads[cur] -= size
+                    loads[best] += size
+                    assignment[c] = best
+                    s, e = int(indptr[c]), int(indptr[c + 1])
+                    if s != e:
+                        nbrs = indices[s:e]
+                        w = sym_w[s:e]
+                        adj[nbrs, cur] -= w
+                        adj[nbrs, best] += w
                     moves += 1
+                    move_counter += 1
+                    last_eval[c] = -1  # movers are always re-evaluated
             total_moves += moves
             trace.append(self.potential())
             if moves == 0:

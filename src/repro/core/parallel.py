@@ -37,11 +37,17 @@ def _batch_best_response(
     Returns proposed moves ``(cluster, new_partition)``.  Within the batch
     the snapshot is updated locally so the thread's own decisions compose
     (this mirrors the paper's per-thread task that finds the equilibrium of
-    its batch).
+    its batch).  Each cluster's adjacency is one bincount over its CSR
+    neighbor slice of the symmetrized cluster graph — the batch is a view
+    ``[indptr[batch.start] : indptr[batch.stop]]`` of the shared arrays,
+    so threads do numpy work without copying or locking the graph.
     """
     k = game.k
     lam_eff = game._lambda_eff
     internal = game.graph.internal
+    indptr = game._sym_indptr
+    indices = game._sym_indices
+    weights = game._sym_weights
     moves: list[tuple[int, int]] = []
     local_assign = assignment_snapshot
     local_loads = loads_snapshot
@@ -51,9 +57,13 @@ def _batch_best_response(
         loads_wo = local_loads.copy()
         loads_wo[cur] -= size
         load_cost = (lam_eff / k) * size * (loads_wo + size)
-        adj = np.zeros(k, dtype=np.float64)
-        for nbr, w in game._nbrs[c]:
-            adj[local_assign[nbr]] += w
+        s, e = int(indptr[c]), int(indptr[c + 1])
+        if s == e:
+            adj = np.zeros(k, dtype=np.float64)
+        else:
+            adj = np.bincount(
+                local_assign[indices[s:e]], weights=weights[s:e], minlength=k
+            )
         cut_cost = 0.5 * (game._cut_degree[c] - adj)
         costs = load_cost + cut_cost
         best = int(np.argmin(costs))

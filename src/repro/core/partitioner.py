@@ -2,11 +2,15 @@
 
 Three restreaming passes:
 
-1. :func:`~repro.core.clustering.streaming_clustering` — vertex clusters;
+1. :class:`~repro.core.clustering.ClusteringState` (chunk-by-chunk) /
+   :func:`~repro.core.clustering.streaming_clustering` (per-edge
+   reference) — vertex clusters;
 2. :func:`~repro.core.cluster_graph.build_cluster_graph` +
    :class:`~repro.core.game.ClusterPartitioningGame` (or the batched
    :func:`~repro.core.parallel.parallel_game`) — cluster -> partition map;
-3. :func:`~repro.core.transform.transform_partitions` — edge -> partition.
+3. :class:`~repro.core.transform.TransformState` (chunk-by-chunk) /
+   :func:`~repro.core.transform.transform_partitions` (per-edge
+   reference) — edge -> partition.
 
 Ablations:
 
@@ -14,6 +18,19 @@ Ablations:
   operation — pass 1 degenerates to Hollocou's allocation-migration;
 * :class:`ClugpGreedyPartitioner` ("CLUGP-G") replaces the game with the
   greedy rule "biggest cluster into currently smallest partition".
+
+Ingestion paths
+---------------
+All three variants implement the PR-1 chunk protocol
+(``begin_chunks`` / ``partition_chunk`` / ``finish_chunks``): pass 1
+consumes each ``(m, 2)`` chunk incrementally while the chunk is also
+buffered (a multi-pass algorithm re-reads the stream; buffering is the
+in-memory stand-in for the re-scan, so the protocol defers every edge and
+flushes the full assignment from ``finish_chunks`` after passes 2-3 run).
+:meth:`partition` drives the same vectorized engines over the whole
+stream; :meth:`partition_per_edge` retains the faithful per-edge loops
+(and the per-neighbor game scorer) as the correctness reference.  All
+three paths produce bit-identical assignments.
 """
 
 from __future__ import annotations
@@ -24,11 +41,11 @@ from .._util import StageTimes, Timer
 from ..config import ClugpConfig, GameConfig
 from ..graph.stream import EdgeStream
 from ..partitioners.base import EdgePartitioner, PartitionAssignment
-from .clustering import ClusteringResult, streaming_clustering
+from .clustering import ClusteringResult, ClusteringState, streaming_clustering
 from .cluster_graph import ClusterGraph, build_cluster_graph
 from .game import ClusterPartitioningGame, GameResult
 from .parallel import parallel_game
-from .transform import TransformStats, transform_partitions
+from .transform import TransformState, TransformStats, transform_partitions
 
 __all__ = [
     "ClugpPartitioner",
@@ -69,15 +86,17 @@ class ClugpPartitioner(EdgePartitioner):
         (``imbalance_factor``, ``max_cluster_volume``, ``parallel_game``,
         ``game``) override single fields.
 
-    After :meth:`partition` the intermediate products of the three passes
-    are exposed as :attr:`last_clustering`, :attr:`last_cluster_graph`,
-    :attr:`last_game_result` and :attr:`last_transform_stats` for
-    inspection, testing, and the ablation benchmarks.
+    After :meth:`partition` (or a chunked run) the intermediate products
+    of the three passes are exposed as :attr:`last_clustering`,
+    :attr:`last_cluster_graph`, :attr:`last_game_result` and
+    :attr:`last_transform_stats` for inspection, testing, and the
+    ablation benchmarks.
     """
 
     name = "clugp"
     passes = 3
     preferred_order = "natural"
+    supports_chunks = True
     _enable_splitting = True
     _use_game = True
 
@@ -115,7 +134,13 @@ class ClugpPartitioner(EdgePartitioner):
         self.last_cluster_graph: ClusterGraph | None = None
         self.last_game_result: GameResult | None = None
         self.last_transform_stats: TransformStats | None = None
+        # chunk-protocol state
+        self._chunk_state: ClusteringState | None = None
+        self._chunk_buffer: list[np.ndarray] | None = None
+        self._chunk_stream_meta: tuple[int, int] | None = None
 
+    # ------------------------------------------------------------------ #
+    # whole-stream ingestion (vectorized engines)
     # ------------------------------------------------------------------ #
 
     def partition(self, stream: EdgeStream) -> PartitionAssignment:
@@ -126,9 +151,12 @@ class ClugpPartitioner(EdgePartitioner):
         vmax = cfg.resolve_vmax(stream.num_edges)
 
         with Timer() as t1:
-            clustering = streaming_clustering(
-                stream, vmax, enable_splitting=cfg.enable_splitting
+            state = ClusteringState(
+                stream.num_vertices, vmax, enable_splitting=cfg.enable_splitting
             )
+            for src, dst in stream.batches(max(1, self.default_chunk_size)):
+                state.ingest_pair(src, dst)
+            clustering = state.finalize()
         times.add("clustering", t1.elapsed)
 
         with Timer() as t2:
@@ -137,27 +165,133 @@ class ClugpPartitioner(EdgePartitioner):
         times.add("game", t2.elapsed)
 
         with Timer() as t3:
-            edge_partition, stats = transform_partitions(
-                stream,
+            transform = TransformState(
                 clustering,
                 game_result.assignment,
                 cfg.num_partitions,
+                num_edges=stream.num_edges,
+                num_vertices=stream.num_vertices,
                 imbalance_factor=cfg.imbalance_factor,
             )
+            parts = [
+                transform.ingest_pair(src, dst)
+                for src, dst in stream.batches(max(1, self.default_chunk_size))
+            ]
+            if not parts:
+                edge_partition = np.empty(0, dtype=np.int64)
+            else:
+                edge_partition = (
+                    parts[0] if len(parts) == 1 else np.concatenate(parts)
+                )
         times.add("transform", t3.elapsed)
 
         self.last_clustering = clustering
         self.last_cluster_graph = cluster_graph
         self.last_game_result = game_result
-        self.last_transform_stats = stats
+        self.last_transform_stats = transform.stats
         return PartitionAssignment(stream, edge_partition, cfg.num_partitions, times)
 
-    def _assign(self, stream: EdgeStream) -> np.ndarray:  # pragma: no cover
+    def _assign(self, stream: EdgeStream) -> np.ndarray:
         # partition() is overridden wholesale; _assign exists to satisfy the
         # abstract interface for callers that bypass partition().
         return self.partition(stream).edge_partition
 
-    def _map_clusters(self, cluster_graph: ClusterGraph) -> GameResult:
+    # ------------------------------------------------------------------ #
+    # per-edge reference path
+    # ------------------------------------------------------------------ #
+
+    def _assign_per_edge(self, stream: EdgeStream) -> np.ndarray:
+        """The faithful per-edge pipeline: reference loops for passes 1
+        and 3 and the per-neighbor game scorer for pass 2."""
+        cfg = self.config
+        vmax = cfg.resolve_vmax(stream.num_edges)
+        clustering = streaming_clustering(
+            stream, vmax, enable_splitting=cfg.enable_splitting
+        )
+        cluster_graph = build_cluster_graph(stream, clustering)
+        game_result = self._map_clusters(cluster_graph, vectorized=False)
+        edge_partition, stats = transform_partitions(
+            stream,
+            clustering,
+            game_result.assignment,
+            cfg.num_partitions,
+            imbalance_factor=cfg.imbalance_factor,
+        )
+        self.last_clustering = clustering
+        self.last_cluster_graph = cluster_graph
+        self.last_game_result = game_result
+        self.last_transform_stats = stats
+        return edge_partition
+
+    # ------------------------------------------------------------------ #
+    # incremental chunk protocol
+    # ------------------------------------------------------------------ #
+
+    def begin_chunks(self, stream: EdgeStream) -> None:
+        """Reset pass-1 state; reads only stream metadata (``V_max``
+        resolves against ``num_edges``, as Section VI-A prescribes)."""
+        cfg = self.config
+        vmax = cfg.resolve_vmax(stream.num_edges)
+        self._chunk_state = ClusteringState(
+            stream.num_vertices, vmax, enable_splitting=cfg.enable_splitting
+        )
+        self._chunk_buffer = []
+        self._chunk_stream_meta = (stream.num_vertices, stream.num_edges)
+
+    def partition_chunk(self, edges: np.ndarray) -> np.ndarray:
+        """Feed pass 1 and buffer the chunk for the later passes.
+
+        CLUGP is a three-pass algorithm, so no edge can be committed until
+        the clustering and the game have seen the whole stream — every
+        edge is deferred and flushed by :meth:`finish_chunks`."""
+        if self._chunk_state is None or self._chunk_buffer is None:
+            raise RuntimeError("begin_chunks must be called first")
+        edges = np.asarray(edges, dtype=np.int64)
+        self._chunk_state.ingest(edges)
+        self._chunk_buffer.append(edges)
+        return np.empty(0, dtype=np.int64)
+
+    def finish_chunks(self) -> np.ndarray:
+        """Run passes 2-3 over the buffered chunks; returns every edge's
+        partition in stream order."""
+        if self._chunk_state is None or self._chunk_buffer is None:
+            raise RuntimeError("begin_chunks must be called first")
+        num_vertices, _ = self._chunk_stream_meta
+        cfg = self.config
+        clustering = self._chunk_state.finalize()
+        buffered = EdgeStream.from_chunks(self._chunk_buffer, num_vertices)
+        # the concatenated stream supersedes the per-chunk copies; drop the
+        # buffer now so passes 2-3 run against a single copy of the edges
+        self._chunk_buffer = None
+        cluster_graph = build_cluster_graph(buffered, clustering)
+        game_result = self._map_clusters(cluster_graph)
+        transform = TransformState(
+            clustering,
+            game_result.assignment,
+            cfg.num_partitions,
+            num_edges=buffered.num_edges,
+            num_vertices=num_vertices,
+            imbalance_factor=cfg.imbalance_factor,
+        )
+        parts = [
+            transform.ingest_pair(src, dst)
+            for src, dst in buffered.batches(max(1, self.default_chunk_size))
+        ]
+        self.last_clustering = clustering
+        self.last_cluster_graph = cluster_graph
+        self.last_game_result = game_result
+        self.last_transform_stats = transform.stats
+        self._chunk_state = None
+        self._chunk_stream_meta = None
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    # ------------------------------------------------------------------ #
+
+    def _map_clusters(
+        self, cluster_graph: ClusterGraph, vectorized: bool = True
+    ) -> GameResult:
         cfg = self.config
         if not cfg.use_game:
             assignment = greedy_cluster_assignment(cluster_graph, cfg.num_partitions)
@@ -170,7 +304,9 @@ class ClugpPartitioner(EdgePartitioner):
             )
         if cfg.parallel_game:
             return parallel_game(cluster_graph, cfg.num_partitions, cfg.game)
-        game = ClusterPartitioningGame(cluster_graph, cfg.num_partitions, cfg.game)
+        game = ClusterPartitioningGame(
+            cluster_graph, cfg.num_partitions, cfg.game, vectorized=vectorized
+        )
         return game.run()
 
     def state_memory_bytes(self, stream: EdgeStream) -> int:

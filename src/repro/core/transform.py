@@ -18,6 +18,20 @@ and re-streams the edges to produce the final edge->partition assignment:
 
 Space O(k) beyond the pass-1 tables, time O(|E|) (the spill scan is
 amortized O(k) total because partitions only fill up).
+
+Chunked ingestion
+-----------------
+:class:`TransformState` consumes ``(m, 2)`` edge chunks and is
+bit-identical to :func:`transform_partitions`.  The rule table
+(agreement / mirror / degree) is evaluated for a whole chunk as boolean
+masks over the gathered vertex->partition join; the only sequential part
+of Algorithm 1 is the hard load cap.  Loads only ever grow, so the chunk
+is committed vectorized up to the first position where any partition
+*could* reach ``L_max`` (computed from per-partition running counts of the
+tentative targets), and the exact reference loop — including the O(k)
+rotating spill pointer — finishes the remainder.  Before the cap bites
+(the overwhelming majority of the stream for ``tau >= 1``) every chunk
+takes the all-vectorized path.
 """
 
 from __future__ import annotations
@@ -29,7 +43,12 @@ import numpy as np
 from ..graph.stream import EdgeStream
 from .clustering import ClusteringResult
 
-__all__ = ["transform_partitions", "TransformStats"]
+__all__ = [
+    "transform_partitions",
+    "transform_partitions_chunked",
+    "TransformState",
+    "TransformStats",
+]
 
 
 class TransformStats:
@@ -54,6 +73,39 @@ class TransformStats:
         )
 
 
+def _check_inputs(
+    clustering: ClusteringResult,
+    cluster_partition: np.ndarray,
+    num_partitions: int,
+    imbalance_factor: float,
+) -> np.ndarray:
+    if imbalance_factor < 1.0:
+        raise ValueError(f"imbalance_factor must be >= 1, got {imbalance_factor}")
+    cluster_partition = np.asarray(cluster_partition, dtype=np.int64)
+    if cluster_partition.shape != (clustering.num_clusters,):
+        raise ValueError(
+            f"cluster_partition must map all {clustering.num_clusters} clusters"
+        )
+    if cluster_partition.size and (
+        cluster_partition.min() < 0 or cluster_partition.max() >= num_partitions
+    ):
+        raise ValueError("cluster_partition ids out of range")
+    return cluster_partition
+
+
+def _vertex_partition_join(
+    clustering: ClusteringResult, cluster_partition: np.ndarray, num_vertices: int
+) -> np.ndarray:
+    """vertex -> partition via the join (vectorized once; O(|V|) memory is
+    already required by pass 1's tables, so this does not change the
+    asymptotic footprint; the paper's sequential two-table query is an
+    equivalent O(1)-per-edge lookup)."""
+    vertex_partition = np.full(num_vertices, -1, dtype=np.int64)
+    seen = clustering.cluster_of >= 0
+    vertex_partition[seen] = cluster_partition[clustering.cluster_of[seen]]
+    return vertex_partition
+
+
 def transform_partitions(
     stream: EdgeStream,
     clustering: ClusteringResult,
@@ -61,7 +113,10 @@ def transform_partitions(
     num_partitions: int,
     imbalance_factor: float = 1.0,
 ) -> tuple[np.ndarray, TransformStats]:
-    """Run Algorithm 1; returns ``(edge_partition, stats)``.
+    """Run Algorithm 1 per edge; returns ``(edge_partition, stats)``.
+
+    This is the faithful per-edge reference loop; :class:`TransformState`
+    is the chunked production path and must stay bit-identical to it.
 
     Parameters
     ----------
@@ -77,27 +132,15 @@ def transform_partitions(
         ``tau >= 1``; the hard cap is ``L_max = ceil(tau * |E| / k)``.
     """
     k = int(num_partitions)
-    if imbalance_factor < 1.0:
-        raise ValueError(f"imbalance_factor must be >= 1, got {imbalance_factor}")
-    cluster_partition = np.asarray(cluster_partition, dtype=np.int64)
-    if cluster_partition.shape != (clustering.num_clusters,):
-        raise ValueError(
-            f"cluster_partition must map all {clustering.num_clusters} clusters"
-        )
-    if cluster_partition.size and (
-        cluster_partition.min() < 0 or cluster_partition.max() >= k
-    ):
-        raise ValueError("cluster_partition ids out of range")
+    cluster_partition = _check_inputs(
+        clustering, cluster_partition, k, imbalance_factor
+    )
     num_edges = stream.num_edges
     load_cap = max(1, math.ceil(imbalance_factor * num_edges / k))
     stats = TransformStats(load_cap)
-    # vertex -> partition via the join (vectorized once; O(|V|) memory is
-    # already required by pass 1's tables, so this does not change the
-    # asymptotic footprint; the paper's sequential two-table query is an
-    # equivalent O(1)-per-edge lookup).
-    vertex_partition = np.full(stream.num_vertices, -1, dtype=np.int64)
-    seen = clustering.cluster_of >= 0
-    vertex_partition[seen] = cluster_partition[clustering.cluster_of[seen]]
+    vertex_partition = _vertex_partition_join(
+        clustering, cluster_partition, stream.num_vertices
+    )
     divided = clustering.divided
     degree = clustering.degree
 
@@ -140,3 +183,181 @@ def transform_partitions(
         out[i] = target
         loads[target] += 1
     return out, stats
+
+
+class TransformState:
+    """Incremental pass-3 state consuming ``(m, 2)`` edge chunks.
+
+    Bit-identical to :func:`transform_partitions`; see the module
+    docstring for the prefix-commit scheme.
+
+    Usage::
+
+        state = TransformState(clustering, cluster_partition, k,
+                               num_edges=stream.num_edges, num_vertices=n)
+        parts = [state.ingest(chunk) for chunk in stream.chunks(size)]
+    """
+
+    def __init__(
+        self,
+        clustering: ClusteringResult,
+        cluster_partition: np.ndarray,
+        num_partitions: int,
+        num_edges: int,
+        num_vertices: int,
+        imbalance_factor: float = 1.0,
+    ) -> None:
+        k = int(num_partitions)
+        cluster_partition = _check_inputs(
+            clustering, cluster_partition, k, imbalance_factor
+        )
+        self.k = k
+        self.load_cap = max(1, math.ceil(imbalance_factor * num_edges / k))
+        self.stats = TransformStats(self.load_cap)
+        self.loads = np.zeros(k, dtype=np.int64)
+        self.spill_ptr = 0
+        self._vp = _vertex_partition_join(clustering, cluster_partition, num_vertices)
+        self._div = clustering.divided
+        self._deg = clustering.degree
+
+    def ingest(self, edges: np.ndarray) -> np.ndarray:
+        """Assign one chunk of edges; returns their partition ids."""
+        edges = np.asarray(edges, dtype=np.int64)
+        return self.ingest_pair(edges[:, 0], edges[:, 1])
+
+    def ingest_pair(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Assign one chunk given as endpoint column arrays.
+
+        Same semantics as :meth:`ingest`; whole-stream drivers use this
+        with :meth:`EdgeStream.batches` to skip the ``(m, 2)`` stack copy.
+        """
+        m = u.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        k = self.k
+        cap = self.load_cap
+        pu = self._vp[u]
+        pv = self._vp[v]
+        # Algorithm 1 rule table as masks (the non-spill elif chain):
+        # agreement -> pu; u-mirrored -> pv; v-mirrored -> pu; else the
+        # higher-degree endpoint is cut (ties cut v) -> pu iff deg[v] > deg[u]
+        agree = pu == pv
+        du = self._div[u]
+        dv = self._div[v]
+        mirror = du ^ dv  # exactly one endpoint already has mirrors
+        mirror_u = du & mirror  # u is cut again -> edge follows v
+        deg_to_u = self._deg[v] > self._deg[u]  # cut u -> target pu
+        take_pu = agree | (mirror & ~mirror_u) | (~mirror & deg_to_u)
+        tentative = np.where(take_pu, pu, pv)
+        rule = np.full(m, 2, dtype=np.int64)
+        rule[mirror] = 1
+        rule[agree] = 0
+        # fast path: no partition can reach the cap anywhere in this chunk
+        projected = self.loads + np.bincount(tentative, minlength=k)
+        candidates = np.flatnonzero(projected >= cap)
+        if candidates.size == 0:
+            cut = m
+        else:
+            # exact first index where the reference enters the spill branch
+            violated = np.zeros(m, dtype=bool)
+            for p in candidates.tolist():
+                run = np.zeros(m, dtype=np.int64)
+                np.cumsum(tentative[:-1] == p, out=run[1:])
+                run += self.loads[p]
+                violated |= ((pu == p) | (pv == p)) & (run >= cap)
+            cut = int(np.argmax(violated)) if violated.any() else m
+        out = np.empty(m, dtype=np.int64)
+        if cut:
+            out[:cut] = tentative[:cut]
+            self.loads += np.bincount(tentative[:cut], minlength=k)
+            rule_counts = np.bincount(rule[:cut], minlength=3)
+            self.stats.agreement += int(rule_counts[0])
+            self.stats.mirror_reuse += int(rule_counts[1])
+            self.stats.degree_cut += int(rule_counts[2])
+        if cut < m:
+            self._scalar_tail(
+                out,
+                cut,
+                pu.tolist(),
+                pv.tolist(),
+                tentative.tolist(),
+                rule.tolist(),
+            )
+        return out
+
+    def _scalar_tail(
+        self,
+        out: np.ndarray,
+        start: int,
+        pu_l: list[int],
+        pv_l: list[int],
+        t_l: list[int],
+        rule_l: list[int],
+    ) -> None:
+        """Exact reference loop (spill branch included) from ``start`` on."""
+        k = self.k
+        cap = self.load_cap
+        loads_l = self.loads.tolist()
+        sp = self.spill_ptr
+        stats = self.stats
+        agree_ct = mirror_ct = degree_ct = spill_ct = 0
+        m = len(pu_l)
+        out_l = [0] * (m - start)
+        for i in range(start, m):
+            p_u = pu_l[i]
+            p_v = pv_l[i]
+            if loads_l[p_u] < cap and loads_l[p_v] < cap:
+                target = t_l[i]
+                rc = rule_l[i]
+                if rc == 0:
+                    agree_ct += 1
+                elif rc == 1:
+                    mirror_ct += 1
+                else:
+                    degree_ct += 1
+            else:
+                if loads_l[p_u] < cap:
+                    target = p_u
+                elif loads_l[p_v] < cap:
+                    target = p_v
+                else:
+                    while loads_l[sp] >= cap:
+                        sp += 1
+                        if sp == k:  # pragma: no cover - tau>=1 guarantees room
+                            raise RuntimeError("no underfull partition available")
+                    target = sp
+                spill_ct += 1
+            out_l[i - start] = target
+            loads_l[target] += 1
+        out[start:] = out_l
+        self.loads[:] = loads_l
+        self.spill_ptr = sp
+        stats.agreement += agree_ct
+        stats.mirror_reuse += mirror_ct
+        stats.degree_cut += degree_ct
+        stats.balance_spill += spill_ct
+
+
+def transform_partitions_chunked(
+    stream: EdgeStream,
+    clustering: ClusteringResult,
+    cluster_partition: np.ndarray,
+    num_partitions: int,
+    imbalance_factor: float = 1.0,
+    chunk_size: int = 1 << 16,
+) -> tuple[np.ndarray, TransformStats]:
+    """Run Algorithm 1 by chunked ingestion; bit-identical to
+    :func:`transform_partitions` for every chunk size."""
+    state = TransformState(
+        clustering,
+        cluster_partition,
+        num_partitions,
+        num_edges=stream.num_edges,
+        num_vertices=stream.num_vertices,
+        imbalance_factor=imbalance_factor,
+    )
+    parts = [state.ingest(chunk) for chunk in stream.chunks(chunk_size)]
+    if not parts:
+        return np.empty(0, dtype=np.int64), state.stats
+    out = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return out, state.stats

@@ -99,6 +99,23 @@ class EdgeStream:
         perm = np.argsort(key, kind="stable")
         return cls(graph.src[perm], graph.dst[perm], graph.num_vertices)
 
+    @classmethod
+    def from_chunks(cls, chunks, num_vertices: int) -> "EdgeStream":
+        """Rebuild a stream from ``(m, 2)`` int64 edge chunks in order.
+
+        The inverse of :meth:`chunks` — chunked consumers that buffer what
+        they ingest (multi-pass algorithms like CLUGP re-stream the edges
+        for passes 2-3) use this to recover a stream view without keeping
+        a second copy of the endpoint arrays per chunk.
+        """
+        arrays = [np.asarray(c, dtype=np.int64) for c in chunks]
+        arrays = [c for c in arrays if c.size]
+        if not arrays:
+            empty = np.empty(0, dtype=np.int64)
+            return cls(empty, empty.copy(), num_vertices)
+        edges = arrays[0] if len(arrays) == 1 else np.concatenate(arrays, axis=0)
+        return cls(edges[:, 0], edges[:, 1], num_vertices)
+
     # ------------------------------------------------------------------ #
 
     @property

@@ -136,15 +136,17 @@ class EdgePartitioner(ABC):
 
     Chunked ingestion
     -----------------
-    Single-pass partitioners additionally implement the incremental chunk
-    protocol — :meth:`begin_chunks`, :meth:`partition_chunk`,
-    :meth:`finish_chunks` — and set ``supports_chunks = True``.  The
-    protocol consumes ``(m, 2)`` int64 edge arrays from
-    :meth:`EdgeStream.chunks` so the hot path runs as numpy batch
-    operations; :meth:`partition_chunked` drives it end to end.
-    :meth:`partition_per_edge` keeps the faithful per-edge streaming loop
-    as the reference (and benchmark baseline) path; both paths must
-    produce bit-identical assignments.
+    Chunk-capable partitioners implement the incremental chunk protocol —
+    :meth:`begin_chunks`, :meth:`partition_chunk`, :meth:`finish_chunks` —
+    and set ``supports_chunks = True``.  The protocol consumes ``(m, 2)``
+    int64 edge arrays from :meth:`EdgeStream.chunks` so the hot path runs
+    as numpy batch operations; :meth:`partition_chunked` drives it end to
+    end.  Single-pass partitioners commit each chunk as it arrives;
+    batch-buffering (Mint) and multi-pass (CLUGP) algorithms may defer
+    edges — up to all of them — and flush the outstanding assignments from
+    :meth:`finish_chunks`.  :meth:`partition_per_edge` keeps the faithful
+    per-edge streaming loop as the reference (and benchmark baseline)
+    path; both paths must produce bit-identical assignments.
     """
 
     #: human-readable algorithm name (used in reports and the registry)
@@ -180,9 +182,9 @@ class EdgePartitioner(ABC):
         """Partition ``stream`` by ingesting ``(m, 2)`` edge chunks.
 
         Chunk-capable partitioners run the incremental protocol and never
-        see the stream as individual edges.  Multi-pass algorithms (which
-        buffer the whole stream regardless) fall back to :meth:`_assign`;
-        either way the assignment is bit-identical to :meth:`partition`.
+        see the stream as individual edges.  Algorithms without a chunk
+        path fall back to :meth:`_assign`; either way the assignment is
+        bit-identical to :meth:`partition`.
         """
         self._last_stream = stream
         if chunk_size is None:

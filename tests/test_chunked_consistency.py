@@ -19,8 +19,19 @@ from repro.partitioners.mint import MintPartitioner
 from repro.partitioners.registry import PARTITIONERS, make_partitioner
 
 ALL_NAMES = sorted(PARTITIONERS)
-#: single-pass partitioners with a native chunk protocol
-CHUNKED_NAMES = ["hashing", "dbh", "grid", "greedy", "hdrf", "mint"]
+#: partitioners with a native chunk protocol (single-pass commit-as-you-go
+#: plus the deferring multi-pass CLUGP variants)
+CHUNKED_NAMES = [
+    "hashing",
+    "dbh",
+    "grid",
+    "greedy",
+    "hdrf",
+    "mint",
+    "clugp",
+    "clugp-s",
+    "clugp-g",
+]
 
 
 @pytest.fixture(scope="module")
@@ -53,7 +64,7 @@ def test_chunk_boundaries_do_not_change_assignments(name, chunk_size, stream):
 def test_supports_chunks_flags():
     for name in CHUNKED_NAMES:
         assert make_partitioner(name, 2).supports_chunks
-    assert not make_partitioner("clugp", 2).supports_chunks
+    assert not make_partitioner("minimetis", 2).supports_chunks
 
 
 def test_mint_chunks_straddling_batches(stream):

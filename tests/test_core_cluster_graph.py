@@ -41,8 +41,22 @@ class TestBuild:
         )
         cg = build_cluster_graph(s, clustering)
         for c in range(cg.num_clusters):
-            for nbr, w in cg.out_edges[c].items():
-                assert cg.in_edges[nbr][c] == w
+            for nbr, w in cg.out_dict(c).items():
+                assert cg.in_dict(nbr)[c] == w
+
+    def test_csr_rows_sorted_and_consistent(self):
+        s, clustering = clustered_stream(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (4, 1)], vmax=6
+        )
+        cg = build_cluster_graph(s, clustering)
+        assert cg.indptr.shape == (cg.num_clusters + 1,)
+        assert cg.indptr[0] == 0 and cg.indptr[-1] == cg.indices.size
+        assert cg.indices.size == cg.weights.size
+        for c in range(cg.num_clusters):
+            row = cg.indices[cg.indptr[c] : cg.indptr[c + 1]]
+            assert np.all(np.diff(row) > 0)  # sorted, no duplicates
+        assert (cg.weights > 0).all()
+        assert int(cg.in_weights.sum()) == int(cg.weights.sum())
 
     def test_undirected_neighbors_sums_directions(self):
         s, clustering = clustered_stream([(0, 1), (2, 0), (0, 2)], vmax=2)
@@ -50,8 +64,23 @@ class TestBuild:
         for c in range(cg.num_clusters):
             merged = cg.undirected_neighbors(c)
             for nbr, w in merged.items():
-                expected = cg.out_edges[c].get(nbr, 0) + cg.in_edges[c].get(nbr, 0)
+                expected = cg.out_dict(c).get(nbr, 0) + cg.in_dict(c).get(nbr, 0)
                 assert w == expected
+
+    def test_sym_matches_undirected_neighbors(self):
+        s, clustering = clustered_stream(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (4, 1)], vmax=6
+        )
+        cg = build_cluster_graph(s, clustering)
+        indptr, indices, weights = cg.sym()
+        for c in range(cg.num_clusters):
+            row = dict(
+                zip(
+                    indices[indptr[c] : indptr[c + 1]].tolist(),
+                    weights[indptr[c] : indptr[c + 1]].tolist(),
+                )
+            )
+            assert row == cg.undirected_neighbors(c)
 
     def test_cut_degree(self):
         s, clustering = clustered_stream(

@@ -30,11 +30,8 @@ def make_cluster_graph(num_clusters, internal, inter):
     for (a, b), w in inter.items():
         out_edges[a][b] = w
         in_edges[b][a] = w
-    return ClusterGraph(
-        num_clusters=num_clusters,
-        internal=np.asarray(internal, dtype=np.int64),
-        out_edges=out_edges,
-        in_edges=in_edges,
+    return ClusterGraph.from_dicts(
+        num_clusters, np.asarray(internal, dtype=np.int64), out_edges, in_edges
     )
 
 
@@ -64,8 +61,8 @@ class TestLambda:
         loads = np.bincount(assignment, weights=cg.internal, minlength=4)
         load_term = lam / 4 * np.sum(loads**2)
         cut = 0
-        for c, nbrs in enumerate(cg.out_edges):
-            for nbr, w in nbrs.items():
+        for c in range(cg.num_clusters):
+            for nbr, w in cg.out_dict(c).items():
                 if assignment[nbr] != assignment[c]:
                     cut += w
         assert load_term == pytest.approx(cut)

@@ -64,12 +64,7 @@ class TestParallelGame:
             assert result.assignment.max() < 8
 
     def test_empty_cluster_graph(self):
-        empty = ClusterGraph(
-            num_clusters=0,
-            internal=np.empty(0, dtype=np.int64),
-            out_edges=[],
-            in_edges=[],
-        )
+        empty = ClusterGraph.from_dicts(0, np.empty(0, dtype=np.int64), [], [])
         result = parallel_game(empty, 4, GameConfig(seed=0))
         assert result.assignment.size == 0
         assert result.rounds == 0

@@ -115,11 +115,11 @@ class TestAblations:
         assert rf_game <= rf_greedy
 
     def test_greedy_cluster_assignment_lpt(self):
-        cg = ClusterGraph(
-            num_clusters=4,
-            internal=np.array([10, 1, 1, 8]),
-            out_edges=[{} for _ in range(4)],
-            in_edges=[{} for _ in range(4)],
+        cg = ClusterGraph.from_dicts(
+            4,
+            np.array([10, 1, 1, 8]),
+            [{} for _ in range(4)],
+            [{} for _ in range(4)],
         )
         assignment = greedy_cluster_assignment(cg, 2)
         loads = np.bincount(assignment, weights=cg.internal, minlength=2)
