@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Run the engineering benchmarks and write one consolidated JSON report.
+
+This is the perf-trajectory entry point: each PR that touches a hot path
+runs ``python benchmarks/run_all.py --json BENCH_pr3.json`` and CI runs
+the ``--quick`` variant on every push, so regressions in any of the
+enforced floors fail loudly and the JSON artifacts accumulate a
+machine-readable history of the repo's throughput claims.
+
+Sections (each with its own floors; exit status is non-zero if any fails):
+
+* ``chunked_throughput`` — bench_chunked_throughput: stateless >= 5x
+  chunked-vs-per-edge floors, hdrf/greedy >= 5x vs their retained
+  reference chunk loop plus a vs-per-edge floor, full-registry
+  bit-identity sweep.
+* ``clugp_stages`` — bench_clugp_stages: per-pass timings and the >= 4x
+  end-to-end CLUGP chunked floor.
+* ``parallel_game`` — batched vs sequential-reference best response:
+  proposed moves / rounds / assignment must be identical, and the batched
+  path must be faster (floor relaxed in --quick for noisy CI runners).
+* ``distributed_stages`` — stage-accounting smoke: the ``max_node``
+  critical-path wall must be positive and strictly below the summed node
+  total on a multi-node run.
+
+Usage::
+
+    python benchmarks/run_all.py --json BENCH_pr3.json     # full run
+    python benchmarks/run_all.py --quick --json out.json   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+import numpy as np
+
+import bench_chunked_throughput
+import bench_clugp_stages
+from repro._util import Timer
+from repro.config import ClugpConfig, GameConfig
+from repro.core.cluster_graph import build_cluster_graph
+from repro.core.clustering import streaming_clustering
+from repro.core.distributed import distributed_clugp
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+
+PARALLEL_SPEEDUP_FLOOR = 1.15
+PARALLEL_SPEEDUP_FLOOR_QUICK = 0.85  # identity is the hard gate on CI
+
+
+def _run_sub_bench(module, label: str, quick: bool) -> tuple[dict, list[str]]:
+    """Run a standalone bench module, returning its JSON report + failures."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        path = tmp.name
+    try:
+        argv = ["--json", path] + (["--quick"] if quick else [])
+        status = module.main(argv)
+        with open(path) as fh:
+            report = json.load(fh)
+    finally:
+        os.unlink(path)
+    failures = [] if status == 0 else [f"{label}: floors failed (see output above)"]
+    return report, failures
+
+
+def run_parallel_game_bench(quick: bool) -> tuple[dict, list[str]]:
+    """Batched vs reference best response: identity + wall-clock floor."""
+    import repro.core.parallel as parallel_mod
+    from repro.core.parallel import (
+        _batch_best_response,
+        _batch_best_response_reference,
+        parallel_game,
+    )
+
+    num_pages = 8_000 if quick else 40_000
+    graph = web_crawl_graph(num_pages, avg_out_degree=8, host_size=25, seed=8)
+    stream = EdgeStream.from_graph(graph)
+    clustering = streaming_clustering(stream, max_volume=stream.num_edges // 64)
+    cluster_graph = build_cluster_graph(stream, clustering)
+    k = 32
+    config = GameConfig(seed=0, batch_size=64, num_threads=4)
+    repeats = 1 if quick else 3
+
+    def timed(run):
+        best = float("inf")
+        result = None
+        for _ in range(repeats):
+            with Timer() as t:
+                result = run()
+            best = min(best, t.elapsed)
+        return result, best
+
+    batched, t_batched = timed(lambda: parallel_game(cluster_graph, k, config))
+    parallel_mod._batch_best_response = _batch_best_response_reference
+    try:
+        reference, t_reference = timed(lambda: parallel_game(cluster_graph, k, config))
+    finally:
+        parallel_mod._batch_best_response = _batch_best_response
+
+    identical = (
+        np.array_equal(batched.assignment, reference.assignment)
+        and batched.moves == reference.moves
+        and batched.rounds == reference.rounds
+        and batched.potential_trace == reference.potential_trace
+    )
+    speedup = t_reference / max(t_batched, 1e-9)
+    floor = PARALLEL_SPEEDUP_FLOOR_QUICK if quick else PARALLEL_SPEEDUP_FLOOR
+    report = {
+        "clusters": cluster_graph.num_clusters,
+        "partitions": k,
+        "batch_size": config.batch_size,
+        "rounds": batched.rounds,
+        "moves": batched.moves,
+        "reference_seconds": t_reference,
+        "batched_seconds": t_batched,
+        "speedup": speedup,
+        "floor": floor,
+        "identical": identical,
+    }
+    failures = []
+    if not identical:
+        failures.append("parallel_game: batched path proposed different moves")
+    if speedup < floor:
+        failures.append(
+            f"parallel_game: batched speedup {speedup:.2f}x below the {floor:.2f}x floor"
+        )
+    print(
+        f"parallel_game: {cluster_graph.num_clusters} clusters, k={k}: "
+        f"reference {t_reference*1000:.0f}ms, batched {t_batched*1000:.0f}ms "
+        f"({speedup:.2f}x, floor {floor:.2f}x), identical={identical}"
+    )
+    return report, failures
+
+
+def run_distributed_stage_smoke(quick: bool) -> tuple[dict, list[str]]:
+    """Check the max_node critical-path wall is recorded and sane."""
+    num_pages = 2_000 if quick else 10_000
+    graph = web_crawl_graph(num_pages, avg_out_degree=8, host_size=25, seed=3)
+    stream = EdgeStream.from_graph(graph)
+    num_nodes = 4
+    result = distributed_clugp(
+        stream,
+        num_partitions=8,
+        num_nodes=num_nodes,
+        config=ClugpConfig(num_partitions=8),
+        parallel_nodes=False,
+    )
+    times = result.assignment.stage_times
+    total = times.total
+    max_node = times.walls.get("max_node", 0.0)
+    report = {
+        "num_nodes": num_nodes,
+        "summed_node_seconds": total,
+        "max_node_seconds": max_node,
+        "wall_time": result.assignment.wall_time(),
+    }
+    failures = []
+    if not 0.0 < max_node < total:
+        failures.append(
+            f"distributed_stages: max_node wall {max_node:.4f}s not within "
+            f"(0, summed total {total:.4f}s) on a {num_nodes}-node run"
+        )
+    if result.assignment.wall_time() != max_node:
+        failures.append("distributed_stages: wall_time() does not report the max_node wall")
+    print(
+        f"distributed_stages: {num_nodes} nodes: summed {total*1000:.0f}ms, "
+        f"critical path {max_node*1000:.0f}ms"
+    )
+    return report, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: small graphs, relaxed floors"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write the consolidated report"
+    )
+    args = parser.parse_args(argv)
+
+    consolidated: dict = {"quick": args.quick}
+    failures: list[str] = []
+
+    print("=== chunked throughput ===")
+    report, fails = _run_sub_bench(bench_chunked_throughput, "chunked_throughput", args.quick)
+    consolidated["chunked_throughput"] = report
+    failures += fails
+
+    print("\n=== CLUGP stages ===")
+    report, fails = _run_sub_bench(bench_clugp_stages, "clugp_stages", args.quick)
+    consolidated["clugp_stages"] = report
+    failures += fails
+
+    print("\n=== parallel game ===")
+    report, fails = run_parallel_game_bench(args.quick)
+    consolidated["parallel_game"] = report
+    failures += fails
+
+    print("\n=== distributed stage accounting ===")
+    report, fails = run_distributed_stage_smoke(args.quick)
+    consolidated["distributed_stages"] = report
+    failures += fails
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(consolidated, fh, indent=2)
+        print(f"\nwrote {args.json}")
+
+    if failures:
+        print("\nFAIL:\n  " + "\n  ".join(failures))
+        return 1
+    print("\nOK: all benchmark floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ __all__ = [
     "hash_to_partition",
     "hash_pair_to_partition",
     "stable_argsort_bounded",
+    "occurrence_ranks",
     "vertex_partition_pairs",
     "BitsetRows",
     "as_rng",
@@ -87,6 +88,49 @@ def stable_argsort_bounded(values: np.ndarray, upper: int) -> np.ndarray:
     return np.argsort(values, kind="stable")
 
 
+def occurrence_ranks(edges: np.ndarray, num_vertices: int) -> tuple[np.ndarray, np.ndarray]:
+    """Within-chunk occurrence ranks of both endpoints of every edge.
+
+    For an ``(m, 2)`` edge chunk, returns int64 arrays ``(rank_u, rank_v)``
+    where ``rank_u[i]`` counts how often ``edges[i, 0]`` appears as *either*
+    endpoint of edges ``0..i`` inclusive (so the first occurrence has rank
+    1).  Self-loop edges count both of their own slots at once: both ranks
+    report the count *after* the whole edge, matching a sequential consumer
+    that bumps ``state[u]`` and ``state[v]`` before reading either.
+
+    This is the exact, decision-independent part of a stateful streaming
+    recurrence (e.g. HDRF's partial-degree reads), lifted out of the
+    per-edge loop: computed with one bounded radix argsort
+    (:func:`stable_argsort_bounded`) and a grouped cumulative count, it
+    lets ``degree-at-edge-i = degree_at_chunk_entry + rank`` be evaluated
+    for a whole chunk at once.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    m = edges.shape[0]
+    if m == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    flat = edges.ravel()  # u0, v0, u1, v1, ... keeps slot order = stream order
+    order = stable_argsort_bounded(flat, num_vertices)
+    sorted_ids = flat[order]
+    slots = np.arange(2 * m, dtype=np.int64)
+    new_group = np.empty(2 * m, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_ids[1:] != sorted_ids[:-1]
+    group_start = np.maximum.accumulate(np.where(new_group, slots, 0))
+    rank = slots - group_start + 1
+    # self-loop: the two slots of one edge are adjacent in the sorted order
+    # (same id, consecutive slot positions); both must see the later rank
+    sorted_pos = order >> 1
+    pair = np.flatnonzero(
+        np.concatenate(([False], (~new_group[1:]) & (sorted_pos[1:] == sorted_pos[:-1])))
+    )
+    rank[pair - 1] = rank[pair]
+    per_slot = np.empty(2 * m, dtype=np.int64)
+    per_slot[order] = rank
+    return per_slot[0::2], per_slot[1::2]
+
+
 def vertex_partition_pairs(src, dst, edge_partition, num_partitions: int):
     """Sparse (vertex, partition) incidence of a vertex-cut assignment.
 
@@ -123,8 +167,52 @@ class BitsetRows:
         """Expand one packed row (or any word combination) to bool[bits]."""
         return ((words[self._word] >> self._shift) & np.uint64(1)).astype(bool)
 
+    def masks(self, rows_idx) -> np.ndarray:
+        """Bulk gather: ``(len(rows_idx), bits)`` boolean membership table.
+
+        One fancy-index gather plus one broadcast shift, so callers that
+        need the masks of a whole batch of rows (vectorized scoring, state
+        cross-checks) never loop per row.
+        """
+        rows_idx = np.asarray(rows_idx, dtype=np.int64)
+        gathered = self.rows[rows_idx]  # (n, words)
+        return (
+            (gathered[:, self._word] >> self._shift[None, :]) & np.uint64(1)
+        ).astype(bool)
+
     def add(self, row: int, bit: int) -> None:
         self.rows[row, self._bit_word[bit]] |= self._bit_mask[bit]
+
+    def add_many(self, rows_idx, bits) -> None:
+        """Bulk scatter: set ``bits[i]`` in row ``rows_idx[i]`` for all i.
+
+        Safe under duplicate rows (uses ``np.bitwise_or.at``), including
+        the same (row, bit) pair appearing twice, and spans multiword
+        layouts (bits >= 64) by scattering each word column separately.
+        """
+        rows_idx = np.asarray(rows_idx, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.int64)
+        if rows_idx.shape != bits.shape:
+            raise ValueError(
+                f"rows_idx and bits must have the same shape, "
+                f"got {rows_idx.shape} vs {bits.shape}"
+            )
+        if rows_idx.size == 0:
+            return
+        num_bits = self._shift.size
+        lo, hi = int(bits.min()), int(bits.max())
+        if lo < 0 or hi >= num_bits:
+            # match add()'s loud failure; the single-word fast path would
+            # otherwise wrap an out-of-range bit into word 0 silently
+            raise IndexError(f"bit {lo if lo < 0 else hi} out of range [0, {num_bits})")
+        words = bits >> 6
+        masks = np.uint64(1) << (bits & 63).astype(np.uint64)
+        if self.rows.shape[1] == 1:
+            np.bitwise_or.at(self.rows[:, 0], rows_idx, masks)
+            return
+        for w in np.unique(words):
+            sel = words == w
+            np.bitwise_or.at(self.rows[:, int(w)], rows_idx[sel], masks[sel])
 
     def count(self) -> int:
         """Total set bits across all rows."""
@@ -161,16 +249,36 @@ class Timer:
 
 @dataclass
 class StageTimes:
-    """Accumulates named stage durations (seconds) for pipeline reporting."""
+    """Accumulates named stage durations (seconds) for pipeline reporting.
+
+    ``stages`` entries are *additive* work — they sum into :attr:`total`.
+    ``walls`` entries are *non-additive* wall-clock readings (e.g. the
+    critical path of concurrent workers); they are kept separate so a
+    deployment's "slowest node" measurement never inflates the summed
+    work total that single-machine comparisons rely on.
+    """
 
     stages: dict = field(default_factory=dict)
+    walls: dict = field(default_factory=dict)
 
     def add(self, name: str, seconds: float) -> None:
         self.stages[name] = self.stages.get(name, 0.0) + seconds
 
+    def add_wall(self, name: str, seconds: float) -> None:
+        """Record a wall-clock reading; repeated adds keep the maximum."""
+        self.walls[name] = max(self.walls.get(name, 0.0), seconds)
+
     @property
     def total(self) -> float:
         return sum(self.stages.values())
+
+    @property
+    def critical_path(self) -> float:
+        """Deployment wall-clock: the longest recorded wall, else the
+        summed stage total (a serial pipeline's critical path)."""
+        if self.walls:
+            return max(self.walls.values())
+        return self.total
 
     def __getitem__(self, name: str) -> float:
         return self.stages[name]

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._util import vertex_partition_pairs
+from .._util import BitsetRows, vertex_partition_pairs
 from ..partitioners.base import PartitionAssignment
 
 __all__ = [
@@ -69,7 +69,6 @@ def cut_edges(assignment: PartitionAssignment) -> int:
     stream = assignment.stream
     if stream.num_edges == 0:
         return 0
-    words = (k + 63) // 64
     part = assignment.edge_partition
     word = part // np.int64(64)
     bit = np.uint64(1) << (part % np.int64(64)).astype(np.uint64)
@@ -78,13 +77,13 @@ def cut_edges(assignment: PartitionAssignment) -> int:
     pair_vertex, pair_part, counts = vertex_partition_pairs(
         stream.src, stream.dst, part, k
     )
-    pair_word = pair_part // np.int64(64)
-    pair_bit = np.uint64(1) << (pair_part % np.int64(64)).astype(np.uint64)
-    masks = np.zeros((stream.num_vertices, words), dtype=np.uint64)
-    np.bitwise_or.at(masks, (pair_vertex, pair_word), pair_bit)
+    placed = BitsetRows(stream.num_vertices, k)
+    placed.add_many(pair_vertex, pair_part)
+    masks = placed.rows
     backed = counts >= 2
-    masks2 = np.zeros_like(masks)
-    np.bitwise_or.at(masks2, (pair_vertex[backed], pair_word[backed]), pair_bit[backed])
+    placed2 = BitsetRows(stream.num_vertices, k)
+    placed2.add_many(pair_vertex[backed], pair_part[backed])
+    masks2 = placed2.rows
     degrees = stream.degrees()
     # chunk the (edges, words) intersection to bound temporary memory
     cut = 0

@@ -212,6 +212,49 @@ class ClusterPartitioningGame:
         cut_cost = 0.5 * (self._cut_degree[c] - self._adjacency_row(c))
         return load_cost + cut_cost
 
+    def batch_cost_matrix(
+        self, start: int, stop: int, assignment: np.ndarray, loads: np.ndarray
+    ) -> np.ndarray:
+        """Cost rows of clusters ``[start, stop)`` against a frozen state.
+
+        ``result[c - start]`` equals :meth:`cost_vector` of ``c`` evaluated
+        with ``assignment``/``loads`` in place of the live game state —
+        bit-for-bit: every per-element float operation (the
+        ``loads_wo + size`` add, the ``(lam_eff/k)*size`` scalar multiply,
+        the halved cut delta, the final add) is the same single IEEE op
+        the scalar path performs, and the adjacency rows are integer
+        sums in float64, hence exact in any accumulation order.
+
+        This is the shared kernel behind the batched parallel game
+        (:func:`repro.core.parallel.parallel_game`): one segmented
+        bincount over the batch's CSR slice replaces per-cluster
+        neighbor bincounts.
+        """
+        k = self.k
+        length = stop - start
+        sizes = self.graph.internal[start:stop].astype(np.float64)
+        cur = assignment[start:stop]
+        rows = np.arange(length)
+        # loads_wo + size: array+scalar per row, with the cur column being
+        # (loads[cur] - size) + size exactly as cost_vector computes it
+        occupied = sizes[:, None] + loads[None, :]
+        occupied[rows, cur] = (loads[cur] - sizes) + sizes
+        load_cost = (self._lambda_eff / k * sizes)[:, None] * occupied
+        lo = int(self._sym_indptr[start])
+        hi = int(self._sym_indptr[stop])
+        if lo == hi:
+            adj = np.zeros((length, k), dtype=np.float64)
+        else:
+            nbr_parts = assignment[self._sym_indices[lo:hi]]
+            row_of = np.repeat(rows, np.diff(self._sym_indptr[start : stop + 1]))
+            adj = np.bincount(
+                row_of * k + nbr_parts,
+                weights=self._sym_weights[lo:hi],
+                minlength=length * k,
+            ).reshape(length, k)
+        cut_cost = 0.5 * (self._cut_degree[start:stop, None] - adj)
+        return load_cost + cut_cost
+
     def individual_cost(self, c: int) -> float:
         """``phi(a_c)`` under the current assignment."""
         return float(self.cost_vector(c)[self.assignment[c]])

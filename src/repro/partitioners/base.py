@@ -117,8 +117,14 @@ class PartitionAssignment:
         return result
 
     def total_time(self) -> float:
-        """Total recorded partitioning wall-clock seconds."""
+        """Total recorded partitioning work seconds (summed stages)."""
         return self.stage_times.total
+
+    def wall_time(self) -> float:
+        """Deployment wall-clock: the critical path across concurrent
+        workers when one was recorded (e.g. ``max_node`` for distributed
+        CLUGP), else the summed stage total."""
+        return self.stage_times.critical_path
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

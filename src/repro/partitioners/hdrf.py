@@ -16,13 +16,34 @@ vertices first — the right trade on power-law graphs.
 This is the Table I "high quality / high time cost" representative: each
 edge scores all k partitions against a global table, so runtime grows with
 k (Figure 7) and state is the largest of the one-pass set (Figure 6).
+
+Chunked hot path (PR 3)
+-----------------------
+HDRF's recurrence is split into its decision-independent and
+decision-dependent parts:
+
+* the partial-degree reads — the only per-edge state that does *not*
+  depend on earlier placement decisions — are lifted out of the loop
+  entirely: one radix group-by (:func:`repro._util.occurrence_ranks`)
+  turns a whole chunk's ``d(u)/d(v)``/``theta``/``g`` values into four
+  vectorized array expressions;
+* the placement decision itself is provably order-chaotic (near-tied
+  balance scores at the balanced-load attractor; see DESIGN.md §4) and
+  runs in a lean scalar core: vertex partition sets are plain Python int
+  bitmasks and each edge scores only ``A(u) | A(v)`` plus the least-loaded
+  partition — exact by the candidate-shortcut argument of DESIGN.md §4.2 —
+  instead of all k partitions.
+
+Both paths are bit-identical to :meth:`_assign`; the previous
+numpy-per-edge chunk loop is retained as ``chunk_impl="reference"`` (the
+correctness oracle and the benchmark baseline the fast core replaces).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .._util import BitsetRows
+from .._util import BitsetRows, occurrence_ranks
 from ..graph.stream import EdgeStream
 from .base import EdgePartitioner
 
@@ -38,6 +59,10 @@ class HDRFPartitioner(EdgePartitioner):
         Balance weight (paper default 1.0; >1 pushes harder for balance).
     epsilon:
         Tie-break constant in the balance term.
+    chunk_impl:
+        ``"fast"`` (default) runs the vectorized-precompute + lean scalar
+        core; ``"reference"`` runs the retained numpy-per-edge chunk loop.
+        Both are bit-identical to the per-edge reference.
     """
 
     name = "hdrf"
@@ -49,12 +74,21 @@ class HDRFPartitioner(EdgePartitioner):
         seed: int = 0,
         lambda_bal: float = 1.0,
         epsilon: float = 1.0,
+        chunk_impl: str = "fast",
     ) -> None:
         super().__init__(num_partitions, seed)
         if lambda_bal < 0:
             raise ValueError(f"lambda_bal must be >= 0, got {lambda_bal}")
+        if epsilon <= 0:
+            # eps = 0 would divide by zero whenever loads are all equal
+            # (e.g. the very first edge), so the balance term requires a
+            # strictly positive tie-break constant
+            raise ValueError(f"epsilon must be > 0, got {epsilon}")
+        if chunk_impl not in ("fast", "reference"):
+            raise ValueError(f"chunk_impl must be 'fast' or 'reference', got {chunk_impl!r}")
         self.lambda_bal = float(lambda_bal)
         self.epsilon = float(epsilon)
+        self.chunk_impl = chunk_impl
 
     def _assign(self, stream: EdgeStream) -> np.ndarray:
         k = self.num_partitions
@@ -101,23 +135,126 @@ class HDRFPartitioner(EdgePartitioner):
     # ------------------------------------------------------------------ #
     # chunk protocol
     # ------------------------------------------------------------------ #
-    #
-    # HDRF's global-state recurrence forces a per-edge decision order, but
-    # the k-wide score scan inside it does not: the chunked path keeps the
-    # edge loop and replaces the Python scan over partitions with one
-    # vectorized score computation per edge.  Operation order is kept
-    # identical to ``_assign`` (same float adds in the same sequence, and
-    # argmax/strict-> both take the first maximum), so the two paths are
-    # bit-identical.
 
     def begin_chunks(self, stream: EdgeStream) -> None:
-        self._loads = np.zeros(self.num_partitions, dtype=np.float64)
+        k = self.num_partitions
+        self._num_vertices = stream.num_vertices
+        if self.chunk_impl == "reference":
+            self._loads = np.zeros(k, dtype=np.float64)
+            self._degree = np.zeros(stream.num_vertices, dtype=np.int64)
+            # vertex -> partition set as packed uint64 bitset rows, 8x
+            # smaller than a (n, k) boolean table
+            self._placed = BitsetRows(stream.num_vertices, k)
+            return
+        self._loads_list = [0.0] * k
         self._degree = np.zeros(stream.num_vertices, dtype=np.int64)
-        # vertex -> partition set as packed uint64 bitset rows, 8x smaller
-        # than a (n, k) boolean table
-        self._placed = BitsetRows(stream.num_vertices, self.num_partitions)
+        # vertex -> partition set as one Python int bitmask per vertex:
+        # arbitrary k, O(1) union/member tests, no per-edge numpy calls
+        self._words = [0] * stream.num_vertices
+        self._max_load = 0.0
 
     def partition_chunk(self, edges: np.ndarray) -> np.ndarray:
+        if self.chunk_impl == "reference":
+            return self._partition_chunk_reference(edges)
+        m = edges.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        k = self.num_partitions
+        loads = self._loads_list
+        words = self._words
+        lam, eps = self.lambda_bal, self.epsilon
+
+        # -- vectorized exact precompute of the degree-driven g terms --
+        # (decision-independent: ranks depend only on the edge ids, so the
+        # whole chunk is computed before any placement decision is made)
+        rank_u, rank_v = occurrence_ranks(edges, self._num_vertices)
+        degree = self._degree
+        du = degree[edges[:, 0]] + rank_u
+        dv = degree[edges[:, 1]] + rank_v
+        theta_u = du / (du + dv)
+        gu_list = (1.0 + (1.0 - theta_u)).tolist()
+        gv_list = (1.0 + theta_u).tolist()
+
+        u_list = edges[:, 0].tolist()
+        v_list = edges[:, 1].tolist()
+        out = [0] * m
+        max_load = self._max_load
+        min_load = min(loads)
+        nmin = loads.count(min_load)
+        for i, (u, v, gu, gv) in enumerate(zip(u_list, v_list, gu_list, gv_list)):
+            wu = words[u]
+            wv = words[v]
+            scale = lam / (eps + (max_load - min_load))
+            w = wu | wv
+            if w:
+                # score only the member partitions (set bits of A(u)|A(v));
+                # ascending bit order + strict > replicates the reference
+                # first-maximum tie-break among members
+                best_p = -1
+                best_s = 0.0
+                ww = w
+                while ww:
+                    b = ww & -ww
+                    p = b.bit_length() - 1
+                    ww ^= b
+                    sc = scale * (max_load - loads[p])
+                    if (wu >> p) & 1:
+                        sc += gu
+                    if (wv >> p) & 1:
+                        sc += gv
+                    if sc > best_s:
+                        best_s = sc
+                        best_p = p
+                if best_s <= scale * (max_load - min_load):
+                    # rare: a non-member's pure balance score could tie or
+                    # beat the best member — fall back to the exact k-scan
+                    best_p = 0
+                    best_s = -1e300
+                    for p in range(k):
+                        sc = scale * (max_load - loads[p])
+                        if (wu >> p) & 1:
+                            sc += gu
+                        if (wv >> p) & 1:
+                            sc += gv
+                        if sc > best_s:
+                            best_s = sc
+                            best_p = p
+                p = best_p
+            elif scale > 0.0:
+                # no members: the argmax is the first least-loaded partition
+                p = loads.index(min_load)
+            else:
+                # lambda_bal == 0 degenerate: every score is +0.0 and the
+                # reference first-maximum scan picks partition 0
+                p = 0
+            out[i] = p
+            old = loads[p]
+            new = old + 1.0
+            loads[p] = new
+            if new > max_load:
+                max_load = new
+            if old == min_load:
+                nmin -= 1
+                if nmin == 0:
+                    min_load = min(loads)
+                    nmin = loads.count(min_load)
+            bit = 1 << p
+            words[u] = wu | bit
+            words[v] = wv | bit
+        self._max_load = max_load
+        # chunk-end bulk degree update (the loop never reads `degree`
+        # because the precomputed ranks already account for in-chunk edges)
+        degree += np.bincount(edges.ravel(), minlength=self._num_vertices)
+        return np.asarray(out, dtype=np.int64)
+
+    def _partition_chunk_reference(self, edges: np.ndarray) -> np.ndarray:
+        """Retained numpy-per-edge chunk loop (PR 1).
+
+        One vectorized k-wide score computation per edge against the
+        shared state tables; kept as the readable correctness oracle and
+        as the baseline the lean core's >=5x bench floor is measured
+        against.
+        """
         loads, degree, placed = self._loads, self._degree, self._placed
         rows, unpack, place = placed.rows, placed.mask, placed.add
         lam, eps = self.lambda_bal, self.epsilon
@@ -144,7 +281,11 @@ class HDRFPartitioner(EdgePartitioner):
         return out
 
     def finish_chunks(self) -> np.ndarray:
-        self._replica_entries = self._placed.count()
+        if self.chunk_impl == "reference":
+            self._replica_entries = self._placed.count()
+        else:
+            self._loads = np.asarray(self._loads_list, dtype=np.float64)
+            self._replica_entries = sum(w.bit_count() for w in self._words)
         return np.empty(0, dtype=np.int64)
 
     def state_memory_bytes(self, stream: EdgeStream) -> int:

@@ -59,6 +59,25 @@ class TestDistributedClugp:
             par.assignment.edge_partition, seq.assignment.edge_partition
         )
 
+    def test_stage_accounting_records_critical_path(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=4, parallel_nodes=False)
+        times = result.assignment.stage_times
+        max_node = max(n.seconds for n in result.nodes)
+        # summed node work stays the additive "total" stage
+        assert times["total"] == pytest.approx(sum(n.seconds for n in result.nodes))
+        # the deployment wall-clock is the slowest node, recorded as a
+        # non-additive wall so it does not inflate total_time()
+        assert times.walls["max_node"] == pytest.approx(max_node)
+        assert result.assignment.wall_time() == pytest.approx(max_node)
+        assert result.assignment.total_time() == pytest.approx(times["total"])
+        assert 0.0 < times.walls["max_node"] < times["total"]
+
+    def test_single_node_wall_equals_total(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=1, parallel_nodes=False)
+        times = result.assignment.stage_times
+        assert times.walls["max_node"] == pytest.approx(times["total"])
+        assert result.assignment.wall_time() == pytest.approx(times.total)
+
     def test_quality_stays_competitive(self, stream):
         # independent shards pay a quality price but must stay well below
         # hashing (the sanity floor for any clustering-based approach)

@@ -3,13 +3,18 @@
 import numpy as np
 import pytest
 
+import repro.core.parallel as parallel_mod
 from repro.config import GameConfig
 from repro.graph.generators import web_crawl_graph
 from repro.graph.stream import EdgeStream
 from repro.core.clustering import streaming_clustering
 from repro.core.cluster_graph import ClusterGraph, build_cluster_graph
 from repro.core.game import ClusterPartitioningGame
-from repro.core.parallel import parallel_game
+from repro.core.parallel import (
+    _batch_best_response,
+    _batch_best_response_reference,
+    parallel_game,
+)
 
 
 @pytest.fixture(scope="module")
@@ -68,3 +73,55 @@ class TestParallelGame:
         result = parallel_game(empty, 4, GameConfig(seed=0))
         assert result.assignment.size == 0
         assert result.rounds == 0
+
+
+class TestBatchedBestResponseIdentity:
+    """The batched evaluator must propose exactly the moves the retained
+    sequential reference loop proposes — same clusters, same targets, same
+    order — so parallel_game produces identical rounds/moves/assignments."""
+
+    def _run_reference(self, cluster_graph, k, config):
+        parallel_mod._batch_best_response = _batch_best_response_reference
+        try:
+            return parallel_game(cluster_graph, k, config)
+        finally:
+            parallel_mod._batch_best_response = _batch_best_response
+
+    @pytest.mark.parametrize("batch_size", [1, 16, 64, 10**6])
+    @pytest.mark.parametrize("k", [2, 8])
+    def test_identical_games(self, cluster_graph, batch_size, k):
+        config = GameConfig(seed=0, batch_size=batch_size, num_threads=2)
+        batched = parallel_game(cluster_graph, k, config)
+        reference = self._run_reference(cluster_graph, k, config)
+        assert np.array_equal(batched.assignment, reference.assignment)
+        assert batched.moves == reference.moves
+        assert batched.rounds == reference.rounds
+        assert batched.potential_trace == reference.potential_trace
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_identical_across_seeds(self, cluster_graph, seed):
+        config = GameConfig(seed=seed, batch_size=32, num_threads=4)
+        batched = parallel_game(cluster_graph, 8, config)
+        reference = self._run_reference(cluster_graph, 8, config)
+        assert np.array_equal(batched.assignment, reference.assignment)
+        assert batched.moves == reference.moves
+
+    def test_single_batch_proposals_identical(self, cluster_graph):
+        """Direct comparison of one proposal pass over the whole graph."""
+        game = ClusterPartitioningGame(cluster_graph, 8, GameConfig(seed=4))
+        batch = range(0, cluster_graph.num_clusters)
+        moves_batched = _batch_best_response(
+            game, batch, game.assignment.copy(), game.loads.copy()
+        )
+        moves_reference = _batch_best_response_reference(
+            game, batch, game.assignment.copy(), game.loads.copy()
+        )
+        assert moves_batched == moves_reference
+
+    def test_batch_cost_matrix_matches_cost_vector(self, cluster_graph):
+        game = ClusterPartitioningGame(cluster_graph, 8, GameConfig(seed=0))
+        costs = game.batch_cost_matrix(
+            0, cluster_graph.num_clusters, game.assignment, game.loads
+        )
+        for c in range(0, cluster_graph.num_clusters, 7):
+            assert np.array_equal(costs[c], game.cost_vector(c))
