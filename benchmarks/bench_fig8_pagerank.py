@@ -7,18 +7,39 @@ Paper's claims:
       worst; heuristics and Mint are in between;
   (c) the ordering is stable as network latency (RTT) grows from 10ms to
       100ms, and CLUGP stays the most efficient.
+
+Since the partition-local runtime landed, the sweeps execute PageRank on
+it (``mode="local"``), so the communication volumes are *measured* off
+the mirror-sync message buffers; the retained global-array oracle is run
+side by side in :func:`main` (the ``run_all.py`` section) to assert the
+measured == modeled parity and export both cost profiles as JSON.
+
+Usage::
+
+    python benchmarks/bench_fig8_pagerank.py --json fig8.json
+    python benchmarks/bench_fig8_pagerank.py --quick   # CI smoke
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
 import pytest
 
 from repro.bench.harness import pagerank_costs, run_algorithm
-from repro.system.engine import GasEngine
+from repro.graph.datasets import load_dataset
+from repro.graph.stream import EdgeStream
+from repro.system import make_engine
 from repro.system.network import NetworkModel
 from repro.system.apps.pagerank import pagerank
 
 from conftest import run_once
 
 ALGORITHMS = ("hdrf", "greedy", "hashing", "dbh", "mint", "clugp")
+PARITY_ALGORITHMS = ("hashing", "hdrf", "clugp")
 
 
 @pytest.mark.parametrize("alias", ["uk", "it", "arabic", "webbase"])
@@ -28,12 +49,13 @@ def test_fig8ab_communication_and_runtime(benchmark, web_streams, alias):
 
     def sweep():
         return pagerank_costs(
-            stream, k, algorithms=ALGORITHMS, max_supersteps=15, seed=0
+            stream, k, algorithms=ALGORITHMS, max_supersteps=15, seed=0,
+            mode="local",
         )
 
     costs = run_once(benchmark, sweep)
     print()
-    print(f"Figure 8(a,b) ({alias}, k={k}): PageRank costs")
+    print(f"Figure 8(a,b) ({alias}, k={k}): measured PageRank costs")
     print(f"{'algorithm':9s} {'volume(MB)':>11s} {'compute(s)':>11s} {'comm(s)':>9s} {'total(s)':>9s}")
     for name, cost in costs.items():
         print(
@@ -58,15 +80,14 @@ def test_fig8c_runtime_vs_latency(benchmark, it_stream):
         rows: dict[str, list[float]] = {}
         assignments = {
             name: run_algorithm(name, it_stream, k, seed=0)[1]
-            for name in ("hashing", "hdrf", "clugp")
+            for name in PARITY_ALGORITHMS
         }
         for name, assignment in assignments.items():
             rows[name] = []
             for rtt in rtts_ms:
                 network = NetworkModel().with_rtt(rtt / 1000.0)
-                _, cost = pagerank(
-                    GasEngine(assignment, network=network), max_supersteps=15
-                )
+                engine = make_engine(assignment, mode="local", network=network)
+                _, cost = pagerank(engine, max_supersteps=15)
                 rows[name].append(cost.total_seconds)
         return rows
 
@@ -82,3 +103,104 @@ def test_fig8c_runtime_vs_latency(benchmark, it_stream):
     # runtime grows with RTT for everyone
     for values in rows.values():
         assert values[0] < values[-1]
+
+
+# ---------------------------------------------------------------------- #
+# standalone parity + JSON section (the run_all.py entry point)
+# ---------------------------------------------------------------------- #
+
+
+def check_parity(assignment, max_supersteps: int = 15) -> tuple[dict, list[str]]:
+    """Run local + global PageRank on one assignment; verify the contract.
+
+    Checks (per the local-runtime acceptance criteria):
+
+    * values allclose (atol 1e-12) with identical superstep counts;
+    * per-superstep *measured* messages == the oracle's modeled
+      ``2 * sum(|P(v)| - 1)`` (dense activation makes these coincide);
+    * measured messages == the replication formula evaluated on the
+      runtime's own recorded sync masks, on every superstep.
+    """
+    failures: list[str] = []
+    local = make_engine(assignment, mode="local")
+    oracle = make_engine(assignment, mode="global")
+    values_local, cost_local = pagerank(local, max_supersteps=max_supersteps)
+    values_oracle, cost_oracle = pagerank(oracle, max_supersteps=max_supersteps)
+    if cost_local.num_supersteps != cost_oracle.num_supersteps:
+        failures.append(
+            f"superstep counts diverged: local {cost_local.num_supersteps} "
+            f"vs oracle {cost_oracle.num_supersteps}"
+        )
+    if not np.allclose(values_local, values_oracle, atol=1e-12, rtol=0.0):
+        failures.append("pagerank values diverged beyond 1e-12")
+    per_step = [
+        (s_local.messages, s_oracle.messages)
+        for s_local, s_oracle in zip(cost_local.supersteps, cost_oracle.supersteps)
+    ]
+    if any(measured != modeled for measured, modeled in per_step):
+        failures.append("measured sync messages != oracle-modeled messages")
+    sync_factor = np.clip(local.placement.replica_counts - 1, 0, None)
+    formula = [
+        2 * int(sync_factor[mask].sum()) for mask in local.sync_masks
+    ]
+    measured = [s.messages for s in cost_local.supersteps]
+    if formula != measured:
+        failures.append("measured messages != 2*sum(|P(v)|-1) over the sync set")
+    report = {
+        "replication_factor": assignment.replication_factor(),
+        "local": cost_local.to_dict(),
+        "global": cost_oracle.to_dict(),
+        "parity_ok": not failures,
+    }
+    return report, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: smaller graph and partition count",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write results as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.1 if args.quick else 0.35
+    k = 8 if args.quick else 32
+    graph = load_dataset("it", scale=scale, seed=7)
+    stream = EdgeStream.from_graph(graph, order="natural")
+    report: dict = {
+        "dataset": "it",
+        "scale": scale,
+        "partitions": k,
+        "num_edges": stream.num_edges,
+        "algorithms": {},
+    }
+    failures: list[str] = []
+    print(f"fig8 parity (it scale={scale}, k={k}, |E|={stream.num_edges}):")
+    print(f"{'algorithm':9s} {'RF':>6s} {'steps':>6s} {'messages':>10s} {'parity':>7s}")
+    for name in PARITY_ALGORITHMS:
+        _, assignment = run_algorithm(name, stream, k, seed=0)
+        algo_report, algo_failures = check_parity(assignment)
+        report["algorithms"][name] = algo_report
+        failures += [f"{name}: {f}" for f in algo_failures]
+        print(
+            f"{name:9s} {algo_report['replication_factor']:6.2f} "
+            f"{algo_report['local']['supersteps']:6d} "
+            f"{algo_report['local']['messages']:10d} "
+            f"{'ok' if algo_report['parity_ok'] else 'FAIL':>7s}"
+        )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+    if failures:
+        print("FAIL:\n  " + "\n  ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 """Run the engineering benchmarks and write one consolidated JSON report.
 
 This is the perf-trajectory entry point: each PR that touches a hot path
-runs ``python benchmarks/run_all.py --json BENCH_pr3.json`` and CI runs
+runs ``python benchmarks/run_all.py --json BENCH_pr4.json`` and CI runs
 the ``--quick`` variant on every push, so regressions in any of the
 enforced floors fail loudly and the JSON artifacts accumulate a
 machine-readable history of the repo's throughput claims.
@@ -21,10 +21,16 @@ Sections (each with its own floors; exit status is non-zero if any fails):
 * ``distributed_stages`` — stage-accounting smoke: the ``max_node``
   critical-path wall must be positive and strictly below the summed node
   total on a multi-node run.
+* ``fig8_pagerank`` — bench_fig8_pagerank: the partition-local runtime
+  parity gate (local PageRank values/supersteps/per-superstep messages
+  vs the retained global oracle, and measured messages vs the
+  ``2*sum(|P(v)|-1)`` replication formula) plus both engines'
+  ``RunCost.to_dict()`` profiles, so app runtime enters the perf
+  trajectory.
 
 Usage::
 
-    python benchmarks/run_all.py --json BENCH_pr3.json     # full run
+    python benchmarks/run_all.py --json BENCH_pr4.json     # full run
     python benchmarks/run_all.py --quick --json out.json   # CI smoke
 """
 
@@ -50,6 +56,7 @@ import numpy as np
 
 import bench_chunked_throughput
 import bench_clugp_stages
+import bench_fig8_pagerank
 from repro._util import Timer
 from repro.config import ClugpConfig, GameConfig
 from repro.core.cluster_graph import build_cluster_graph
@@ -214,6 +221,11 @@ def main(argv=None) -> int:
     print("\n=== distributed stage accounting ===")
     report, fails = run_distributed_stage_smoke(args.quick)
     consolidated["distributed_stages"] = report
+    failures += fails
+
+    print("\n=== fig8 pagerank: local-runtime parity ===")
+    report, fails = _run_sub_bench(bench_fig8_pagerank, "fig8_pagerank", args.quick)
+    consolidated["fig8_pagerank"] = report
     failures += fails
 
     if args.json:

@@ -21,7 +21,7 @@ from repro.config import ClugpConfig, GameConfig
 from repro.core import build_cluster_graph, streaming_clustering
 from repro.graph import io, properties
 from repro.graph.generators import web_crawl_graph
-from repro.system import GasEngine, connected_components
+from repro.system import connected_components, make_engine
 
 # 1. generate -----------------------------------------------------------
 graph = web_crawl_graph(
@@ -67,9 +67,9 @@ print(f"CLUGP k=16: RF={assignment.replication_factor():.3f} "
       f"balance={assignment.relative_balance():.4f} (cap tau=1.02)")
 assert assignment.relative_balance() <= 1.02 + 16 / stream.num_edges
 
-# 6. connected components on the simulated cluster ----------------------
-engine = GasEngine(assignment)
+# 6. connected components on the partition-local runtime ----------------
+engine = make_engine(assignment, mode="local")
 labels, cost = connected_components(engine)
 print(f"components: {len(np.unique(labels))} "
       f"(in {cost.num_supersteps} supersteps, "
-      f"{cost.total_messages} sync messages)")
+      f"{cost.total_messages} measured sync messages)")

@@ -16,6 +16,7 @@ __all__ = [
     "hash_to_partition",
     "hash_pair_to_partition",
     "stable_argsort_bounded",
+    "group_by_bounded",
     "occurrence_ranks",
     "vertex_partition_pairs",
     "BitsetRows",
@@ -86,6 +87,22 @@ def stable_argsort_bounded(values: np.ndarray, upper: int) -> np.ndarray:
         hi = (values >> np.int64(16)).astype(np.uint16)
         return order[np.argsort(hi[order], kind="stable")]
     return np.argsort(values, kind="stable")
+
+
+def group_by_bounded(keys: np.ndarray, upper: int) -> tuple[np.ndarray, np.ndarray]:
+    """Stable grouping of non-negative integer keys known to be < ``upper``.
+
+    Returns ``(order, indptr)``: ``order[indptr[g]:indptr[g+1]]`` are the
+    positions of key ``g`` in their original relative order.  One bounded
+    radix argsort (:func:`stable_argsort_bounded`) plus a bincount
+    prefix sum — the shared substrate behind partition-grouped edge
+    layouts, message-buffer delivery, and replica routing tables.
+    """
+    keys = np.asarray(keys)
+    order = stable_argsort_bounded(keys, upper)
+    indptr = np.zeros(upper + 1, dtype=np.int64)
+    np.cumsum(np.bincount(keys, minlength=upper), out=indptr[1:])
+    return order, indptr
 
 
 def occurrence_ranks(edges: np.ndarray, num_vertices: int) -> tuple[np.ndarray, np.ndarray]:

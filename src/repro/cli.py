@@ -6,7 +6,10 @@ Commands
 ``compare``    run the full competitor set and print the quality table
 ``sweep``      replication factor vs number of partitions (Figure-3 style)
 ``datasets``   list the synthetic stand-in datasets
-``pagerank``   partition + run PageRank on the GAS simulator
+``pagerank``   partition + run PageRank on the GAS system layer
+``run-app``    partition + execute any vertex program end to end on the
+               partition-local GAS runtime (``run-app pagerank
+               --partitioner clugp -k 8``)
 """
 
 from __future__ import annotations
@@ -23,8 +26,9 @@ from .graph.datasets import DATASETS, load_dataset
 from .graph.io import read_edgelist
 from .graph.stream import EdgeStream
 from .partitioners.registry import PARTITIONERS, make_partitioner
-from .system.engine import GasEngine
+from .system import make_engine
 from .system.network import NetworkModel
+from .system.apps import APPS
 from .system.apps.pagerank import pagerank
 
 __all__ = ["main", "build_parser"]
@@ -83,6 +87,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_pr.add_argument("--algorithm", default="clugp", choices=sorted(PARTITIONERS))
     p_pr.add_argument("--rtt-ms", type=float, default=10.0, help="network RTT in ms")
     p_pr.add_argument("--supersteps", type=int, default=30, help="max supersteps")
+    p_pr.add_argument(
+        "--mode",
+        default="local",
+        choices=["local", "global"],
+        help="execution engine: partition-local runtime (measured costs) "
+        "or the global-array oracle (modeled costs)",
+    )
+
+    p_app = sub.add_parser(
+        "run-app",
+        parents=[common],
+        help="partition + execute a vertex program on the local GAS runtime",
+    )
+    p_app.add_argument("app", choices=sorted(APPS), help="vertex program to run")
+    p_app.add_argument(
+        "--partitioner", default="clugp", choices=sorted(PARTITIONERS),
+        help="partitioning algorithm deployed under the runtime",
+    )
+    p_app.add_argument("--rtt-ms", type=float, default=10.0, help="network RTT in ms")
+    p_app.add_argument("--supersteps", type=int, default=30, help="max supersteps")
+    p_app.add_argument(
+        "--mode", default="local", choices=["local", "global"],
+        help="execution engine (default: the partition-local runtime)",
+    )
+    p_app.add_argument(
+        "--source", type=int, default=None,
+        help="sssp source vertex (default: highest out-degree vertex)",
+    )
     return parser
 
 
@@ -156,17 +188,22 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
-def _cmd_pagerank(args) -> int:
-    stream = _load_stream(args)
-    partitioner = make_partitioner(args.algorithm, args.partitions, seed=args.seed)
+def _deploy(stream, algorithm: str, args):
+    """partition -> placement -> engine: the end-to-end deployment path."""
+    partitioner = make_partitioner(algorithm, args.partitions, seed=args.seed)
     if partitioner.preferred_order != "natural":
         stream = stream.reordered(partitioner.preferred_order, seed=args.seed)
     assignment = partitioner.partition(stream)
     network = NetworkModel().with_rtt(args.rtt_ms / 1000.0)
-    engine = GasEngine(assignment, network=network)
+    engine = make_engine(assignment, mode=args.mode, network=network)
+    return partitioner, assignment, engine
+
+
+def _cmd_pagerank(args) -> int:
+    partitioner, assignment, engine = _deploy(_load_stream(args), args.algorithm, args)
     _, cost = pagerank(engine, max_supersteps=args.supersteps)
     print(
-        f"algorithm={partitioner.name} k={args.partitions} "
+        f"algorithm={partitioner.name} k={args.partitions} mode={engine.mode} "
         f"RF={assignment.replication_factor():.3f}\n"
         f"supersteps={cost.num_supersteps} messages={cost.total_messages} "
         f"volume={cost.total_bytes / 1e6:.2f}MB\n"
@@ -176,12 +213,41 @@ def _cmd_pagerank(args) -> int:
     return 0
 
 
+def _cmd_run_app(args) -> int:
+    stream = _load_stream(args)
+    partitioner, assignment, engine = _deploy(stream, args.partitioner, args)
+    app = APPS[args.app]
+    kwargs = {}
+    if args.app == "sssp":
+        source = args.source
+        if source is None:
+            source = int(np.bincount(stream.src, minlength=stream.num_vertices).argmax())
+        kwargs["source"] = source
+    if args.app == "label_propagation":
+        kwargs["max_iters"] = args.supersteps
+    else:
+        kwargs["max_supersteps"] = args.supersteps
+    values, cost = app(engine, **kwargs)
+    print(
+        f"app={args.app} algorithm={partitioner.name} k={args.partitions} "
+        f"mode={engine.mode} RF={assignment.replication_factor():.3f}"
+    )
+    if args.app == "sssp":
+        reached = int(np.isfinite(values).sum())
+        print(f"source={kwargs['source']} reached={reached}/{values.size}")
+    elif args.app in ("connected_components", "label_propagation"):
+        print(f"distinct_labels={np.unique(values).size}")
+    print(cost.summary() + " (simulated)")
+    return 0
+
+
 _COMMANDS = {
     "partition": _cmd_partition,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "datasets": _cmd_datasets,
     "pagerank": _cmd_pagerank,
+    "run-app": _cmd_run_app,
 }
 
 

@@ -14,7 +14,13 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from .._util import StageTimes, Timer, check_positive_int, vertex_partition_pairs
+from .._util import (
+    StageTimes,
+    Timer,
+    check_positive_int,
+    group_by_bounded,
+    vertex_partition_pairs,
+)
 from ..graph.stream import EdgeStream
 
 __all__ = ["PartitionAssignment", "EdgePartitioner"]
@@ -62,6 +68,7 @@ class PartitionAssignment:
         self.num_partitions = int(num_partitions)
         self.stage_times = stage_times or StageTimes()
         self._vertex_partition_counts = None
+        self._grouped_edges = None
 
     # ------------------------------------------------------------------ #
     # core quantities (Section II-B)
@@ -89,6 +96,21 @@ class PartitionAssignment:
             counts = np.bincount(verts, minlength=self.stream.num_vertices)
             self._vertex_partition_counts = counts.astype(np.int64)
         return self._vertex_partition_counts
+
+    def grouped_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """Partition-grouped edge layout: ``(order, indptr)`` (cached).
+
+        ``order`` stably reorders stream edges so each partition's edges
+        are one contiguous slice ``order[indptr[p]:indptr[p+1]]`` — the
+        shared deployment substrate of the GAS engines (the global
+        oracle's per-partition accounting and the local runtime's edge
+        sub-graphs slice the same layout).
+        """
+        if self._grouped_edges is None:
+            self._grouped_edges = group_by_bounded(
+                self.edge_partition, self.num_partitions
+            )
+        return self._grouped_edges
 
     def replication_factor(self) -> float:
         """``RF = (1/|V'|) * sum_v |P(v)|`` over vertices with >=1 edge."""

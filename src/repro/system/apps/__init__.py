@@ -1,17 +1,42 @@
-"""Vertex programs for the GAS simulator: the paper's evaluation workloads."""
+"""Vertex programs for the GAS system layer: the paper's evaluation
+workloads, each in two executable forms — a global-array oracle program
+(``*Program``) and a partition-local program (``Local*Program``) against
+the :class:`~repro.system.runtime.LocalContext` API.  The public entry
+points (``pagerank`` etc.) dispatch on the engine they are handed."""
 
-from .pagerank import PageRankProgram, pagerank
-from .connected_components import ConnectedComponentsProgram, connected_components
-from .sssp import SsspProgram, sssp
-from .label_propagation import LabelPropagationProgram, label_propagation
+from .pagerank import LocalPageRankProgram, PageRankProgram, pagerank
+from .connected_components import (
+    ConnectedComponentsProgram,
+    LocalConnectedComponentsProgram,
+    connected_components,
+)
+from .sssp import LocalSsspProgram, SsspProgram, sssp
+from .label_propagation import (
+    LabelPropagationProgram,
+    LocalLabelPropagationProgram,
+    label_propagation,
+)
+
+#: app name -> public entry point (the CLI ``run-app`` registry)
+APPS = {
+    "pagerank": pagerank,
+    "sssp": sssp,
+    "connected_components": connected_components,
+    "label_propagation": label_propagation,
+}
 
 __all__ = [
+    "APPS",
     "PageRankProgram",
+    "LocalPageRankProgram",
     "pagerank",
     "ConnectedComponentsProgram",
+    "LocalConnectedComponentsProgram",
     "connected_components",
     "SsspProgram",
+    "LocalSsspProgram",
     "sssp",
     "LabelPropagationProgram",
+    "LocalLabelPropagationProgram",
     "label_propagation",
 ]

@@ -10,8 +10,18 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine import GasEngine, RunCost
+from ..runtime import (
+    DenseAccumulator,
+    LocalContext,
+    LocalGasRuntime,
+    undirected_incidences,
+)
 
-__all__ = ["ConnectedComponentsProgram", "connected_components"]
+__all__ = [
+    "ConnectedComponentsProgram",
+    "LocalConnectedComponentsProgram",
+    "connected_components",
+]
 
 
 class ConnectedComponentsProgram:
@@ -30,12 +40,46 @@ class ConnectedComponentsProgram:
         return new_values, changed
 
 
+class LocalConnectedComponentsProgram(ConnectedComponentsProgram):
+    """HashMin against the partition-local API (sharing the oracle's
+    ``init``): undirected min-gather over each partition's local edges,
+    exact int64 minima — bit-identical to the global oracle."""
+
+    edge_mode = "undirected"
+    frontier = "sparse"
+    accumulator = DenseAccumulator(
+        np.dtype(np.int64), np.iinfo(np.int64).max, np.minimum
+    )
+
+    _incidences: list | None = None
+
+    def setup(self, runtime: LocalGasRuntime) -> None:
+        self._incidences = undirected_incidences(runtime.index)
+
+    def gather_local(self, ctx: LocalContext) -> np.ndarray:
+        part = ctx.part
+        partial = np.full(
+            part.num_vertices, np.iinfo(np.int64).max, dtype=np.int64
+        )
+        targets, sources = self._incidences[part.pid]
+        mask = ctx.active[targets]
+        np.minimum.at(partial, targets[mask], ctx.values[sources[mask]])
+        return partial
+
+    def apply(self, runtime, vertex_ids, old_values, acc) -> np.ndarray:
+        return np.minimum(old_values, acc)
+
+
 def connected_components(
-    engine: GasEngine, max_supersteps: int = 200
+    engine: GasEngine | LocalGasRuntime, max_supersteps: int = 200
 ) -> tuple[np.ndarray, RunCost]:
     """Run weakly-connected components; returns (labels, cost).
 
     Labels equal the minimum vertex id of each component, matching
     :meth:`repro.graph.DiGraph.weakly_connected_components`.
     """
-    return engine.run(ConnectedComponentsProgram(), max_supersteps=max_supersteps)
+    if isinstance(engine, LocalGasRuntime):
+        program = LocalConnectedComponentsProgram()
+    else:
+        program = ConnectedComponentsProgram()
+    return engine.run(program, max_supersteps=max_supersteps)

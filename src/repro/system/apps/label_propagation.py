@@ -11,8 +11,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine import GasEngine, RunCost
+from ..runtime import (
+    LABEL_COUNT,
+    LocalContext,
+    LocalGasRuntime,
+    group_label_counts,
+    undirected_incidences,
+)
 
-__all__ = ["LabelPropagationProgram", "label_propagation"]
+__all__ = [
+    "LabelPropagationProgram",
+    "LocalLabelPropagationProgram",
+    "label_propagation",
+]
 
 
 class LabelPropagationProgram:
@@ -66,10 +77,61 @@ class LabelPropagationProgram:
         return new_values, changed
 
 
+class LocalLabelPropagationProgram(LabelPropagationProgram):
+    """Majority-label propagation against the partition-local API
+    (sharing the oracle's ``max_iters`` validation and ``init``).
+
+    The gather accumulator is a ragged per-vertex label histogram
+    (:data:`LABEL_COUNT`): each partition counts labels over its local
+    undirected incidences, mirrors ship their histograms to the master,
+    and the master's exact integer merge + (count desc, label asc) pick
+    reproduces the oracle bit-for-bit.
+    """
+
+    edge_mode = "undirected"
+    frontier = "sparse"
+    accumulator = LABEL_COUNT
+
+    _incidences: list | None = None
+
+    def setup(self, runtime: LocalGasRuntime) -> None:
+        self._incidences = undirected_incidences(runtime.index)
+
+    def gather_local(self, ctx: LocalContext):
+        targets, sources = self._incidences[ctx.part.pid]
+        mask = ctx.active[targets]
+        return group_label_counts(
+            targets[mask], ctx.values[sources[mask]], ctx.runtime.num_vertices
+        )
+
+    def apply(self, runtime, vertex_ids, old_values, acc):
+        indptr, labels, counts = acc
+        new_values = old_values.copy()
+        if labels.size:
+            seg = np.repeat(
+                np.arange(vertex_ids.size, dtype=np.int64), np.diff(indptr)
+            )
+            # per segment: highest count wins, ties to the smallest label
+            order = np.lexsort((labels, -counts, seg))
+            seg_sorted = seg[order]
+            heads = order[np.r_[True, seg_sorted[1:] != seg_sorted[:-1]]]
+            new_values[seg[heads]] = labels[heads]
+        return new_values
+
+    def post_superstep(
+        self, runtime: LocalGasRuntime, step: int, changed: np.ndarray
+    ) -> np.ndarray:
+        if step + 1 >= self.max_iters:
+            return np.zeros_like(changed)
+        return changed
+
+
 def label_propagation(
-    engine: GasEngine, max_iters: int = 10
+    engine: GasEngine | LocalGasRuntime, max_iters: int = 10
 ) -> tuple[np.ndarray, RunCost]:
     """Run LPA for at most ``max_iters`` supersteps; returns (labels, cost)."""
-    return engine.run(
-        LabelPropagationProgram(max_iters), max_supersteps=max_iters + 1
-    )
+    if isinstance(engine, LocalGasRuntime):
+        program = LocalLabelPropagationProgram(max_iters)
+    else:
+        program = LabelPropagationProgram(max_iters)
+    return engine.run(program, max_supersteps=max_iters + 1)

@@ -12,8 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine import GasEngine, RunCost
+from ..runtime import DenseAccumulator, LocalContext, LocalGasRuntime
 
-__all__ = ["PageRankProgram", "pagerank"]
+__all__ = ["PageRankProgram", "LocalPageRankProgram", "pagerank"]
 
 
 class PageRankProgram:
@@ -63,11 +64,81 @@ class PageRankProgram:
         return new_values, changed
 
 
+class LocalPageRankProgram(PageRankProgram):
+    """PageRank against the partition-local :class:`LocalContext` API.
+
+    Extends :class:`PageRankProgram` to share its knob validation and
+    global-formula ``init`` (both engines accept it); the gather is a
+    partition-local ``add.at`` over each partition's edge sub-graph, the
+    dangling mass a global aggregator assembled from per-partition master
+    partials, and convergence the oracle's L1 test on the coordinator
+    view — so superstep counts match the global oracle exactly and values
+    agree to summation-order rounding (<= 1e-12).
+    """
+
+    edge_mode = "directed"
+    frontier = "dense"
+    accumulator = DenseAccumulator(np.dtype(np.float64), 0.0, np.add)
+
+    _out_degree_local: list[np.ndarray] | None = None
+    _dangling_mass = 0.0
+
+    def setup(self, runtime: LocalGasRuntime) -> None:
+        # static replica table: each partition holds the out-degrees of its
+        # local replicas (broadcast once at load time in a real deployment)
+        self._out_degree_local = [
+            self._out_degree[p.vertices] for p in runtime.index.partitions
+        ]
+
+    def gather_local(self, ctx: LocalContext) -> np.ndarray:
+        part = ctx.part
+        out_degree = self._out_degree_local[part.pid]
+        contrib = np.where(
+            out_degree > 0, ctx.values / np.maximum(out_degree, 1.0), 0.0
+        )
+        partial = np.zeros(part.num_vertices, dtype=np.float64)
+        mask = ctx.active[part.dst_local]
+        np.add.at(partial, part.dst_local[mask], contrib[part.src_local[mask]])
+        return partial
+
+    def before_apply(self, runtime: LocalGasRuntime, values_global: np.ndarray):
+        # dangling-mass aggregator: per-partition partial sums over local
+        # masters, plus the coordinator's edgeless vertices
+        total = 0.0
+        for i, part in enumerate(runtime.index.partitions):
+            dangling = part.is_master & (self._out_degree_local[i] == 0)
+            total += float(runtime.values_local[i][dangling].sum())
+        unhosted = runtime.placement.replica_counts == 0
+        total += float(values_global[unhosted & (self._out_degree == 0)].sum())
+        self._dangling_mass = total
+
+    def apply(
+        self,
+        runtime: LocalGasRuntime,
+        vertex_ids: np.ndarray,
+        old_values: np.ndarray,
+        acc: np.ndarray,
+    ) -> np.ndarray:
+        n = runtime.num_vertices
+        return (1.0 - self.damping) / n + self.damping * (
+            acc + self._dangling_mass / n
+        )
+
+    def check_converged(
+        self, runtime: LocalGasRuntime, old: np.ndarray, new: np.ndarray
+    ) -> bool:
+        return float(np.abs(new - old).sum()) < self.tol * runtime.num_vertices
+
+
 def pagerank(
-    engine: GasEngine,
+    engine: GasEngine | LocalGasRuntime,
     damping: float = 0.85,
     tol: float = 1e-8,
     max_supersteps: int = 100,
 ) -> tuple[np.ndarray, RunCost]:
-    """Run PageRank on the engine; returns (ranks, cost)."""
-    return engine.run(PageRankProgram(damping, tol), max_supersteps=max_supersteps)
+    """Run PageRank on a global oracle engine or local runtime."""
+    if isinstance(engine, LocalGasRuntime):
+        program = LocalPageRankProgram(damping, tol)
+    else:
+        program = PageRankProgram(damping, tol)
+    return engine.run(program, max_supersteps=max_supersteps)

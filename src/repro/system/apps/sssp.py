@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine import GasEngine, RunCost
+from ..runtime import DenseAccumulator, LocalContext, LocalGasRuntime
 
-__all__ = ["SsspProgram", "sssp"]
+__all__ = ["SsspProgram", "LocalSsspProgram", "sssp"]
 
 
 class SsspProgram:
@@ -52,11 +53,56 @@ class SsspProgram:
         return new_values, changed
 
 
+class LocalSsspProgram(SsspProgram):
+    """Bellman-Ford against the partition-local API.
+
+    Extends :class:`SsspProgram` to share its source/weight validation
+    and ``init`` (both engines accept it).  Min-gather over each
+    partition's local in-edges of frontier-activated targets; edge
+    weights are sliced per partition by stream position
+    (``LocalPartition.edge_ids``).  Minimum is order-independent, so the
+    distances are bit-identical to the global oracle.
+    """
+
+    edge_mode = "directed"
+    frontier = "sparse"
+    accumulator = DenseAccumulator(np.dtype(np.float64), np.inf, np.minimum)
+
+    _weights_local: list | None = None
+
+    def setup(self, runtime: LocalGasRuntime) -> None:
+        self._weights_local = [
+            None if self.weights is None else self.weights[p.edge_ids]
+            for p in runtime.index.partitions
+        ]
+
+    def gather_local(self, ctx: LocalContext) -> np.ndarray:
+        part = ctx.part
+        partial = np.full(part.num_vertices, np.inf, dtype=np.float64)
+        mask = ctx.active[part.dst_local]
+        weights = self._weights_local[part.pid]
+        w = 1.0 if weights is None else weights[mask]
+        np.minimum.at(
+            partial, part.dst_local[mask], ctx.values[part.src_local[mask]] + w
+        )
+        return partial
+
+    def apply(self, runtime, vertex_ids, old_values, acc) -> np.ndarray:
+        return np.minimum(old_values, acc)
+
+
 def sssp(
-    engine: GasEngine, source: int, weights=None, max_supersteps: int = 500
+    engine: GasEngine | LocalGasRuntime,
+    source: int,
+    weights=None,
+    max_supersteps: int = 500,
 ) -> tuple[np.ndarray, RunCost]:
     """Run SSSP from ``source``; returns (distances, cost).
 
     Unreached vertices have distance ``inf``.
     """
-    return engine.run(SsspProgram(source, weights), max_supersteps=max_supersteps)
+    if isinstance(engine, LocalGasRuntime):
+        program = LocalSsspProgram(source, weights)
+    else:
+        program = SsspProgram(source, weights)
+    return engine.run(program, max_supersteps=max_supersteps)

@@ -25,7 +25,6 @@ from typing import Protocol
 
 import numpy as np
 
-from .._util import stable_argsort_bounded
 from ..partitioners.base import PartitionAssignment
 from .network import NetworkModel
 from .placement import Placement, build_placement
@@ -64,6 +63,18 @@ class SuperstepCost:
     def total_seconds(self) -> float:
         return self.compute_seconds + self.comm_seconds
 
+    def to_dict(self) -> dict:
+        return {
+            "superstep": self.superstep,
+            "active_vertices": self.active_vertices,
+            "active_edges": self.active_edges,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "compute_seconds": self.compute_seconds,
+            "comm_seconds": self.comm_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
 
 @dataclass
 class RunCost:
@@ -98,9 +109,37 @@ class RunCost:
     def total_seconds(self) -> float:
         return self.compute_seconds + self.comm_seconds
 
+    def to_dict(self, per_superstep: bool = False) -> dict:
+        """JSON-ready aggregate (for the ``run_all.py --json`` payload)."""
+        out = {
+            "supersteps": self.num_supersteps,
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "compute_seconds": self.compute_seconds,
+            "comm_seconds": self.comm_seconds,
+            "total_seconds": self.total_seconds,
+        }
+        if per_superstep:
+            out["per_superstep"] = [s.to_dict() for s in self.supersteps]
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable digest of the run."""
+        return (
+            f"supersteps={self.num_supersteps} messages={self.total_messages} "
+            f"volume={self.total_bytes / 1e6:.2f}MB "
+            f"compute={self.compute_seconds:.4f}s comm={self.comm_seconds:.4f}s "
+            f"total={self.total_seconds:.4f}s"
+        )
+
 
 class GasEngine:
     """Simulated PowerGraph cluster bound to one partitioning.
+
+    This is the retained ``mode="global"`` *oracle*: program semantics run
+    on global arrays and costs are modeled analytically.  The executable
+    counterpart is :class:`repro.system.runtime.LocalGasRuntime`, whose
+    per-superstep message counts the parity tests pin against this model.
 
     Parameters
     ----------
@@ -115,6 +154,8 @@ class GasEngine:
     vertices_per_second:
         Per-node apply throughput.
     """
+
+    mode = "global"
 
     def __init__(
         self,
@@ -138,10 +179,7 @@ class GasEngine:
         # per-superstep active-edge accounting a segmented sum instead of
         # a per-edge scatter
         self._edge_partition = assignment.edge_partition
-        order = stable_argsort_bounded(self._edge_partition, self.num_partitions)
-        counts = np.bincount(self._edge_partition, minlength=self.num_partitions)
-        self._edge_indptr = np.zeros(self.num_partitions + 1, dtype=np.int64)
-        np.cumsum(counts, out=self._edge_indptr[1:])
+        order, self._edge_indptr = assignment.grouped_edges()
         self._src_by_partition = self.stream.src[order]
         self._dst_by_partition = self.stream.dst[order]
         self._sync_factor = self.placement.replica_counts - 1

@@ -8,7 +8,7 @@ PowerGraph's ~16-byte accumulator messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = ["NetworkModel"]
 
@@ -54,10 +54,20 @@ class NetworkModel:
             raise ValueError("rounds_per_superstep must be positive")
 
     def superstep_comm_seconds(self, num_messages: int) -> float:
-        """Wall-clock of one superstep's synchronization phase."""
-        volume = num_messages * self.bytes_per_message
+        """Wall-clock of one superstep's synchronization phase (modeled
+        volume: every message carries ``bytes_per_message``)."""
+        return self.comm_seconds(num_messages, num_messages * self.bytes_per_message)
+
+    def comm_seconds(self, num_messages: int, volume_bytes: float) -> float:
+        """Wall-clock of one sync phase from a *measured* byte volume.
+
+        The local runtime counts messages and payload bytes off its
+        buffers and prices them here; with the default 8-byte dense
+        accumulators (8-byte vertex header + 8-byte payload = 16 bytes)
+        this agrees exactly with :meth:`superstep_comm_seconds`.
+        """
         return (
-            volume / self.bandwidth_bytes_per_s
+            volume_bytes / self.bandwidth_bytes_per_s
             + num_messages * self.seconds_per_message
             + self.rounds_per_superstep * self.rtt_seconds
         )
@@ -68,10 +78,9 @@ class NetworkModel:
 
     def with_rtt(self, rtt_seconds: float) -> "NetworkModel":
         """Copy with a different RTT (the Figure 8(c) sweep)."""
-        return NetworkModel(
-            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
-            rtt_seconds=rtt_seconds,
-            bytes_per_message=self.bytes_per_message,
-            seconds_per_message=self.seconds_per_message,
-            rounds_per_superstep=self.rounds_per_superstep,
-        )
+        return replace(self, rtt_seconds=rtt_seconds)
+
+    def with_bandwidth(self, bandwidth_bytes_per_s: float) -> "NetworkModel":
+        """Copy with a different bisection bandwidth (Figure 8(c)-style
+        bandwidth sweeps)."""
+        return replace(self, bandwidth_bytes_per_s=bandwidth_bytes_per_s)

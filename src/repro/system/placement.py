@@ -5,6 +5,14 @@ of its edges; one replica is the *master* (holds the authoritative value),
 the rest are *mirrors*.  We pick the partition holding the most of the
 vertex's edges as master (ties -> lowest partition id), which is what a
 locality-aware PowerGraph build does.
+
+Beyond the aggregate tables (:class:`Placement`), this module builds the
+*executable* layout the partition-local runtime runs on
+(:func:`build_local_index`): per-partition local vertex-id spaces with
+global<->local maps (:class:`LocalPartition`), the local edge sub-graphs
+sliced from the partition-grouped stream, and the flat mirror<->master
+routing table (:class:`ReplicaRoutes`) that message buffers are built
+from with one boolean mask per superstep.
 """
 
 from __future__ import annotations
@@ -13,10 +21,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._util import vertex_partition_pairs
+from .._util import group_by_bounded, vertex_partition_pairs
 from ..partitioners.base import PartitionAssignment
 
-__all__ = ["Placement", "build_placement"]
+__all__ = [
+    "Placement",
+    "build_placement",
+    "LocalPartition",
+    "ReplicaRoutes",
+    "LocalIndex",
+    "build_local_index",
+]
 
 
 @dataclass
@@ -96,4 +111,204 @@ def build_placement(assignment: PartitionAssignment) -> Placement:
         mirrors_per_partition=mirrors_per_partition,
         masters_per_partition=masters_per_partition,
         edges_per_partition=assignment.partition_sizes(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# per-partition local index spaces (the executable layout)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class LocalPartition:
+    """One partition's local index space and edge sub-graph.
+
+    Vertex replicas hosted by the partition get dense *local* ids
+    ``0..num_vertices-1`` in ascending global-id order; the partition's
+    edges are stored with local endpoints plus their positions in the
+    original stream (so per-edge attributes like SSSP weights can be
+    sliced without a global array).
+
+    Attributes
+    ----------
+    pid:
+        Partition id.
+    vertices:
+        Sorted global ids of the replicas hosted here (local -> global).
+    is_master:
+        Per local vertex: this partition holds the master replica.
+    src_local, dst_local:
+        The partition's edges with local-id endpoints.
+    edge_ids:
+        Position of each local edge in the original stream.
+    """
+
+    pid: int
+    vertices: np.ndarray
+    is_master: np.ndarray
+    src_local: np.ndarray
+    dst_local: np.ndarray
+    edge_ids: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.vertices.size)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src_local.size)
+
+    @property
+    def num_masters(self) -> int:
+        return int(np.count_nonzero(self.is_master))
+
+    def to_local(self, global_ids) -> np.ndarray:
+        """Map global vertex ids to this partition's local ids.
+
+        Every id must be hosted here (``KeyError`` otherwise) — the local
+        runtime never addresses a replica a partition does not hold.
+        """
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if self.vertices.size == 0:
+            if global_ids.size:
+                raise KeyError(f"partition {self.pid} hosts no replicas")
+            return np.empty(0, dtype=np.int64)
+        local = np.searchsorted(self.vertices, global_ids)
+        in_range = local < self.vertices.size
+        valid = in_range & (self.vertices[np.where(in_range, local, 0)] == global_ids)
+        if not np.all(valid):
+            missing = global_ids[~valid]
+            raise KeyError(
+                f"partition {self.pid} hosts no replica of vertices {missing[:5]}"
+            )
+        return local
+
+    def to_global(self, local_ids) -> np.ndarray:
+        """Map this partition's local ids back to global vertex ids."""
+        return self.vertices[np.asarray(local_ids, dtype=np.int64)]
+
+
+@dataclass
+class ReplicaRoutes:
+    """Flat mirror<->master routing table: one row per mirror replica.
+
+    Rows are sorted by ``mirror_part`` (ties by global vertex id), with
+    ``mirror_indptr`` delimiting each partition's slice, so a superstep's
+    message buffer is one boolean mask over these columns: the rows whose
+    vertex is in the sync set *are* the gather messages (mirror -> master)
+    and, reversed, the apply broadcasts (master -> mirror).
+
+    Attributes
+    ----------
+    vertex:
+        Global vertex id of the mirrored vertex.
+    mirror_part, mirror_local:
+        The mirror replica's partition and local id there.
+    master_part, master_local:
+        The master replica's partition and local id there.
+    mirror_indptr:
+        ``(k + 1,)`` — rows ``[mirror_indptr[p], mirror_indptr[p+1])``
+        belong to mirror partition ``p``.
+    """
+
+    vertex: np.ndarray
+    mirror_part: np.ndarray
+    mirror_local: np.ndarray
+    master_part: np.ndarray
+    master_local: np.ndarray
+    mirror_indptr: np.ndarray
+
+    @property
+    def num_mirrors(self) -> int:
+        return int(self.vertex.size)
+
+
+@dataclass
+class LocalIndex:
+    """The full executable layout: all local partitions plus routing.
+
+    Built once per deployment by :func:`build_local_index`; the runtime
+    holds per-partition value arrays indexed by each
+    :class:`LocalPartition`'s local ids and exchanges accumulator /
+    value messages along :class:`ReplicaRoutes`.
+    """
+
+    num_partitions: int
+    num_vertices: int
+    partitions: list[LocalPartition]
+    routes: ReplicaRoutes
+    placement: Placement
+
+
+def build_local_index(
+    assignment: PartitionAssignment, placement: Placement | None = None
+) -> LocalIndex:
+    """Derive the per-partition local index spaces from an assignment.
+
+    Slices the partition-grouped edge layout (one stable bounded radix
+    argsort of ``edge_partition``), builds each partition's sorted local
+    vertex space from its edge endpoints, and materializes the flat
+    mirror routing table from the same sparse (vertex, partition)
+    incidence pairs :func:`build_placement` uses — so the routes are
+    consistent with ``Placement.replica_counts`` by construction.
+    """
+    stream = assignment.stream
+    k = assignment.num_partitions
+    if placement is None:
+        placement = build_placement(assignment)
+    master = placement.master
+    # partition-grouped edge layout (cached on the assignment, shared
+    # with the global oracle engine)
+    order, indptr = assignment.grouped_edges()
+    src_g = stream.src[order]
+    dst_g = stream.dst[order]
+    partitions: list[LocalPartition] = []
+    for pid in range(k):
+        lo, hi = indptr[pid], indptr[pid + 1]
+        s, d = src_g[lo:hi], dst_g[lo:hi]
+        vertices = np.unique(np.concatenate([s, d]))
+        partitions.append(
+            LocalPartition(
+                pid=pid,
+                vertices=vertices,
+                is_master=master[vertices] == pid,
+                src_local=np.searchsorted(vertices, s),
+                dst_local=np.searchsorted(vertices, d),
+                edge_ids=order[lo:hi],
+            )
+        )
+    # mirror routing table from the sparse replica incidence
+    verts, parts, _ = vertex_partition_pairs(
+        stream.src, stream.dst, assignment.edge_partition, k
+    )
+    is_mirror = parts != master[verts]
+    m_vertex = verts[is_mirror]
+    m_part = parts[is_mirror]
+    row_order, mirror_indptr = group_by_bounded(m_part, k)
+    m_vertex = m_vertex[row_order]
+    m_part = m_part[row_order]
+    m_master = master[m_vertex]
+    mirror_local = np.empty(m_vertex.size, dtype=np.int64)
+    master_local = np.empty(m_vertex.size, dtype=np.int64)
+    for pid, part in enumerate(partitions):
+        rows = slice(mirror_indptr[pid], mirror_indptr[pid + 1])
+        if mirror_indptr[pid + 1] > mirror_indptr[pid]:
+            mirror_local[rows] = part.to_local(m_vertex[rows])
+        at_master = m_master == pid
+        if at_master.any():
+            master_local[at_master] = part.to_local(m_vertex[at_master])
+    routes = ReplicaRoutes(
+        vertex=m_vertex,
+        mirror_part=m_part,
+        mirror_local=mirror_local,
+        master_part=m_master,
+        master_local=master_local,
+        mirror_indptr=mirror_indptr,
+    )
+    return LocalIndex(
+        num_partitions=k,
+        num_vertices=stream.num_vertices,
+        partitions=partitions,
+        routes=routes,
+        placement=placement,
     )

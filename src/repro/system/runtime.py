@@ -1,0 +1,527 @@
+"""The partition-local GAS runtime: executable master/mirror dataflow.
+
+Unlike :class:`~repro.system.engine.GasEngine` (retained as the
+``mode="global"`` oracle), this runtime holds **no global compute state**:
+every gather/apply/scatter runs as a vectorized array kernel over one
+partition's local sub-graph (:class:`~repro.system.placement.LocalPartition`),
+and replicas synchronize exclusively through explicit typed message
+buffers (:mod:`repro.system.messages`) routed along the mirror table.
+
+One BSP superstep, with ``A`` the sync-active set entering the step
+(every vertex at step 0, then the scatter-activated frontier):
+
+1. **local gather** — each partition computes partial accumulators for
+   its active local targets from its local edges only;
+2. **gather sync** — every mirror of every ``v in A`` sends its partial
+   to ``v``'s master: ``sum(|P(v)| - 1 for v in A)`` messages, *measured*
+   by counting buffer rows;
+3. **apply** — each partition applies at its active masters (plus the
+   coordinator for edgeless vertices, which no partition hosts);
+4. **apply sync** — masters broadcast applied values back to mirrors:
+   another ``sum(|P(v)| - 1 for v in A)`` measured messages;
+5. **scatter/frontier** — partitions locally mark the neighbors of
+   locally-changed vertices (every edge is co-located with replicas of
+   both endpoints, so this needs no messages); the barrier OR-reduces
+   the per-partition bits into the next ``A``.
+
+Per superstep the measured message count therefore equals the paper's
+replication-cost formula ``2 * sum(|P(v)| - 1)`` over the sync-active
+set — the parity test asserts this on every run, and for PageRank
+(dense activation, the Figure 8 workload) it coincides superstep-by-
+superstep with the global oracle's modeled cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .._util import group_by_bounded
+from ..partitioners.base import PartitionAssignment
+from .engine import RunCost, SuperstepCost
+from .messages import DensePayload, MessageBuffer, RaggedPayload, ragged_take_indices
+from .network import NetworkModel
+from .placement import LocalIndex, LocalPartition, build_local_index, build_placement
+
+__all__ = [
+    "DenseAccumulator",
+    "LabelCountAccumulator",
+    "LABEL_COUNT",
+    "LocalContext",
+    "LocalVertexProgram",
+    "LocalGasRuntime",
+    "group_label_counts",
+    "undirected_incidences",
+]
+
+
+def undirected_incidences(index: LocalIndex) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-partition static ``(targets, sources)`` incidence tables over
+    both edge directions — built once at program setup so undirected
+    gather kernels (connected components, label propagation) do no
+    concatenation inside the per-superstep hot loop."""
+    return [
+        (
+            np.concatenate([p.dst_local, p.src_local]),
+            np.concatenate([p.src_local, p.dst_local]),
+        )
+        for p in index.partitions
+    ]
+
+
+def group_label_counts(
+    targets: np.ndarray,
+    labels: np.ndarray,
+    n_labels: int,
+    counts: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact (target, label) histogram as key-sorted COO triples.
+
+    With ``counts=None`` each row counts as one occurrence (the local
+    gather over raw incidences); with an int64 ``counts`` array the
+    pre-counted histograms are summed (the master-side merge).  Both
+    sides of the label-count accumulator share this one key encoding,
+    so mirror partials and master merges cannot drift apart.
+    """
+    key = targets * n_labels + labels
+    if counts is None:
+        uniq, summed = np.unique(key, return_counts=True)
+        summed = summed.astype(np.int64)
+    else:
+        uniq, inverse = np.unique(key, return_inverse=True)
+        summed = np.zeros(uniq.size, dtype=np.int64)
+        np.add.at(summed, inverse, counts)
+    return uniq // n_labels, uniq % n_labels, summed
+
+
+@dataclass(frozen=True)
+class DenseAccumulator:
+    """Fixed-width gather accumulator: one value per vertex.
+
+    ``combine`` must be an associative, commutative ufunc with
+    ``identity`` as its neutral element (``np.add`` with 0, ``np.minimum``
+    with inf/intmax) — mirrors may merge in any order.
+    """
+
+    dtype: np.dtype
+    identity: object
+    combine: np.ufunc
+
+    def empty(self, n: int) -> np.ndarray:
+        return np.full(n, self.identity, dtype=self.dtype)
+
+
+class LabelCountAccumulator:
+    """Ragged gather accumulator: per-vertex (label, count) histograms.
+
+    Partials are COO triples ``(target_local, label, count)`` sorted by
+    (target, label); merging concatenates and re-groups with exact
+    integer sums, so the result is order-independent.
+    """
+
+
+#: the shared label-histogram accumulator spec (stateless)
+LABEL_COUNT = LabelCountAccumulator()
+
+
+@dataclass
+class LocalContext:
+    """What a vertex program sees inside one partition: local state only.
+
+    Attributes
+    ----------
+    part:
+        The partition's local index space and edge sub-graph.
+    values:
+        Current values of the partition's replicas, indexed by local id
+        (mirrors hold the last value their master broadcast).
+    active:
+        Sync-active frontier restricted to local ids.
+    runtime:
+        The owning runtime, for immutable globals (``num_vertices``) and
+        static per-vertex tables built in ``setup``.
+    """
+
+    part: LocalPartition
+    values: np.ndarray
+    active: np.ndarray
+    runtime: "LocalGasRuntime"
+
+
+@runtime_checkable
+class LocalVertexProgram(Protocol):
+    """Partition-local vertex-program interface.
+
+    ``edge_mode`` declares which incidences gather and activate
+    (``"directed"``: in-edges; ``"undirected"``: both directions);
+    ``frontier`` is ``"sparse"`` (per-vertex ``changed`` masks drive
+    scatter activation) or ``"dense"`` (all-or-nothing activation decided
+    by ``check_converged``, PageRank-style); ``accumulator`` is a
+    :class:`DenseAccumulator` or :data:`LABEL_COUNT`.
+
+    Optional hooks: ``setup(runtime)`` builds static tables after
+    ``init``; ``before_apply(runtime, values_global)`` computes global
+    aggregates (tree-reductions in a real deployment); and
+    ``post_superstep(runtime, step, changed)`` may rewrite the changed
+    mask (label propagation's iteration bound).
+    """
+
+    edge_mode: str
+    frontier: str
+    accumulator: DenseAccumulator | LabelCountAccumulator
+
+    def init(self, runtime: "LocalGasRuntime") -> np.ndarray: ...
+
+    def gather_local(self, ctx: LocalContext): ...
+
+    def apply(
+        self, runtime: "LocalGasRuntime", vertex_ids: np.ndarray,
+        old_values: np.ndarray, acc,
+    ) -> np.ndarray: ...
+
+
+class LocalGasRuntime:
+    """Partition-local GAS runtime bound to one vertex-cut deployment.
+
+    Drop-in alternative to :class:`~repro.system.engine.GasEngine` with
+    the same cost-model knobs; ``SuperstepCost.messages``/``bytes`` are
+    measured from the exchanged buffers instead of modeled.
+    """
+
+    mode = "local"
+
+    def __init__(
+        self,
+        assignment: PartitionAssignment,
+        network: NetworkModel | None = None,
+        edges_per_second: float = 5e6,
+        vertices_per_second: float = 2e7,
+    ) -> None:
+        if edges_per_second <= 0 or vertices_per_second <= 0:
+            raise ValueError("throughput parameters must be positive")
+        self.assignment = assignment
+        self.stream = assignment.stream
+        self.network = network or NetworkModel()
+        self.edges_per_second = float(edges_per_second)
+        self.vertices_per_second = float(vertices_per_second)
+        self.placement = build_placement(assignment)
+        self.index: LocalIndex = build_local_index(assignment, self.placement)
+        self.num_vertices = self.stream.num_vertices
+        self.num_partitions = assignment.num_partitions
+        self._unhosted = self.placement.replica_counts == 0
+        #: per-partition replica values during a run (program hooks may read)
+        self.values_local: list[np.ndarray] | None = None
+        #: per-superstep sync masks of the last run (for the parity test)
+        self.sync_masks: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, program: LocalVertexProgram, max_supersteps: int = 100
+    ) -> tuple[np.ndarray, RunCost]:
+        """Execute ``program`` to convergence; returns (values, cost)."""
+        if max_supersteps <= 0:
+            raise ValueError("max_supersteps must be positive")
+        values_global = np.ascontiguousarray(program.init(self))
+        if hasattr(program, "setup"):
+            program.setup(self)
+        parts = self.index.partitions
+        # deterministic replicated init: every worker evaluates init locally,
+        # so the initial load crosses no wires (matching the oracle)
+        self.values_local = [values_global[p.vertices] for p in parts]
+        n = self.num_vertices
+        undirected = program.edge_mode == "undirected"
+        spec = program.accumulator
+        cost = RunCost()
+        self.sync_masks = []
+        active = np.ones(n, dtype=bool)
+        for step in range(max_supersteps):
+            self.sync_masks.append(active.copy())
+            active_local = [active[p.vertices] for p in parts]
+            # (1) partition-local gather kernels
+            partials = [
+                program.gather_local(
+                    LocalContext(
+                        part=p,
+                        values=self.values_local[i],
+                        active=active_local[i],
+                        runtime=self,
+                    )
+                )
+                for i, p in enumerate(parts)
+            ]
+            # (2) gather sync: mirror -> master accumulator messages
+            gather_buf = self._build_gather_buffer(active, partials, spec)
+            merged = self._deliver_gather(gather_buf, partials, spec)
+            # (3) apply at active masters (+ coordinator for edgeless vertices)
+            if hasattr(program, "before_apply"):
+                program.before_apply(self, values_global)
+            new_global = values_global.copy()
+            sparse = program.frontier != "dense"
+            changed = np.zeros(n, dtype=bool)
+            for i, p in enumerate(parts):
+                ids = np.nonzero(p.is_master & active_local[i])[0]
+                if ids.size == 0:
+                    continue
+                gids = p.vertices[ids]
+                acc = self._extract_accumulator(merged[i], ids, spec, p)
+                new_vals = program.apply(self, gids, self.values_local[i][ids], acc)
+                self.values_local[i][ids] = new_vals
+                new_global[gids] = new_vals
+                if sparse:
+                    changed[gids] = new_vals != values_global[gids]
+            isolated = active & self._unhosted
+            if isolated.any():
+                gids = np.nonzero(isolated)[0]
+                acc = self._identity_accumulator(spec, gids.size)
+                new_vals = program.apply(self, gids, values_global[gids], acc)
+                new_global[gids] = new_vals
+                if sparse:
+                    changed[gids] = new_vals != values_global[gids]
+            # (4) apply sync: master -> mirror value broadcasts
+            apply_buf = self._build_apply_buffer(active)
+            self._deliver_apply(apply_buf)
+            # frontier policy
+            if program.frontier == "dense":
+                converged = program.check_converged(self, values_global, new_global)
+                changed = np.full(n, not converged, dtype=bool)
+            if hasattr(program, "post_superstep"):
+                changed = program.post_superstep(self, step, changed)
+            # (5) measured superstep cost
+            cost.add(
+                self._superstep_cost(
+                    step, active, active_local, gather_buf, apply_buf
+                )
+            )
+            values_global = new_global
+            if program.frontier == "dense":
+                active = changed.copy()
+            else:
+                active = self._scatter_frontier(changed, undirected)
+            if not changed.any():
+                break
+        self.values_local = None
+        return values_global, cost
+
+    # ------------------------------------------------------------------ #
+    # message buffers
+    # ------------------------------------------------------------------ #
+
+    def _build_gather_buffer(
+        self, active: np.ndarray, partials: list, spec
+    ) -> MessageBuffer:
+        """Pack every active mirror's partial accumulator for its master."""
+        routes = self.index.routes
+        sel = active[routes.vertex]
+        if isinstance(spec, DenseAccumulator):
+            chunks = []
+            for pid in range(self.num_partitions):
+                rows = slice(routes.mirror_indptr[pid], routes.mirror_indptr[pid + 1])
+                mask = sel[rows]
+                chunks.append(partials[pid][routes.mirror_local[rows][mask]])
+            values = (
+                np.concatenate(chunks)
+                if chunks
+                else np.empty(0, dtype=spec.dtype)
+            )
+            payload = DensePayload(values)
+        else:
+            lengths_all, labels_all, counts_all = [], [], []
+            for pid in range(self.num_partitions):
+                part = self.index.partitions[pid]
+                targets, labels, counts = partials[pid]
+                part_indptr = self._histogram_indptr(targets, part)
+                rows = slice(routes.mirror_indptr[pid], routes.mirror_indptr[pid + 1])
+                mask = sel[rows]
+                locals_sel = routes.mirror_local[rows][mask]
+                starts = part_indptr[locals_sel]
+                lengths = part_indptr[locals_sel + 1] - starts
+                sub_indptr = np.zeros(locals_sel.size + 1, dtype=np.int64)
+                np.cumsum(lengths, out=sub_indptr[1:])
+                flat = ragged_take_indices(starts, lengths, sub_indptr)
+                lengths_all.append(lengths)
+                labels_all.append(labels[flat])
+                counts_all.append(counts[flat])
+            lengths = (
+                np.concatenate(lengths_all)
+                if lengths_all
+                else np.empty(0, dtype=np.int64)
+            )
+            indptr = np.zeros(lengths.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=indptr[1:])
+            payload = RaggedPayload(
+                indptr,
+                np.concatenate(labels_all) if labels_all else np.empty(0, np.int64),
+                np.concatenate(counts_all) if counts_all else np.empty(0, np.int64),
+            )
+        return MessageBuffer(
+            round="gather",
+            vertex=routes.vertex[sel],
+            src_part=routes.mirror_part[sel],
+            dst_part=routes.master_part[sel],
+            dst_local=routes.master_local[sel],
+            payload=payload,
+        )
+
+    def _deliver_gather(
+        self, buf: MessageBuffer, partials: list, spec
+    ) -> list:
+        """Merge mirror accumulators into each master partition's partial."""
+        if isinstance(spec, DenseAccumulator):
+            for pid in range(self.num_partitions):
+                locals_recv, payload = buf.for_partition(pid)
+                if locals_recv.size:
+                    spec.combine.at(partials[pid], locals_recv, payload.values)
+            return partials
+        merged = []
+        n_labels = self.num_vertices
+        for pid in range(self.num_partitions):
+            own_t, own_lab, own_cnt = partials[pid]
+            locals_recv, payload = buf.for_partition(pid)
+            if locals_recv.size == 0:
+                # nothing received: the own partial is already grouped
+                # and key-sorted, so it is its own merge
+                merged.append(partials[pid])
+                continue
+            recv_lengths = np.diff(payload.indptr)
+            recv_t = np.repeat(locals_recv, recv_lengths)
+            merged.append(
+                group_label_counts(
+                    np.concatenate([own_t, recv_t]),
+                    np.concatenate([own_lab, payload.labels]),
+                    n_labels,
+                    counts=np.concatenate([own_cnt, payload.counts]),
+                )
+            )
+        return merged
+
+    def _build_apply_buffer(self, active: np.ndarray) -> MessageBuffer:
+        """Broadcast every active vertex's applied value master -> mirrors."""
+        routes = self.index.routes
+        sel = active[routes.vertex]
+        master_part = routes.master_part[sel]
+        master_local = routes.master_local[sel]
+        dtype = (
+            self.values_local[0].dtype
+            if self.values_local
+            else np.float64
+        )
+        values = np.empty(master_part.size, dtype=dtype)
+        # pack grouped by sending master: one bounded radix argsort
+        # instead of one full scan per partition
+        order, indptr = group_by_bounded(master_part, self.num_partitions)
+        for pid in range(self.num_partitions):
+            rows = order[indptr[pid] : indptr[pid + 1]]
+            if rows.size:
+                values[rows] = self.values_local[pid][master_local[rows]]
+        return MessageBuffer(
+            round="apply",
+            vertex=routes.vertex[sel],
+            src_part=master_part,
+            dst_part=routes.mirror_part[sel],
+            dst_local=routes.mirror_local[sel],
+            payload=DensePayload(values),
+        )
+
+    def _deliver_apply(self, buf: MessageBuffer) -> None:
+        for pid in range(self.num_partitions):
+            locals_recv, payload = buf.for_partition(pid)
+            if locals_recv.size:
+                self.values_local[pid][locals_recv] = payload.values
+
+    # ------------------------------------------------------------------ #
+    # accumulator plumbing
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _histogram_indptr(targets: np.ndarray, part) -> np.ndarray:
+        """Per-local-vertex slice bounds of a target-sorted histogram
+        (O(V + H) bincount prefix sum)."""
+        indptr = np.zeros(part.num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(targets, minlength=part.num_vertices), out=indptr[1:])
+        return indptr
+
+    def _extract_accumulator(self, merged, ids: np.ndarray, spec, part):
+        if isinstance(spec, DenseAccumulator):
+            return merged[ids]
+        targets, labels, counts = merged
+        part_indptr = self._histogram_indptr(targets, part)
+        starts = part_indptr[ids]
+        lengths = part_indptr[ids + 1] - starts
+        indptr = np.zeros(ids.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        flat = ragged_take_indices(starts, lengths, indptr)
+        return indptr, labels[flat], counts[flat]
+
+    def _identity_accumulator(self, spec, n: int):
+        if isinstance(spec, DenseAccumulator):
+            return spec.empty(n)
+        return (
+            np.zeros(n + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # frontier + cost
+    # ------------------------------------------------------------------ #
+
+    def _scatter_frontier(self, changed: np.ndarray, undirected: bool) -> np.ndarray:
+        """Partition-local scatter: activate neighbors of changed vertices.
+
+        Every edge is co-located with replicas of both endpoints, so the
+        marking is message-free; the barrier OR-reduces the bits (the
+        control bits piggyback on the sync rounds in a real deployment).
+        """
+        nxt = np.zeros(self.num_vertices, dtype=bool)
+        for p in self.index.partitions:
+            changed_local = changed[p.vertices]
+            activated = np.zeros(p.num_vertices, dtype=bool)
+            activated[p.dst_local[changed_local[p.src_local]]] = True
+            if undirected:
+                activated[p.src_local[changed_local[p.dst_local]]] = True
+            nxt[p.vertices[activated]] = True
+        return nxt
+
+    def _superstep_cost(
+        self,
+        step: int,
+        active: np.ndarray,
+        active_local: list[np.ndarray],
+        gather_buf: MessageBuffer,
+        apply_buf: MessageBuffer,
+    ) -> SuperstepCost:
+        parts = self.index.partitions
+        active_edges = np.array(
+            [
+                np.count_nonzero(al[p.src_local] | al[p.dst_local])
+                for p, al in zip(parts, active_local)
+            ],
+            dtype=np.int64,
+        )
+        active_masters = np.array(
+            [
+                np.count_nonzero(p.is_master & al)
+                for p, al in zip(parts, active_local)
+            ],
+            dtype=np.int64,
+        )
+        compute_per_partition = (
+            active_edges / self.edges_per_second
+            + active_masters / self.vertices_per_second
+        )
+        messages = gather_buf.count + apply_buf.count
+        volume = gather_buf.payload_nbytes + apply_buf.payload_nbytes
+        return SuperstepCost(
+            superstep=step,
+            active_vertices=int(np.count_nonzero(active)),
+            active_edges=int(active_edges.sum()),
+            messages=messages,
+            bytes=volume,
+            compute_seconds=float(compute_per_partition.max(initial=0.0)),
+            comm_seconds=self.network.comm_seconds(messages, volume),
+        )

@@ -107,4 +107,38 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "supersteps=5" in out
+        assert "mode=local" in out
         assert "simulated" in out
+
+    def test_pagerank_global_mode(self, capsys):
+        rc = main(
+            ["pagerank", "--scale", "0.02", "-k", "4", "--supersteps", "3", "--mode", "global"]
+        )
+        assert rc == 0
+        assert "mode=global" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "app", ["pagerank", "sssp", "connected_components", "label_propagation"]
+    )
+    def test_run_app(self, capsys, app):
+        rc = main(
+            ["run-app", app, "--partitioner", "clugp", "-k", "8", "--scale", "0.02",
+             "--supersteps", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"app={app}" in out
+        assert "mode=local" in out
+        assert "messages=" in out
+
+    def test_run_app_sssp_explicit_source(self, capsys):
+        rc = main(
+            ["run-app", "sssp", "--partitioner", "hashing", "-k", "2",
+             "--scale", "0.02", "--source", "0"]
+        )
+        assert rc == 0
+        assert "source=0" in capsys.readouterr().out
+
+    def test_run_app_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["run-app", "bogus"])

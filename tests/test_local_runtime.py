@@ -1,0 +1,366 @@
+"""Tests for the partition-local GAS runtime: local index spaces, typed
+message buffers, and the local-vs-global parity contract.
+
+The acceptance matrix pins the runtime to the retained global oracle:
+min/label programs bit-identical, PageRank allclose (atol 1e-12) with
+identical superstep counts, for k in {2, 4, 8} across hashing / hdrf /
+clugp — and on every run the *measured* sync messages must equal the
+modeled ``2 * sum(|P(v)| - 1)`` replication formula over the sync set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import run_algorithm
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+from repro.partitioners.base import PartitionAssignment
+from repro.system import (
+    GasEngine,
+    LocalGasRuntime,
+    build_local_index,
+    build_placement,
+    make_engine,
+)
+from repro.system.apps import (
+    connected_components,
+    label_propagation,
+    pagerank,
+    sssp,
+)
+from repro.system.messages import ragged_take_indices
+
+PARTITIONERS = ("hashing", "hdrf", "clugp")
+PARTITION_COUNTS = (2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def parity_stream() -> EdgeStream:
+    """~3.5K-edge crawl with some edgeless vertices (coordinator path)."""
+    graph = web_crawl_graph(600, avg_out_degree=6.0, host_size=25, seed=11)
+    return EdgeStream.from_graph(graph, order="natural")
+
+
+@pytest.fixture(scope="module")
+def assignments(parity_stream) -> dict:
+    return {
+        (name, k): run_algorithm(name, parity_stream, k, seed=0)[1]
+        for name in PARTITIONERS
+        for k in PARTITION_COUNTS
+    }
+
+
+def tiny_assignment():
+    stream = EdgeStream([0, 1, 2, 0], [1, 2, 3, 3], num_vertices=4)
+    return PartitionAssignment(stream, [0, 0, 1, 1], num_partitions=2)
+
+
+def assert_message_parity(runtime: LocalGasRuntime, cost) -> None:
+    """Measured buffer messages == 2*sum(|P(v)|-1) over each sync set."""
+    sync_factor = np.clip(runtime.placement.replica_counts - 1, 0, None)
+    assert len(runtime.sync_masks) == cost.num_supersteps
+    for superstep, mask in zip(cost.supersteps, runtime.sync_masks):
+        assert superstep.messages == 2 * int(sync_factor[mask].sum())
+
+
+# ---------------------------------------------------------------------- #
+# local index spaces
+# ---------------------------------------------------------------------- #
+
+edge_streams = st.integers(2, 25).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=0,
+            max_size=60,
+        ),
+    )
+)
+
+
+def build_random_assignment(data):
+    n, edges = data
+    src = [u for u, _ in edges]
+    dst = [v for _, v in edges]
+    stream = EdgeStream(src, dst, num_vertices=n)
+    k = 1 + (len(edges) % 5)
+    rng = np.random.default_rng(len(edges) * 31 + n)
+    edge_partition = rng.integers(0, k, size=len(edges))
+    return PartitionAssignment(stream, edge_partition, num_partitions=k)
+
+
+class TestLocalIndex:
+    @settings(deadline=None, max_examples=60)
+    @given(edge_streams)
+    def test_round_trip_and_edge_slices(self, data):
+        assignment = build_random_assignment(data)
+        index = build_local_index(assignment)
+        stream = assignment.stream
+        all_edge_ids = []
+        for part in index.partitions:
+            # global -> local -> global round trip over the hosted set
+            assert np.array_equal(
+                part.to_global(part.to_local(part.vertices)), part.vertices
+            )
+            # local edges are exactly the partition's stream slice
+            assert np.array_equal(
+                part.to_global(part.src_local), stream.src[part.edge_ids]
+            )
+            assert np.array_equal(
+                part.to_global(part.dst_local), stream.dst[part.edge_ids]
+            )
+            assert np.array_equal(
+                assignment.edge_partition[part.edge_ids],
+                np.full(part.num_edges, part.pid),
+            )
+            all_edge_ids.append(part.edge_ids)
+        # every stream edge lands in exactly one partition slice
+        assert np.array_equal(
+            np.sort(np.concatenate(all_edge_ids)), np.arange(stream.num_edges)
+        )
+
+    @settings(deadline=None, max_examples=60)
+    @given(edge_streams)
+    def test_mirror_routes_consistent_with_replica_counts(self, data):
+        assignment = build_random_assignment(data)
+        placement = build_placement(assignment)
+        index = build_local_index(assignment, placement)
+        routes = index.routes
+        # one route row per mirror replica: counts match |P(v)| - 1
+        assert np.array_equal(
+            np.bincount(routes.vertex, minlength=assignment.stream.num_vertices),
+            np.clip(placement.replica_counts - 1, 0, None),
+        )
+        # every row routes a mirror to that vertex's master partition
+        assert np.array_equal(routes.master_part, placement.master[routes.vertex])
+        assert not np.any(routes.mirror_part == routes.master_part)
+        # local slots decode back to the routed vertex on both sides
+        for pid, part in enumerate(index.partitions):
+            rows = routes.mirror_part == pid
+            assert np.array_equal(
+                part.to_global(routes.mirror_local[rows]), routes.vertex[rows]
+            )
+            assert not part.is_master[routes.mirror_local[rows]].any()
+            at_master = routes.master_part == pid
+            assert np.array_equal(
+                part.to_global(routes.master_local[at_master]),
+                routes.vertex[at_master],
+            )
+            assert part.is_master[routes.master_local[at_master]].all()
+            # indptr delimits this partition's mirror rows
+            assert routes.mirror_indptr[pid + 1] - routes.mirror_indptr[pid] == int(
+                np.count_nonzero(rows)
+            )
+
+    def test_masters_partition_hosted_vertices(self):
+        index = build_local_index(tiny_assignment())
+        master_of = np.full(4, -1)
+        for part in index.partitions:
+            masters = part.vertices[part.is_master]
+            assert np.all(master_of[masters] == -1)
+            master_of[masters] = part.pid
+        assert np.array_equal(master_of, index.placement.master)
+
+    def test_to_local_rejects_unhosted(self):
+        index = build_local_index(tiny_assignment())
+        # vertex 3 has no edge in partition 0
+        with pytest.raises(KeyError):
+            index.partitions[0].to_local([3])
+
+
+class TestRaggedTake:
+    def test_interleaved_empty_slices(self):
+        starts = np.array([5, 0, 9, 0], dtype=np.int64)
+        lengths = np.array([2, 0, 3, 0], dtype=np.int64)
+        out_indptr = np.zeros(5, dtype=np.int64)
+        np.cumsum(lengths, out=out_indptr[1:])
+        flat = ragged_take_indices(starts, lengths, out_indptr)
+        assert flat.tolist() == [5, 6, 9, 10, 11]
+
+    def test_all_empty(self):
+        out = ragged_take_indices(
+            np.array([3, 7]), np.array([0, 0]), np.zeros(3, dtype=np.int64)
+        )
+        assert out.size == 0
+
+
+# ---------------------------------------------------------------------- #
+# local-vs-global parity (the acceptance matrix)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", PARTITIONERS)
+@pytest.mark.parametrize("k", PARTITION_COUNTS)
+class TestParityMatrix:
+    def test_pagerank(self, assignments, parity_stream, name, k):
+        assignment = assignments[(name, k)]
+        runtime = LocalGasRuntime(assignment)
+        local_values, local_cost = pagerank(runtime, max_supersteps=40)
+        oracle_values, oracle_cost = pagerank(GasEngine(assignment), max_supersteps=40)
+        assert local_cost.num_supersteps == oracle_cost.num_supersteps
+        assert np.allclose(local_values, oracle_values, atol=1e-12, rtol=0.0)
+        # dense activation: measured messages == oracle-modeled, per superstep
+        assert [s.messages for s in local_cost.supersteps] == [
+            s.messages for s in oracle_cost.supersteps
+        ]
+        assert_message_parity(runtime, local_cost)
+
+    def test_sssp(self, assignments, parity_stream, name, k):
+        assignment = assignments[(name, k)]
+        source = int(
+            np.bincount(
+                parity_stream.src, minlength=parity_stream.num_vertices
+            ).argmax()
+        )
+        runtime = LocalGasRuntime(assignment)
+        local_values, local_cost = sssp(runtime, source=source)
+        oracle_values, oracle_cost = sssp(GasEngine(assignment), source=source)
+        assert np.array_equal(local_values, oracle_values)
+        assert local_cost.num_supersteps == oracle_cost.num_supersteps
+        assert_message_parity(runtime, local_cost)
+
+    def test_connected_components(self, assignments, parity_stream, name, k):
+        assignment = assignments[(name, k)]
+        runtime = LocalGasRuntime(assignment)
+        local_values, local_cost = connected_components(runtime)
+        oracle_values, oracle_cost = connected_components(GasEngine(assignment))
+        assert np.array_equal(local_values, oracle_values)
+        assert local_cost.num_supersteps == oracle_cost.num_supersteps
+        assert_message_parity(runtime, local_cost)
+
+    def test_label_propagation(self, assignments, parity_stream, name, k):
+        assignment = assignments[(name, k)]
+        runtime = LocalGasRuntime(assignment)
+        local_values, local_cost = label_propagation(runtime, max_iters=8)
+        oracle_values, oracle_cost = label_propagation(
+            GasEngine(assignment), max_iters=8
+        )
+        assert np.array_equal(local_values, oracle_values)
+        assert local_cost.num_supersteps == oracle_cost.num_supersteps
+        assert_message_parity(runtime, local_cost)
+
+
+@settings(deadline=None, max_examples=40)
+@given(edge_streams)
+def test_connected_components_parity_random(data):
+    """Random streams/cuts: HashMin bit-identical local vs global."""
+    assignment = build_random_assignment(data)
+    runtime = LocalGasRuntime(assignment)
+    local_values, local_cost = connected_components(runtime)
+    oracle_values, _ = connected_components(GasEngine(assignment))
+    assert np.array_equal(local_values, oracle_values)
+    assert_message_parity(runtime, local_cost)
+
+
+# ---------------------------------------------------------------------- #
+# measured-vs-modeled golden test
+# ---------------------------------------------------------------------- #
+
+
+class TestMessageParityGolden:
+    def test_cc_on_four_cycle(self):
+        """Hand-checked: path 0-1-2-3 + chord 0-3, cut across two partitions.
+
+        Replicas: v0 and v2 span both partitions (sync factor 1), v1 and
+        v3 are single-homed.  Superstep 0 syncs everybody (2*(1+1) = 4
+        messages), superstep 1 activates the whole frontier again (4),
+        superstep 2 only {1, 3} remain active — both unreplicated, so the
+        final superstep is message-free.
+        """
+        runtime = LocalGasRuntime(tiny_assignment())
+        labels, cost = connected_components(runtime)
+        assert labels.tolist() == [0, 0, 0, 0]
+        assert cost.num_supersteps == 3
+        assert [s.messages for s in cost.supersteps] == [4, 4, 0]
+        assert_message_parity(runtime, cost)
+        # the buffers carried 16 bytes/message (8B vertex id + 8B value)
+        assert [s.bytes for s in cost.supersteps] == [64, 64, 0]
+
+    def test_frontier_sync_differs_from_oracle_changed_model(self):
+        """The oracle charges changed vertices; the runtime syncs the
+        scatter-activated frontier.  On the golden graph they diverge
+        after the first superstep — both satisfy the formula on their
+        own activation sets."""
+        assignment = tiny_assignment()
+        _, oracle_cost = connected_components(GasEngine(assignment))
+        assert [s.messages for s in oracle_cost.supersteps] == [4, 2, 2]
+
+
+# ---------------------------------------------------------------------- #
+# runtime behaviour
+# ---------------------------------------------------------------------- #
+
+
+class TestLocalRuntime:
+    def test_make_engine_modes(self):
+        assignment = tiny_assignment()
+        assert isinstance(make_engine(assignment, mode="local"), LocalGasRuntime)
+        assert isinstance(make_engine(assignment, mode="global"), GasEngine)
+        with pytest.raises(ValueError, match="mode"):
+            make_engine(assignment, mode="async")
+
+    def test_rejects_bad_throughput(self):
+        with pytest.raises(ValueError):
+            LocalGasRuntime(tiny_assignment(), edges_per_second=0)
+
+    def test_rejects_bad_max_supersteps(self):
+        runtime = LocalGasRuntime(tiny_assignment())
+        with pytest.raises(ValueError):
+            connected_components(runtime, max_supersteps=0)
+
+    def test_single_partition_is_message_free(self):
+        stream = EdgeStream([0, 1, 2], [1, 2, 3], num_vertices=4)
+        assignment = PartitionAssignment(stream, [0, 0, 0], num_partitions=1)
+        runtime = LocalGasRuntime(assignment)
+        dist, cost = sssp(runtime, source=0)
+        assert dist.tolist() == [0.0, 1.0, 2.0, 3.0]
+        assert cost.total_messages == 0
+
+    def test_empty_stream_runs(self):
+        stream = EdgeStream([], [], num_vertices=5)
+        assignment = PartitionAssignment(stream, [], num_partitions=2)
+        labels, cost = connected_components(LocalGasRuntime(assignment))
+        assert labels.tolist() == [0, 1, 2, 3, 4]
+        assert cost.total_messages == 0
+
+    def test_isolated_vertices_keep_pagerank_mass(self):
+        # vertex 3 has no edges: its rank is applied by the coordinator
+        stream = EdgeStream([0, 1], [1, 0], num_vertices=4)
+        assignment = PartitionAssignment(stream, [0, 1], num_partitions=2)
+        local_values, _ = pagerank(LocalGasRuntime(assignment), max_supersteps=60)
+        oracle_values, _ = pagerank(GasEngine(assignment), max_supersteps=60)
+        assert np.allclose(local_values, oracle_values, atol=1e-12, rtol=0.0)
+        assert local_values.sum() == pytest.approx(1.0)
+
+    def test_self_loops_count_twice_in_lp(self):
+        stream = EdgeStream([0, 0, 1], [0, 1, 2], num_vertices=3)
+        assignment = PartitionAssignment(stream, [0, 1, 1], num_partitions=2)
+        local_values, _ = label_propagation(LocalGasRuntime(assignment), max_iters=4)
+        oracle_values, _ = label_propagation(GasEngine(assignment), max_iters=4)
+        assert np.array_equal(local_values, oracle_values)
+
+    def test_weighted_sssp_slices_weights_per_partition(self):
+        stream = EdgeStream([0, 0, 1], [1, 2, 2], num_vertices=3)
+        assignment = PartitionAssignment(stream, [0, 1, 0], num_partitions=2)
+        weights = [5.0, 1.0, 1.0]
+        local_values, _ = sssp(LocalGasRuntime(assignment), source=0, weights=weights)
+        oracle_values, _ = sssp(GasEngine(assignment), source=0, weights=weights)
+        assert np.array_equal(local_values, oracle_values)
+        assert local_values.tolist() == [0.0, 5.0, 1.0]
+
+    def test_sssp_validation_matches_oracle(self):
+        runtime = LocalGasRuntime(tiny_assignment())
+        with pytest.raises(ValueError, match="source"):
+            sssp(runtime, source=99)
+        with pytest.raises(ValueError, match="non-negative"):
+            sssp(runtime, source=0, weights=[-1.0, 1.0, 1.0, 1.0])
+
+    def test_values_local_released_after_run(self):
+        runtime = LocalGasRuntime(tiny_assignment())
+        connected_components(runtime)
+        assert runtime.values_local is None

@@ -73,6 +73,32 @@ class TestNetworkModel:
         net = NetworkModel().with_rtt(0.5)
         assert net.rtt_seconds == 0.5
 
+    def test_with_rtt_preserves_other_fields(self):
+        base = NetworkModel(bandwidth_bytes_per_s=7e8, bytes_per_message=32)
+        net = base.with_rtt(0.5)
+        assert net.bandwidth_bytes_per_s == 7e8
+        assert net.bytes_per_message == 32
+
+    def test_with_bandwidth(self):
+        base = NetworkModel().with_rtt(0.05)
+        net = base.with_bandwidth(1e6)
+        assert net.bandwidth_bytes_per_s == 1e6
+        assert net.rtt_seconds == 0.05
+        with pytest.raises(ValueError):
+            base.with_bandwidth(0)
+
+    def test_lower_bandwidth_costs_more(self):
+        fast = NetworkModel().with_bandwidth(1.25e9)
+        slow = NetworkModel().with_bandwidth(1e6)
+        assert slow.superstep_comm_seconds(10_000) > fast.superstep_comm_seconds(10_000)
+
+    def test_measured_comm_seconds_matches_modeled_at_default_size(self):
+        net = NetworkModel()
+        messages = 1000
+        assert net.comm_seconds(
+            messages, messages * net.bytes_per_message
+        ) == pytest.approx(net.superstep_comm_seconds(messages))
+
     def test_validation(self):
         with pytest.raises(ValueError):
             NetworkModel(bandwidth_bytes_per_s=0)
@@ -111,6 +137,26 @@ class TestEngine:
         engine = GasEngine(tiny_assignment())
         with pytest.raises(ValueError):
             engine.run(PageRankProgram(), max_supersteps=0)
+
+    def test_run_cost_to_dict(self):
+        _, cost = pagerank(GasEngine(tiny_assignment()), max_supersteps=3)
+        payload = cost.to_dict()
+        assert payload["supersteps"] == cost.num_supersteps
+        assert payload["messages"] == cost.total_messages
+        assert payload["total_seconds"] == pytest.approx(cost.total_seconds)
+        assert "per_superstep" not in payload
+        detailed = cost.to_dict(per_superstep=True)
+        assert len(detailed["per_superstep"]) == cost.num_supersteps
+        assert detailed["per_superstep"][0]["superstep"] == 0
+        assert (
+            detailed["per_superstep"][0]["messages"] == cost.supersteps[0].messages
+        )
+
+    def test_run_cost_summary(self):
+        _, cost = pagerank(GasEngine(tiny_assignment()), max_supersteps=3)
+        text = cost.summary()
+        assert f"supersteps={cost.num_supersteps}" in text
+        assert f"messages={cost.total_messages}" in text
 
 
 class TestPageRank:

@@ -13,6 +13,7 @@ from repro._util import (
     as_rng,
     check_positive_int,
     check_probability,
+    group_by_bounded,
     hash_pair_to_partition,
     hash_to_partition,
     human_bytes,
@@ -236,6 +237,30 @@ class TestBitsetRowsBulkOps:
         with pytest.raises(IndexError, match="out of range"):
             rows.add_many(np.array([0, 1]), np.array([1, bad_bit]))
         assert rows.count() == 0
+
+
+class TestGroupByBounded:
+    def test_groups_are_stable_slices(self):
+        keys = np.array([2, 0, 2, 1, 0, 2], dtype=np.int64)
+        order, indptr = group_by_bounded(keys, 4)
+        assert indptr.tolist() == [0, 2, 3, 6, 6]
+        assert order[indptr[0]:indptr[1]].tolist() == [1, 4]  # key 0, stream order
+        assert order[indptr[2]:indptr[3]].tolist() == [0, 2, 5]
+        assert keys[order].tolist() == sorted(keys.tolist())
+
+    def test_empty(self):
+        order, indptr = group_by_bounded(np.empty(0, dtype=np.int64), 3)
+        assert order.size == 0
+        assert indptr.tolist() == [0, 0, 0, 0]
+
+    @given(st.lists(st.integers(0, 6), max_size=80))
+    def test_matches_stable_argsort(self, values):
+        keys = np.array(values, dtype=np.int64)
+        order, indptr = group_by_bounded(keys, 7)
+        assert np.array_equal(order, np.argsort(keys, kind="stable"))
+        assert np.array_equal(
+            np.diff(indptr), np.bincount(keys, minlength=7)
+        )
 
 
 class TestValidators:
