@@ -2,7 +2,7 @@
 """Run the engineering benchmarks and write one consolidated JSON report.
 
 This is the perf-trajectory entry point: each PR that touches a hot path
-runs ``python benchmarks/run_all.py --json BENCH_pr4.json`` and CI runs
+runs ``python benchmarks/run_all.py --json BENCH_pr5.json`` and CI runs
 the ``--quick`` variant on every push, so regressions in any of the
 enforced floors fail loudly and the JSON artifacts accumulate a
 machine-readable history of the repo's throughput claims.
@@ -21,6 +21,12 @@ Sections (each with its own floors; exit status is non-zero if any fails):
 * ``distributed_stages`` — stage-accounting smoke: the ``max_node``
   critical-path wall must be positive and strictly below the summed node
   total on a multi-node run.
+* ``distributed_merge`` — merged vs independent distributed CLUGP across
+  ``num_nodes in {1, 2, 4, 8}``: merged with one node must be
+  bit-identical to the single-machine pipeline, merged replication
+  factor must never exceed independent (strictly lower at 8 nodes),
+  merged balance must hold the global tau cap, and the per-run rows
+  record stage walls plus measured merge/broadcast/quota wire bytes.
 * ``fig8_pagerank`` — bench_fig8_pagerank: the partition-local runtime
   parity gate (local PageRank values/supersteps/per-superstep messages
   vs the retained global oracle, and measured messages vs the
@@ -30,7 +36,7 @@ Sections (each with its own floors; exit status is non-zero if any fails):
 
 Usage::
 
-    python benchmarks/run_all.py --json BENCH_pr4.json     # full run
+    python benchmarks/run_all.py --json BENCH_pr5.json     # full run
     python benchmarks/run_all.py --quick --json out.json   # CI smoke
 """
 
@@ -190,6 +196,78 @@ def run_distributed_stage_smoke(quick: bool) -> tuple[dict, list[str]]:
     return report, failures
 
 
+def run_distributed_merge_bench(quick: bool) -> tuple[dict, list[str]]:
+    """Merged vs independent quality/wall across node counts (PR 5)."""
+    import math
+
+    from repro.bench.harness import distributed_merge_sweep
+    from repro.core.partitioner import ClugpPartitioner
+
+    num_pages = 2_000 if quick else 10_000
+    k = 8
+    tau = 1.05
+    graph = web_crawl_graph(num_pages, avg_out_degree=8, host_size=25, seed=3)
+    stream = EdgeStream.from_graph(graph)
+    node_counts = (1, 2, 4, 8)
+    rows = distributed_merge_sweep(stream, k, node_counts=node_counts, seed=0)
+    by_mode: dict[tuple[str, int], dict] = {
+        (r["merge_mode"], r["num_nodes"]): r for r in rows
+    }
+
+    failures = []
+    # gate 1: merged single-node == single-machine, bit for bit
+    single = ClugpPartitioner(k, seed=0).partition(stream)
+    merged_one = distributed_clugp(stream, k, num_nodes=1, seed=0, merge_mode="merged")
+    identical = bool(
+        np.array_equal(
+            single.edge_partition, merged_one.assignment.edge_partition
+        )
+    )
+    if not identical:
+        failures.append(
+            "distributed_merge: merged num_nodes=1 is not bit-identical "
+            "to the single-machine pipeline"
+        )
+    # gate 2: merged RF <= independent everywhere, strictly lower at 8
+    cap = math.ceil(tau * stream.num_edges / k)
+    for nodes in node_counts:
+        rf_ind = by_mode[("independent", nodes)]["replication_factor"]
+        rf_mer = by_mode[("merged", nodes)]["replication_factor"]
+        if rf_mer > rf_ind:
+            failures.append(
+                f"distributed_merge: merged RF {rf_mer:.4f} exceeds "
+                f"independent {rf_ind:.4f} at {nodes} nodes"
+            )
+        # gate 3: the quota exchange holds the *global* tau cap
+        bal = by_mode[("merged", nodes)]["relative_balance"]
+        if bal * stream.num_edges / k > cap + 1e-9:
+            failures.append(
+                f"distributed_merge: merged balance {bal:.4f} violates the "
+                f"global cap at {nodes} nodes"
+            )
+        print(
+            f"distributed_merge: {nodes} nodes: RF independent={rf_ind:.4f} "
+            f"merged={rf_mer:.4f} "
+            f"(sync {by_mode[('merged', nodes)]['merge']['merge_bytes'] / 1024:.0f}KB up)"
+        )
+    rf_ind8 = by_mode[("independent", 8)]["replication_factor"]
+    rf_mer8 = by_mode[("merged", 8)]["replication_factor"]
+    if not rf_mer8 < rf_ind8:
+        failures.append(
+            f"distributed_merge: merged RF {rf_mer8:.4f} not strictly below "
+            f"independent {rf_ind8:.4f} at 8 nodes"
+        )
+    report = {
+        "num_edges": stream.num_edges,
+        "num_partitions": k,
+        "single_node_identical": identical,
+        "rf_independent_8": rf_ind8,
+        "rf_merged_8": rf_mer8,
+        "rows": rows,
+    }
+    return report, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -221,6 +299,11 @@ def main(argv=None) -> int:
     print("\n=== distributed stage accounting ===")
     report, fails = run_distributed_stage_smoke(args.quick)
     consolidated["distributed_stages"] = report
+    failures += fails
+
+    print("\n=== distributed merge: merged vs independent ===")
+    report, fails = run_distributed_merge_bench(args.quick)
+    consolidated["distributed_merge"] = report
     failures += fails
 
     print("\n=== fig8 pagerank: local-runtime parity ===")

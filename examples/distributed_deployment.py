@@ -1,12 +1,17 @@
 #!/usr/bin/env python
 """Distributed CLUGP deployment (Section III-C of the paper).
 
-Shards the crawl stream across ingest nodes; every node runs the full
-three-pass pipeline on its shard with no shared state, and the partial
-edge assignments are combined.  This is the mode that lets CLUGP scale
-out: the critical path is the slowest node, and no global table is ever
-locked — contrast with HDRF/Greedy, which fundamentally serialize on a
-global vertex-placement table.
+Shards the crawl stream across ingest nodes and combines the partial
+results under both protocols:
+
+* ``independent`` — every node runs the full three-pass pipeline on its
+  shard with no shared state and the edge assignments are concatenated.
+  No sync cost, but a vertex split across shards is placed
+  inconsistently, so replication inflates with the node count.
+* ``merged`` — nodes ship compact cluster summaries, the coordinator
+  unions the cluster graphs, runs one warm-started global game, and each
+  node replays pass 3 under the broadcast decision plus balance quotas.
+  The quality cliff becomes a measured wire cost.
 
 Run:  python examples/distributed_deployment.py
 """
@@ -20,15 +25,27 @@ stream = EdgeStream.from_graph(graph, order="natural")
 k = 32
 print(f"|V|={graph.num_vertices} |E|={graph.num_edges} k={k}\n")
 
-print(f"{'nodes':>5s} {'RF':>7s} {'balance':>8s} {'critical path':>14s} {'sum of node work':>17s}")
+header = (
+    f"{'nodes':>5s} {'mode':>12s} {'RF':>7s} {'balance':>8s} "
+    f"{'critical path':>14s} {'node work':>10s} {'sync wire':>10s}"
+)
+print(header)
 for num_nodes in (1, 2, 4, 8, 16):
-    result = distributed_clugp(stream, k, num_nodes=num_nodes, seed=0)
-    a = result.assignment
-    total_work = sum(n.seconds for n in result.nodes)
-    print(
-        f"{num_nodes:5d} {a.replication_factor():7.3f} {a.relative_balance():8.3f} "
-        f"{result.max_node_seconds():13.3f}s {total_work:16.3f}s"
-    )
+    for mode in ("independent", "merged"):
+        result = distributed_clugp(
+            stream, k, num_nodes=num_nodes, seed=0, merge_mode=mode
+        )
+        a = result.assignment
+        total_work = sum(n.seconds for n in result.nodes)
+        if result.merge is not None:
+            wire = f"{result.merge.total_wire_bytes() / 1024:8.0f}KB"
+        else:
+            wire = f"{'-':>10s}"
+        print(
+            f"{num_nodes:5d} {mode:>12s} {a.replication_factor():7.3f} "
+            f"{a.relative_balance():8.3f} {a.wall_time():13.3f}s "
+            f"{total_work:9.3f}s {wire}"
+        )
 
 # the serialized baseline for contrast
 hdrf = HDRFPartitioner(k)
@@ -38,11 +55,14 @@ print(
     f"time={assignment.total_time():.3f}s"
 )
 
-result = distributed_clugp(stream, k, num_nodes=8, seed=0)
-print("\nper-node diagnostics (8 nodes):")
+result = distributed_clugp(stream, k, num_nodes=8, seed=0, merge_mode="merged")
+print("\nmerged deployment, 8 nodes:")
+print(result.summary())
+print("\nper-node diagnostics:")
 for node in result.nodes:
     print(
         f"  node {node.node}: edges={node.num_edges} clusters={node.num_clusters} "
-        f"splits={node.splits} game_rounds={node.game_rounds} "
+        f"splits={node.splits} local_game_rounds={node.game_rounds} "
+        f"boundary={node.boundary_vertices} summary={node.summary_bytes / 1024:.0f}KB "
         f"time={node.seconds:.3f}s"
     )

@@ -30,6 +30,7 @@ __all__ = [
     "runtime_vs_partitions",
     "memory_vs_partitions",
     "pagerank_costs",
+    "distributed_merge_sweep",
     "series_table",
 ]
 
@@ -280,3 +281,38 @@ def pagerank_costs(
         _, cost = pagerank(engine, max_supersteps=max_supersteps)
         costs[name] = cost
     return costs
+
+
+def distributed_merge_sweep(
+    stream: EdgeStream,
+    num_partitions: int,
+    node_counts=(1, 2, 4, 8),
+    seed: int = 0,
+    backend: str = "thread",
+    merge_modes=("independent", "merged"),
+) -> list[dict]:
+    """Merged vs independent distributed CLUGP across node counts.
+
+    Returns one ``DistributedResult.to_dict()`` row per (mode, nodes)
+    pair — quality, per-stage walls, and merge wire bytes — the data
+    behind the ``distributed_merge`` benchmark section and the CLI
+    ``distribute`` sweep.  Node counts larger than the stream are
+    skipped.
+    """
+    from ..core.distributed import distributed_clugp
+
+    rows: list[dict] = []
+    for num_nodes in node_counts:
+        if num_nodes > max(1, stream.num_edges):
+            continue
+        for mode in merge_modes:
+            result = distributed_clugp(
+                stream,
+                num_partitions,
+                num_nodes=num_nodes,
+                seed=seed,
+                merge_mode=mode,
+                backend=backend,
+            )
+            rows.append(result.to_dict())
+    return rows

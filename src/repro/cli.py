@@ -10,6 +10,9 @@ Commands
 ``run-app``    partition + execute any vertex program end to end on the
                partition-local GAS runtime (``run-app pagerank
                --partitioner clugp -k 8``)
+``distribute`` shard the stream across ingest nodes and run the
+               distributed CLUGP deployment (``distribute --num-nodes 8
+               --merge-mode merged --backend process``)
 """
 
 from __future__ import annotations
@@ -114,6 +117,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_app.add_argument(
         "--source", type=int, default=None,
         help="sssp source vertex (default: highest out-degree vertex)",
+    )
+
+    p_dist = sub.add_parser(
+        "distribute",
+        parents=[common],
+        help="run the distributed CLUGP deployment (Section III-C)",
+    )
+    p_dist.add_argument(
+        "--num-nodes", type=int, default=4, help="ingest nodes (default 4)"
+    )
+    p_dist.add_argument(
+        "--merge-mode",
+        default="merged",
+        choices=["independent", "merged"],
+        help="combine shard results by concatenation (independent) or via "
+        "the coordinator cluster-summary merge + global game (merged)",
+    )
+    p_dist.add_argument(
+        "--backend",
+        default="thread",
+        choices=["thread", "process"],
+        help="executor the node pipelines run on",
+    )
+    p_dist.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="per-node chunked ingestion batch size",
+    )
+    p_dist.add_argument(
+        "--compare-modes", action="store_true",
+        help="run both merge modes and print the comparison table",
     )
     return parser
 
@@ -241,6 +274,51 @@ def _cmd_run_app(args) -> int:
     return 0
 
 
+def _cmd_distribute(args) -> int:
+    from .analysis.report import distributed_modes_table
+    from .core.distributed import distributed_clugp
+
+    stream = _load_stream(args)
+    if args.compare_modes:
+        rows = []
+        for mode in ("independent", "merged"):
+            result = distributed_clugp(
+                stream,
+                args.partitions,
+                num_nodes=args.num_nodes,
+                seed=args.seed,
+                chunk_size=args.chunk_size,
+                merge_mode=mode,
+                backend=args.backend,
+            )
+            rows.append(result.to_dict())
+        print(
+            distributed_modes_table(
+                rows,
+                title=f"distributed CLUGP on {args.dataset}: "
+                f"{args.num_nodes} nodes, k={args.partitions}",
+            )
+        )
+        return 0
+    result = distributed_clugp(
+        stream,
+        args.partitions,
+        num_nodes=args.num_nodes,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        merge_mode=args.merge_mode,
+        backend=args.backend,
+    )
+    print(result.summary())
+    for node in result.nodes:
+        print(
+            f"  node {node.node}: edges={node.num_edges} "
+            f"clusters={node.num_clusters} splits={node.splits} "
+            f"game_rounds={node.game_rounds} time={node.seconds:.3f}s"
+        )
+    return 0
+
+
 _COMMANDS = {
     "partition": _cmd_partition,
     "compare": _cmd_compare,
@@ -248,6 +326,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "pagerank": _cmd_pagerank,
     "run-app": _cmd_run_app,
+    "distribute": _cmd_distribute,
 }
 
 

@@ -8,12 +8,14 @@ from .bounds import (
     replication_factor_upper_bound,
     tail_fraction,
 )
-from .cluster_graph import ClusterGraph, build_cluster_graph
+from .cluster_graph import ClusterGraph, build_cluster_graph, cluster_graph_from_labels
 from .game import ClusterPartitioningGame, GameResult, compute_lambda_max
 from .parallel import parallel_game
 from .transform import transform_partitions
 from .distributed import (
     DistributedClugpPartitioner,
+    DistributedResult,
+    MergeReport,
     NodeReport,
     distributed_clugp,
 )
@@ -21,6 +23,7 @@ from .partitioner import (
     ClugpPartitioner,
     ClugpNoSplitPartitioner,
     ClugpGreedyPartitioner,
+    ClusterSummary,
 )
 
 __all__ = [
@@ -33,15 +36,19 @@ __all__ = [
     "streaming_clustering",
     "ClusterGraph",
     "build_cluster_graph",
+    "cluster_graph_from_labels",
     "ClusterPartitioningGame",
     "GameResult",
     "compute_lambda_max",
     "parallel_game",
     "transform_partitions",
     "DistributedClugpPartitioner",
+    "DistributedResult",
+    "MergeReport",
     "NodeReport",
     "distributed_clugp",
     "ClugpPartitioner",
     "ClugpNoSplitPartitioner",
     "ClugpGreedyPartitioner",
+    "ClusterSummary",
 ]

@@ -40,7 +40,7 @@ from .._util import stable_argsort_bounded
 from ..graph.stream import EdgeStream
 from .clustering import ClusteringResult
 
-__all__ = ["ClusterGraph", "build_cluster_graph"]
+__all__ = ["ClusterGraph", "build_cluster_graph", "cluster_graph_from_labels"]
 
 
 def _segment_sums(weights: np.ndarray, indptr: np.ndarray) -> np.ndarray:
@@ -160,6 +160,95 @@ class ClusterGraph:
                 raise ValueError("in_edges does not mirror out_edges")
         return graph
 
+    @classmethod
+    def merge(
+        cls,
+        graphs: list["ClusterGraph"],
+        relabels: list[np.ndarray],
+        num_clusters: int | None = None,
+    ) -> "ClusterGraph":
+        """Union per-shard cluster graphs under a cluster-id relabeling.
+
+        ``relabels[i]`` maps graph ``i``'s local cluster ids onto the
+        merged id space: ``relabels[i][c]`` is the global id of local
+        cluster ``c``.  The map must be total (one entry per local
+        cluster, all entries in ``[0, num_clusters)``); it need *not* be
+        injective — several local clusters may land on the same global
+        id, in which case their internal volumes and edge weights are
+        summed, and inter-cluster edges whose endpoints collapse onto one
+        global cluster fold into that cluster's ``internal`` count.
+
+        This is the coordinator half of the distributed merge protocol
+        (Section III-C): each node ships its shard-local graph, the
+        coordinator relabels the COO triples, radix-groups the combined
+        pairs with :func:`repro._util.stable_argsort_bounded`, and
+        run-length-sums duplicate pairs into one canonical CSR.  Merging
+        a single graph through the identity relabel reproduces its CSR
+        arrays bit-for-bit, which is what makes ``num_nodes=1`` merged
+        mode identical to the single-machine pipeline.
+
+        Total weight is conserved: ``total_internal() + total_cut()`` of
+        the result equals the sum over the inputs.
+        """
+        if len(graphs) != len(relabels):
+            raise ValueError(
+                f"got {len(graphs)} graphs but {len(relabels)} relabel maps"
+            )
+        maps = [np.asarray(r, dtype=np.int64) for r in relabels]
+        for g, r in zip(graphs, maps):
+            if r.shape != (g.num_clusters,):
+                raise ValueError(
+                    f"relabel must map all {g.num_clusters} clusters, "
+                    f"got shape {r.shape}"
+                )
+        if num_clusters is None:
+            num_clusters = int(max((int(r.max()) + 1 for r in maps if r.size), default=0))
+        m = int(num_clusters)
+        for r in maps:
+            if r.size and (int(r.min()) < 0 or int(r.max()) >= m):
+                raise ValueError(f"relabel ids out of range [0, {m})")
+        internal = np.zeros(m, dtype=np.int64)
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        ws_parts: list[np.ndarray] = []
+        for g, r in zip(graphs, maps):
+            np.add.at(internal, r, g.internal)
+            if g.indices.size:
+                rows_parts.append(r[g.out_rows()])
+                cols_parts.append(r[g.indices])
+                ws_parts.append(g.weights)
+        if rows_parts:
+            rows = np.concatenate(rows_parts)
+            cols = np.concatenate(cols_parts)
+            ws = np.concatenate(ws_parts)
+            # non-injective relabels can collapse an inter-cluster edge
+            # onto a single global cluster: that weight becomes internal
+            same = rows == cols
+            if same.any():
+                np.add.at(internal, rows[same], ws[same])
+                rows, cols, ws = rows[~same], cols[~same], ws[~same]
+        else:
+            rows = cols = ws = np.empty(0, dtype=np.int64)
+        if rows.size:
+            order, ukeys, starts = _radix_group(rows * np.int64(m) + cols, m * m)
+            merged_w = np.add.reduceat(ws[order], starts)
+            urows = ukeys // m
+            ucols = ukeys % m
+        else:
+            urows = ucols = merged_w = np.empty(0, dtype=np.int64)
+        indptr, indices, weights = _csr_from_pairs(urows, ucols, merged_w, m)
+        in_indptr, in_indices, in_weights = _csr_from_pairs(ucols, urows, merged_w, m)
+        return cls(
+            num_clusters=m,
+            internal=internal,
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            in_weights=in_weights,
+        )
+
     # ------------------------------------------------------------------ #
     # scalar accounting
     # ------------------------------------------------------------------ #
@@ -258,23 +347,27 @@ class ClusterGraph:
         ) or num_self_loops > 0
 
 
-def build_cluster_graph(stream: EdgeStream, clustering: ClusteringResult) -> ClusterGraph:
-    """Map every stream edge through ``cluster_of`` and accumulate weights.
+def cluster_graph_from_labels(
+    cu: np.ndarray, cv: np.ndarray, num_clusters: int
+) -> ClusterGraph:
+    """Accumulate a :class:`ClusterGraph` from per-edge cluster-label pairs.
 
-    Self-cluster edges (including vertex self-loops) count as internal.
-    One vectorized O(|E|) sweep: gather, radix group-by, run-length encode.
+    ``cu[i]``/``cv[i]`` are the (already gathered) endpoint clusters of the
+    i-th edge.  Same-cluster pairs count as internal; the rest are
+    radix-grouped and run-length encoded into the CSR triples.  This is
+    the grouping core shared by :func:`build_cluster_graph` (labels
+    gathered through a clustering) and the distributed coordinator (labels
+    of cross-shard edges resolved from the merged vertex->cluster map).
     """
-    m = clustering.num_clusters
-    cu_arr = clustering.cluster_of[stream.src]
-    cv_arr = clustering.cluster_of[stream.dst]
-    if m and ((cu_arr < 0).any() or (cv_arr < 0).any()):
-        raise ValueError("stream contains vertices absent from the clustering")
+    m = int(num_clusters)
+    cu = np.asarray(cu, dtype=np.int64)
+    cv = np.asarray(cv, dtype=np.int64)
     internal = np.zeros(m, dtype=np.int64)
-    same = cu_arr == cv_arr
-    if m:
-        internal += np.bincount(cu_arr[same], minlength=m)
-    inter_u = cu_arr[~same]
-    inter_v = cv_arr[~same]
+    same = cu == cv
+    if m and cu.size:
+        internal += np.bincount(cu[same], minlength=m)
+    inter_u = cu[~same]
+    inter_v = cv[~same]
     if inter_u.size:
         _, ukeys, starts = _radix_group(inter_u * np.int64(m) + inter_v, m * m)
         counts = np.diff(np.concatenate([starts, [inter_u.size]])).astype(np.int64)
@@ -294,3 +387,17 @@ def build_cluster_graph(stream: EdgeStream, clustering: ClusteringResult) -> Clu
         in_indices=in_indices,
         in_weights=in_weights,
     )
+
+
+def build_cluster_graph(stream: EdgeStream, clustering: ClusteringResult) -> ClusterGraph:
+    """Map every stream edge through ``cluster_of`` and accumulate weights.
+
+    Self-cluster edges (including vertex self-loops) count as internal.
+    One vectorized O(|E|) sweep: gather, radix group-by, run-length encode.
+    """
+    m = clustering.num_clusters
+    cu_arr = clustering.cluster_of[stream.src]
+    cv_arr = clustering.cluster_of[stream.dst]
+    if m and ((cu_arr < 0).any() or (cv_arr < 0).any()):
+        raise ValueError("stream contains vertices absent from the clustering")
+    return cluster_graph_from_labels(cu_arr, cv_arr, m)

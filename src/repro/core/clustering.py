@@ -113,6 +113,15 @@ class ClusteringResult:
     allocations: int = 0
     _members: dict[int, list[int]] | None = field(default=None, repr=False)
 
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask of vertices seen by the stream (``cluster_of >= 0``).
+
+        The shard-local "seen set" of the distributed protocol: a node's
+        summary, its vertex->partition view, and the boundary intersection
+        are all built against this mask.
+        """
+        return self.cluster_of >= 0
+
     def members(self) -> dict[int, list[int]]:
         """Cluster id -> sorted list of master-vertex ids (computed lazily).
 
@@ -121,7 +130,7 @@ class ClusteringResult:
         the dict-of-lists is sliced out of the single sorted array.
         """
         if self._members is None:
-            active = np.flatnonzero(self.cluster_of >= 0)
+            active = np.flatnonzero(self.active_mask())
             if active.size == 0:
                 self._members = {}
             else:
@@ -141,7 +150,7 @@ class ClusteringResult:
 
     def cluster_sizes(self) -> np.ndarray:
         """Number of master vertices per cluster."""
-        active = self.cluster_of[self.cluster_of >= 0]
+        active = self.cluster_of[self.active_mask()]
         return np.bincount(active, minlength=self.num_clusters).astype(np.int64)
 
 

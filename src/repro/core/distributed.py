@@ -8,35 +8,75 @@
 
 This module simulates that deployment: the edge stream is sharded across
 ``num_nodes`` ingest nodes (contiguous ranges — each crawler node ingests
-a contiguous part of the crawl), every node runs the full three-pass CLUGP
-pipeline on its shard *independently* (no shared tables, which is exactly
-the paper's scalability argument) through the chunked ingestion protocol
-(``begin_chunks`` / ``partition_chunk`` / ``finish_chunks``, i.e. the node
-consumes its crawl buffer-by-buffer), and the per-shard edge assignments
-are concatenated back into a global assignment over the same ``k``
-partitions.
+a contiguous part of the crawl), and the partial results are combined
+under one of two protocols:
 
-Because nodes never exchange vertex state, a vertex appearing in several
-shards may be placed inconsistently — that is the quality price of the
-fully parallel mode, and :func:`distributed_clugp` reports it via the
-returned per-node diagnostics so the trade-off is measurable (see
-``tests/test_core_distributed.py`` and the scalability example).
+``merge_mode="independent"`` (the retained oracle)
+    Every node runs the full three-pass pipeline on its shard with no
+    shared state and the per-shard edge assignments are concatenated.
+    Nodes never exchange vertex state, so a vertex appearing in several
+    shards may be placed inconsistently — the quality price of the fully
+    parallel mode, visible as a replication factor that inflates with
+    ``num_nodes``.
+
+``merge_mode="merged"`` (the cluster-summary merge)
+    Nodes run pass 1 and a *local* game, then ship a compact
+    :class:`~repro.core.partitioner.ClusterSummary` — per-cluster
+    volumes, the boundary-free local cluster graph, the vertex->cluster
+    map of shard-boundary vertices, and the raw endpoints of unresolved
+    cross-shard edges.  The coordinator unions the cluster graphs
+    (:meth:`~repro.core.cluster_graph.ClusterGraph.merge`), resolves each
+    boundary vertex to one global cluster (highest local degree wins),
+    attributes the unresolved cut weight exactly against that resolution,
+    runs the (parallel) game **once** on the merged global cluster graph
+    — warm-started from the union of local equilibria, i.e. global game
+    refinement — and broadcasts the cluster->partition map.  Each node
+    then replays pass 3 locally under the global decision.  No node ever
+    materializes another shard's edges; the sync cost is the measured
+    summary/broadcast wire bytes and the coordinator's merge+game wall.
+
+With a single node the merged protocol degenerates exactly to the
+single-machine pipeline: no boundary vertices, an identity relabel, and a
+warm-started refinement game that proposes zero moves — the assignment is
+bit-identical (see ``tests/test_core_distributed.py``).
+
+Node pipelines execute on ``backend="thread"`` (in-process pool) or
+``backend="process"`` (a ``ProcessPoolExecutor``; summaries, clusterings
+and shard arrays cross a real process boundary), and
+:class:`DistributedResult` reports measured per-stage walls
+(shard/merge/game/transform critical path) plus wire bytes via
+``to_dict()`` / ``summary()``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import math
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._util import StageTimes, Timer, check_positive_int
+from .._util import StageTimes, Timer, check_positive_int, human_bytes
 from ..config import ClugpConfig
 from ..graph.stream import EdgeStream
 from ..partitioners.base import EdgePartitioner, PartitionAssignment
-from .partitioner import ClugpPartitioner
+from .cluster_graph import ClusterGraph, cluster_graph_from_labels
+from .clustering import ClusteringResult
+from .game import ClusterPartitioningGame, GameResult
+from .parallel import parallel_game
+from .partitioner import ClugpPartitioner, ClusterSummary
+from .transform import replay_transform_chunked
 
-__all__ = ["NodeReport", "DistributedClugpPartitioner", "distributed_clugp"]
+__all__ = [
+    "NodeReport",
+    "MergeReport",
+    "DistributedResult",
+    "DistributedClugpPartitioner",
+    "distributed_clugp",
+]
+
+_MERGE_MODES = ("independent", "merged")
+_BACKENDS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -49,18 +89,123 @@ class NodeReport:
     splits: int
     game_rounds: int
     seconds: float
+    summary_bytes: int = 0
+    boundary_vertices: int = 0
+    transform_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "num_edges": self.num_edges,
+            "num_clusters": self.num_clusters,
+            "splits": self.splits,
+            "game_rounds": self.game_rounds,
+            "seconds": self.seconds,
+            "summary_bytes": self.summary_bytes,
+            "boundary_vertices": self.boundary_vertices,
+            "transform_seconds": self.transform_seconds,
+        }
+
+
+@dataclass
+class MergeReport:
+    """Coordinator-side diagnostics of the merged protocol."""
+
+    num_global_clusters: int
+    num_boundary_vertices: int
+    num_unresolved_edges: int
+    max_cluster_volume: int  # largest global cluster (granularity check)
+    merge_bytes: int  # summed node->coordinator summary payloads
+    broadcast_bytes: int  # one coordinator->node broadcast payload
+    quota_bytes: int  # balance quota exchange (loads up + quotas down)
+    game_rounds: int
+    game_moves: int
+    merge_seconds: float
+    game_seconds: float
+
+    def total_wire_bytes(self) -> int:
+        """Everything the sync protocol moved, in one number — the
+        single definition every table/summary prints."""
+        return self.merge_bytes + self.broadcast_bytes + self.quota_bytes
+
+    def to_dict(self) -> dict:
+        return {
+            "num_global_clusters": self.num_global_clusters,
+            "num_boundary_vertices": self.num_boundary_vertices,
+            "num_unresolved_edges": self.num_unresolved_edges,
+            "max_cluster_volume": self.max_cluster_volume,
+            "merge_bytes": self.merge_bytes,
+            "broadcast_bytes": self.broadcast_bytes,
+            "quota_bytes": self.quota_bytes,
+            "total_wire_bytes": self.total_wire_bytes(),
+            "game_rounds": self.game_rounds,
+            "game_moves": self.game_moves,
+            "merge_seconds": self.merge_seconds,
+            "game_seconds": self.game_seconds,
+        }
 
 
 @dataclass
 class DistributedResult:
-    """Assignment plus per-node diagnostics."""
+    """Assignment plus per-node and merge-stage diagnostics."""
 
     assignment: PartitionAssignment
     nodes: list[NodeReport] = field(default_factory=list)
+    merge_mode: str = "independent"
+    backend: str = "thread"
+    merge: MergeReport | None = None
 
     def max_node_seconds(self) -> float:
         """Wall-clock of the slowest node — the deployment's critical path."""
         return max((n.seconds for n in self.nodes), default=0.0)
+
+    def to_dict(self) -> dict:
+        """Machine-readable run profile (benchmark JSON, CLI --json)."""
+        times = self.assignment.stage_times
+        return {
+            "merge_mode": self.merge_mode,
+            "backend": self.backend,
+            "num_nodes": len(self.nodes),
+            "num_partitions": self.assignment.num_partitions,
+            "num_edges": self.assignment.stream.num_edges,
+            "replication_factor": self.assignment.replication_factor(),
+            "relative_balance": self.assignment.relative_balance(),
+            "stage_seconds": dict(times.stages),
+            "stage_walls": dict(times.walls),
+            "total_seconds": times.total,
+            "wall_seconds": self.assignment.wall_time(),
+            "merge": self.merge.to_dict() if self.merge else None,
+            "nodes": [n.to_dict() for n in self.nodes],
+        }
+
+    def summary(self) -> str:
+        """One human-readable paragraph: quality, walls, sync cost."""
+        a = self.assignment
+        lines = [
+            f"distributed CLUGP [{self.merge_mode}/{self.backend}]: "
+            f"{len(self.nodes)} nodes, k={a.num_partitions}, |E|={a.stream.num_edges}",
+            f"  RF={a.replication_factor():.4f} balance={a.relative_balance():.4f} "
+            f"wall={a.wall_time():.3f}s work={a.stage_times.total:.3f}s",
+        ]
+        walls = a.stage_times.walls
+        if self.merge is not None:
+            m = self.merge
+            lines.append(
+                f"  stages: shard={walls.get('shard', 0.0):.3f}s "
+                f"merge={m.merge_seconds:.3f}s game={m.game_seconds:.3f}s "
+                f"transform={walls.get('transform', 0.0):.3f}s (walls)"
+            )
+            lines.append(
+                f"  merge: {m.num_global_clusters} global clusters, "
+                f"{m.num_boundary_vertices} boundary vertices, "
+                f"{m.num_unresolved_edges} unresolved edges, "
+                f"wire={human_bytes(m.merge_bytes)} up + "
+                f"{human_bytes(m.broadcast_bytes)} down, "
+                f"refinement rounds={m.game_rounds} moves={m.game_moves}"
+            )
+        else:
+            lines.append(f"  critical path (slowest node)={self.max_node_seconds():.3f}s")
+        return "\n".join(lines)
 
 
 def _shard_ranges(num_edges: int, num_nodes: int) -> list[tuple[int, int]]:
@@ -75,6 +220,323 @@ def _shard_ranges(num_edges: int, num_nodes: int) -> list[tuple[int, int]]:
     return ranges
 
 
+def _boundary_mask(stream: EdgeStream, ranges: list[tuple[int, int]]) -> np.ndarray:
+    """Vertices that appear in two or more shards.
+
+    The coordinator owns the shard boundaries, so it derives this without
+    reading edge *content* beyond per-shard seen-sets (in a real
+    deployment each node ships its seen-vertex set once; the mask is the
+    ">= 2 shards" reduction broadcast back).
+    """
+    counts = np.zeros(stream.num_vertices, dtype=np.int64)
+    for start, stop in ranges:
+        seen = np.zeros(stream.num_vertices, dtype=bool)
+        seen[stream.src[start:stop]] = True
+        seen[stream.dst[start:stop]] = True
+        counts += seen
+    return counts >= 2
+
+
+# --------------------------------------------------------------------- #
+# node-side stage workers (module-level: picklable for the process pool)
+# --------------------------------------------------------------------- #
+
+
+def _independent_node_worker(args) -> tuple[int, np.ndarray, NodeReport]:
+    """Full three-pass pipeline on one shard (merge_mode='independent')."""
+    node, src, dst, num_vertices, num_partitions, config, seed, chunk_size = args
+    shard = EdgeStream(src, dst, num_vertices)
+    partitioner = ClugpPartitioner(num_partitions, seed=seed + node, config=config)
+    with Timer() as timer:
+        assignment = partitioner.partition_chunked(shard, chunk_size=chunk_size)
+    report = NodeReport(
+        node=node,
+        num_edges=shard.num_edges,
+        num_clusters=partitioner.last_clustering.num_clusters,
+        splits=partitioner.last_clustering.splits,
+        game_rounds=partitioner.last_game_result.rounds,
+        seconds=timer.elapsed,
+    )
+    return node, assignment.edge_partition, report
+
+
+def _cluster_stage_worker(args) -> tuple[int, ClusterSummary, ClusteringResult, float]:
+    """Pass 1 + local game + summary on one shard (merged stage 1)."""
+    node, src, dst, num_vertices, boundary, num_partitions, config, seed, chunk_size = args
+    shard = EdgeStream(src, dst, num_vertices)
+    partitioner = ClugpPartitioner(num_partitions, seed=seed + node, config=config)
+    with Timer() as timer:
+        summary = partitioner.cluster_summary(
+            shard, boundary_mask=boundary, chunk_size=chunk_size, node=node
+        )
+    return node, summary, partitioner.last_clustering, timer.elapsed
+
+
+def _node_vertex_partition(
+    clustering: ClusteringResult,
+    offset: int,
+    cluster_partition: np.ndarray,
+    boundary_vertices: np.ndarray,
+    boundary_global_cluster: np.ndarray,
+    num_vertices: int,
+) -> np.ndarray:
+    """A node's shard-local view of the broadcast global decision.
+
+    Interior vertices map through the node's own cluster table (offset
+    into the global id space); boundary vertices through the broadcast
+    resolution.  Entries for vertices absent from this shard stay -1 (or
+    carry another shard's boundary placement — harmless either way, the
+    shard never streams an edge touching them).
+    """
+    vp = np.full(num_vertices, -1, dtype=np.int64)
+    seen = clustering.active_mask()
+    vp[seen] = cluster_partition[clustering.cluster_of[seen] + offset]
+    if boundary_vertices.size:
+        vp[boundary_vertices] = cluster_partition[boundary_global_cluster]
+    return vp
+
+
+def _transform_probe_worker(args) -> tuple[int, np.ndarray, float]:
+    """Uncapped tentative pass 3: measure this shard's per-partition load.
+
+    Without a binding cap the Algorithm 1 rule table is load-free, so the
+    probe is one vectorized pass; the node ships back ``k`` integers (its
+    tentative load vector) for the coordinator's balance quota exchange.
+    """
+    (
+        node, src, dst, num_vertices, clustering, offset, cluster_partition,
+        boundary_vertices, boundary_global_cluster, num_partitions, chunk_size,
+    ) = args
+    shard = EdgeStream(src, dst, num_vertices)
+    with Timer() as timer:
+        vp = _node_vertex_partition(
+            clustering, offset, cluster_partition,
+            boundary_vertices, boundary_global_cluster, num_vertices,
+        )
+        out, _ = replay_transform_chunked(
+            shard,
+            clustering,
+            vp,
+            num_partitions,
+            load_caps=np.full(num_partitions, max(1, shard.num_edges), dtype=np.int64),
+            chunk_size=chunk_size,
+        )
+        loads = np.bincount(out, minlength=num_partitions)
+    return node, loads, timer.elapsed
+
+
+def _transform_commit_worker(args) -> tuple[int, np.ndarray, float]:
+    """Final pass-3 replay under the coordinator's per-partition quotas."""
+    (
+        node, src, dst, num_vertices, clustering, offset, cluster_partition,
+        boundary_vertices, boundary_global_cluster, num_partitions,
+        imbalance_factor, load_caps, chunk_size,
+    ) = args
+    shard = EdgeStream(src, dst, num_vertices)
+    with Timer() as timer:
+        vp = _node_vertex_partition(
+            clustering, offset, cluster_partition,
+            boundary_vertices, boundary_global_cluster, num_vertices,
+        )
+        out, _ = replay_transform_chunked(
+            shard,
+            clustering,
+            vp,
+            num_partitions,
+            imbalance_factor=imbalance_factor,
+            load_caps=load_caps,
+            chunk_size=chunk_size,
+        )
+    return node, out, timer.elapsed
+
+
+def _balance_quotas(node_loads: np.ndarray, cap: int) -> np.ndarray:
+    """Split the global per-partition cap into per-node quotas.
+
+    ``node_loads[i, p]`` is node ``i``'s tentative (uncapped) load; the
+    returned ``quotas[i, p]`` satisfy, deterministically:
+
+    * every column sums exactly to ``cap`` — per-node enforcement bounds
+      the global partition load by ``L_max``, so relative balance still
+      strictly conforms to tau;
+    * every row sums to at least the node's edge count — each node can
+      always place its whole shard (``sum(cap*k) >= |E|`` guarantees the
+      pooled headroom covers the pooled deficit);
+    * with one node the quota degenerates to the uniform global cap,
+      which keeps merged ``num_nodes=1`` bit-identical to single-machine.
+
+    Overfull partitions are scaled down proportionally (largest-remainder
+    rounding); each node's resulting deficit is then covered from the
+    underfull partitions' headroom, and leftover headroom is shared
+    evenly.
+    """
+    num_nodes, k = node_loads.shape
+    totals = node_loads.sum(axis=0)
+    quotas = np.zeros((num_nodes, k), dtype=np.int64)
+    over = totals > cap
+    for p in np.flatnonzero(over).tolist():
+        total = int(totals[p])
+        scaled = node_loads[:, p] * cap // total
+        remainder = int(cap - scaled.sum())
+        if remainder:
+            fractions = node_loads[:, p] * cap - scaled * total
+            give = np.argsort(-fractions, kind="stable")[:remainder]
+            scaled[give] += 1
+        quotas[:, p] = scaled
+    under = ~over
+    quotas[:, under] = node_loads[:, under]
+    headroom = np.where(under, cap - totals, 0).astype(np.int64)
+    deficits = (node_loads - quotas).sum(axis=1)
+    for i in range(num_nodes):
+        need = int(deficits[i])
+        if need <= 0:
+            continue
+        for p in np.flatnonzero(headroom > 0).tolist():
+            take = min(int(headroom[p]), need)
+            quotas[i, p] += take
+            headroom[p] -= take
+            need -= take
+            if need == 0:
+                break
+    for p in np.flatnonzero(headroom > 0).tolist():
+        share, extra = divmod(int(headroom[p]), num_nodes)
+        quotas[:, p] += share
+        quotas[:extra, p] += 1
+    return quotas
+
+
+# --------------------------------------------------------------------- #
+# coordinator
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _MergeDecision:
+    """Everything the coordinator derives from the shipped summaries."""
+
+    merged_graph: ClusterGraph
+    offsets: np.ndarray  # node -> first global cluster id of its range
+    boundary_vertices: np.ndarray  # sorted unique boundary vertex ids
+    boundary_global_cluster: np.ndarray  # their resolved global cluster
+    warm_start: np.ndarray  # union of local equilibria (global ids)
+    num_unresolved_edges: int
+
+
+def _merge_summaries(summaries: list[ClusterSummary], num_vertices: int) -> _MergeDecision:
+    """Union the shard summaries into the exact global cluster graph.
+
+    Global cluster ids are the disjoint union of the per-node compact ids
+    (node ``i``'s cluster ``c`` becomes ``offsets[i] + c`` — a bijection
+    onto ``0..M-1``).  Each boundary vertex is resolved to the local
+    cluster where it has the highest degree (ties: lowest node id); the
+    unresolved cross-shard edges are then attributed through that
+    resolution, which makes the merged graph *exactly* equal to
+    ``build_cluster_graph(full_stream, global_clustering)`` — see
+    DESIGN.md §6 for the argument and ``tests/test_distributed_merge.py``
+    for the oracle check.
+    """
+    counts = np.asarray([s.num_clusters for s in summaries], dtype=np.int64)
+    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    num_global = int(offsets[-1])
+
+    # boundary resolution: max local degree wins, ties to the lowest node
+    bv = np.concatenate([s.boundary_vertices for s in summaries])
+    bc = np.concatenate(
+        [s.boundary_clusters + offsets[i] for i, s in enumerate(summaries)]
+    )
+    bd = np.concatenate([s.boundary_degrees for s in summaries])
+    bn = np.concatenate(
+        [np.full(s.boundary_vertices.size, i, dtype=np.int64) for i, s in enumerate(summaries)]
+    )
+    boundary_cluster_of = np.full(num_vertices, -1, dtype=np.int64)
+    if bv.size:
+        order = np.lexsort((bn, -bd, bv))
+        sv = bv[order]
+        first = np.ones(sv.size, dtype=bool)
+        first[1:] = sv[1:] != sv[:-1]
+        boundary_cluster_of[sv[first]] = bc[order][first]
+    boundary_vertices = np.flatnonzero(boundary_cluster_of >= 0)
+
+    # unresolved cross-shard edges: each endpoint maps through the
+    # resolution if it is boundary, else through its node's relabel
+    gu_parts: list[np.ndarray] = []
+    gv_parts: list[np.ndarray] = []
+    for i, s in enumerate(summaries):
+        if not s.unresolved_src.size:
+            continue
+        bu = boundary_cluster_of[s.unresolved_src]
+        bvv = boundary_cluster_of[s.unresolved_dst]
+        gu_parts.append(np.where(bu >= 0, bu, s.unresolved_src_cluster + offsets[i]))
+        gv_parts.append(np.where(bvv >= 0, bvv, s.unresolved_dst_cluster + offsets[i]))
+    if gu_parts:
+        gu = np.concatenate(gu_parts)
+        gv = np.concatenate(gv_parts)
+    else:
+        gu = gv = np.empty(0, dtype=np.int64)
+    unresolved_graph = cluster_graph_from_labels(gu, gv, num_global)
+
+    relabels = [
+        np.arange(s.num_clusters, dtype=np.int64) + offsets[i]
+        for i, s in enumerate(summaries)
+    ]
+    merged = ClusterGraph.merge(
+        [s.resolved for s in summaries] + [unresolved_graph],
+        relabels + [np.arange(num_global, dtype=np.int64)],
+        num_clusters=num_global,
+    )
+    warm = (
+        np.concatenate([s.local_assignment for s in summaries])
+        if num_global
+        else np.empty(0, dtype=np.int64)
+    )
+    return _MergeDecision(
+        merged_graph=merged,
+        offsets=offsets[:-1],
+        boundary_vertices=boundary_vertices,
+        boundary_global_cluster=boundary_cluster_of[boundary_vertices],
+        warm_start=warm,
+        num_unresolved_edges=int(gu.size),
+    )
+
+
+def _global_game(
+    merged: ClusterGraph,
+    config: ClugpConfig,
+    seed: int,
+    warm_start: np.ndarray,
+) -> GameResult:
+    """The coordinator's single global pass 2: refinement from the union
+    of local equilibria, honoring the configured game flavor.
+
+    Distributed nodes always play the game (``ClugpPartitioner`` pins
+    ``use_game=True``), so the coordinator does too — the choice here is
+    only sequential vs batched-parallel dynamics.
+    """
+    game_config = config.game if config.game.seed == seed else config.game.with_(seed=seed)
+    if config.parallel_game:
+        return parallel_game(
+            merged, config.num_partitions, game_config, initial_assignment=warm_start
+        )
+    game = ClusterPartitioningGame(
+        merged, config.num_partitions, game_config, initial_assignment=warm_start
+    )
+    return game.run()
+
+
+# --------------------------------------------------------------------- #
+# driver
+# --------------------------------------------------------------------- #
+
+
+def _run_stage(tasks, worker, parallel: bool, backend: str):
+    """Map ``worker`` over ``tasks`` on the configured executor."""
+    if not parallel or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    pool_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+    with pool_cls(max_workers=len(tasks)) as pool:
+        return list(pool.map(worker, tasks))
+
+
 def distributed_clugp(
     stream: EdgeStream,
     num_partitions: int,
@@ -83,6 +545,8 @@ def distributed_clugp(
     seed: int = 0,
     parallel_nodes: bool = True,
     chunk_size: int | None = None,
+    merge_mode: str = "independent",
+    backend: str = "thread",
 ) -> DistributedResult:
     """Run the Section III-C distributed deployment of CLUGP.
 
@@ -99,48 +563,66 @@ def distributed_clugp(
         Per-node pipeline configuration (``V_max`` resolves against each
         shard's edge count, as a real node would).
     parallel_nodes:
-        Execute node pipelines on a thread pool (the deployment model) or
+        Execute node pipelines concurrently (the deployment model) or
         sequentially (deterministic debugging).
     chunk_size:
         Each node ingests its shard through the chunked pipeline in
         ``(chunk_size, 2)`` batches (default: the partitioner's chunk
         size) — the node-local equivalent of a crawler handing the
         partitioner one fetch buffer at a time.
+    merge_mode:
+        ``"independent"`` concatenates per-shard pipelines (no node
+        communication, the retained oracle); ``"merged"`` runs the
+        cluster-summary merge protocol with one global game (see the
+        module docstring).
+    backend:
+        ``"thread"`` or ``"process"`` — the executor node pipelines run
+        on when ``parallel_nodes`` is true.
     """
     check_positive_int(num_nodes, "num_nodes")
     if num_nodes > max(1, stream.num_edges):
         raise ValueError(
             f"num_nodes={num_nodes} exceeds the number of edges {stream.num_edges}"
         )
+    if merge_mode not in _MERGE_MODES:
+        raise ValueError(f"merge_mode must be one of {_MERGE_MODES}, got {merge_mode!r}")
+    if backend not in _BACKENDS:
+        raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
     config = config or ClugpConfig(num_partitions=num_partitions)
+    if config.num_partitions != num_partitions:
+        config = config.with_(num_partitions=num_partitions)
     ranges = _shard_ranges(stream.num_edges, num_nodes)
+    size = chunk_size if chunk_size is not None else ClugpPartitioner.default_chunk_size
 
-    def run_node(node: int) -> tuple[int, np.ndarray, NodeReport]:
-        start, stop = ranges[node]
-        shard = EdgeStream(
-            stream.src[start:stop], stream.dst[start:stop], stream.num_vertices
+    if merge_mode == "independent":
+        return _run_independent(
+            stream, num_partitions, num_nodes, config, seed, parallel_nodes,
+            chunk_size, ranges, backend,
         )
-        partitioner = ClugpPartitioner(
-            num_partitions, seed=seed + node, config=config
-        )
-        with Timer() as timer:
-            assignment = partitioner.partition_chunked(shard, chunk_size=chunk_size)
-        report = NodeReport(
-            node=node,
-            num_edges=shard.num_edges,
-            num_clusters=partitioner.last_clustering.num_clusters,
-            splits=partitioner.last_clustering.splits,
-            game_rounds=partitioner.last_game_result.rounds,
-            seconds=timer.elapsed,
-        )
-        return node, assignment.edge_partition, report
+    return _run_merged(
+        stream, num_partitions, num_nodes, config, seed, parallel_nodes,
+        size, ranges, backend,
+    )
 
-    results: list[tuple[int, np.ndarray, NodeReport]] = []
-    if parallel_nodes and num_nodes > 1:
-        with ThreadPoolExecutor(max_workers=num_nodes) as pool:
-            results = list(pool.map(run_node, range(num_nodes)))
-    else:
-        results = [run_node(node) for node in range(num_nodes)]
+
+def _run_independent(
+    stream, num_partitions, num_nodes, config, seed, parallel_nodes,
+    chunk_size, ranges, backend,
+) -> DistributedResult:
+    tasks = [
+        (
+            node,
+            stream.src[start:stop],
+            stream.dst[start:stop],
+            stream.num_vertices,
+            num_partitions,
+            config,
+            seed,
+            chunk_size,
+        )
+        for node, (start, stop) in enumerate(ranges)
+    ]
+    results = _run_stage(tasks, _independent_node_worker, parallel_nodes, backend)
     results.sort(key=lambda item: item[0])
 
     edge_partition = np.empty(stream.num_edges, dtype=np.int64)
@@ -157,7 +639,159 @@ def distributed_clugp(
     times.add("total", sum(r.seconds for r in reports))
     times.add_wall("max_node", max((r.seconds for r in reports), default=0.0))
     assignment = PartitionAssignment(stream, edge_partition, num_partitions, times)
-    return DistributedResult(assignment=assignment, nodes=reports)
+    return DistributedResult(
+        assignment=assignment,
+        nodes=reports,
+        merge_mode="independent",
+        backend=backend,
+    )
+
+
+def _run_merged(
+    stream, num_partitions, num_nodes, config, seed, parallel_nodes,
+    chunk_size, ranges, backend,
+) -> DistributedResult:
+    n = stream.num_vertices
+    boundary = (
+        _boundary_mask(stream, ranges)
+        if num_nodes > 1
+        else np.zeros(n, dtype=bool)
+    )
+
+    # stage 1 (nodes): pass 1 + local game + summary
+    cluster_tasks = [
+        (
+            node,
+            stream.src[start:stop],
+            stream.dst[start:stop],
+            n,
+            boundary,
+            num_partitions,
+            config,
+            seed,
+            chunk_size,
+        )
+        for node, (start, stop) in enumerate(ranges)
+    ]
+    stage1 = _run_stage(cluster_tasks, _cluster_stage_worker, parallel_nodes, backend)
+    stage1.sort(key=lambda item: item[0])
+    summaries = [item[1] for item in stage1]
+    clusterings = [item[2] for item in stage1]
+    cluster_seconds = [item[3] for item in stage1]
+
+    # stage 2 (coordinator): cluster-graph union + boundary resolution
+    with Timer() as t_merge:
+        decision = _merge_summaries(summaries, n)
+    # stage 3 (coordinator): one global game, warm-started
+    with Timer() as t_game:
+        game_result = _global_game(
+            decision.merged_graph, config, seed, decision.warm_start
+        )
+    cluster_partition = game_result.assignment
+    broadcast_bytes = int(
+        cluster_partition.nbytes
+        + decision.boundary_vertices.nbytes
+        + decision.boundary_global_cluster.nbytes
+    )
+
+    # stage 4a (nodes): uncapped tentative pass 3 -> per-partition loads
+    common = [
+        (
+            node,
+            stream.src[start:stop],
+            stream.dst[start:stop],
+            n,
+            clusterings[node],
+            int(decision.offsets[node]),
+            cluster_partition,
+            decision.boundary_vertices,
+            decision.boundary_global_cluster,
+            num_partitions,
+        )
+        for node, (start, stop) in enumerate(ranges)
+    ]
+    probe_tasks = [task + (chunk_size,) for task in common]
+    stage4a = _run_stage(probe_tasks, _transform_probe_worker, parallel_nodes, backend)
+    stage4a.sort(key=lambda item: item[0])
+    node_loads = np.stack([item[1] for item in stage4a])
+    probe_seconds = [item[2] for item in stage4a]
+
+    # stage 4b (coordinator): balance quota exchange — per-node caps that
+    # column-sum to the global L_max, so only the true global excess spills
+    global_cap = max(1, math.ceil(config.imbalance_factor * stream.num_edges / num_partitions))
+    quotas = _balance_quotas(node_loads, global_cap)
+
+    # stage 4c (nodes): committed pass-3 replay under the quotas
+    commit_tasks = [
+        task + (config.imbalance_factor, quotas[node], chunk_size)
+        for node, task in enumerate(common)
+    ]
+    stage4c = _run_stage(commit_tasks, _transform_commit_worker, parallel_nodes, backend)
+    stage4c.sort(key=lambda item: item[0])
+
+    edge_partition = np.empty(stream.num_edges, dtype=np.int64)
+    reports: list[NodeReport] = []
+    for node, (_, partial, t_commit) in enumerate(stage4c):
+        start, stop = ranges[node]
+        edge_partition[start:stop] = partial
+        s = summaries[node]
+        t_transform = probe_seconds[node] + t_commit
+        reports.append(
+            NodeReport(
+                node=node,
+                num_edges=s.num_edges,
+                num_clusters=s.num_clusters,
+                splits=s.splits,
+                game_rounds=s.local_game_rounds,
+                seconds=cluster_seconds[node] + t_transform,
+                summary_bytes=s.wire_bytes(),
+                boundary_vertices=int(s.boundary_vertices.size),
+                transform_seconds=t_transform,
+            )
+        )
+
+    times = StageTimes()
+    times.add("shard", sum(cluster_seconds))
+    times.add("merge", t_merge.elapsed)
+    times.add("game", t_game.elapsed)
+    times.add("transform", sum(r.transform_seconds for r in reports))
+    shard_wall = max(cluster_seconds, default=0.0)
+    transform_wall = max((r.transform_seconds for r in reports), default=0.0)
+    times.add_wall("shard", shard_wall)
+    times.add_wall("transform", transform_wall)
+    # the merged deployment is a fork-join pipeline: concurrent shard
+    # stage, serial coordinator merge+game, concurrent transform replay
+    times.add_wall(
+        "critical_path",
+        shard_wall + t_merge.elapsed + t_game.elapsed + transform_wall,
+    )
+    assignment = PartitionAssignment(stream, edge_partition, num_partitions, times)
+    # the shipped per-cluster volumes give the coordinator a granularity
+    # diagnostic over the merged id space: the largest global cluster's
+    # pass-1 volume (relabels are injective, so volumes concatenate)
+    max_volume = max(
+        (int(s.volume.max()) for s in summaries if s.volume.size), default=0
+    )
+    merge_report = MergeReport(
+        num_global_clusters=decision.merged_graph.num_clusters,
+        num_boundary_vertices=int(decision.boundary_vertices.size),
+        num_unresolved_edges=decision.num_unresolved_edges,
+        max_cluster_volume=max_volume,
+        merge_bytes=sum(s.wire_bytes() for s in summaries),
+        broadcast_bytes=broadcast_bytes,
+        quota_bytes=int(node_loads.nbytes + quotas.nbytes),
+        game_rounds=game_result.rounds,
+        game_moves=game_result.moves,
+        merge_seconds=t_merge.elapsed,
+        game_seconds=t_game.elapsed,
+    )
+    return DistributedResult(
+        assignment=assignment,
+        nodes=reports,
+        merge_mode="merged",
+        backend=backend,
+        merge=merge_report,
+    )
 
 
 class DistributedClugpPartitioner(EdgePartitioner):
@@ -169,6 +803,11 @@ class DistributedClugpPartitioner(EdgePartitioner):
         Ingest nodes (default 4).
     chunk_size:
         Per-node chunked ingestion batch size (None = partitioner default).
+    merge_mode:
+        ``"independent"`` (concatenate shard pipelines) or ``"merged"``
+        (cluster-summary merge + one global game).
+    backend:
+        Node executor: ``"thread"`` or ``"process"``.
     """
 
     name = "clugp-dist"
@@ -182,11 +821,15 @@ class DistributedClugpPartitioner(EdgePartitioner):
         num_nodes: int = 4,
         config: ClugpConfig | None = None,
         chunk_size: int | None = None,
+        merge_mode: str = "independent",
+        backend: str = "thread",
     ) -> None:
         super().__init__(num_partitions, seed)
         self.num_nodes = check_positive_int(num_nodes, "num_nodes")
         self.config = config
         self.chunk_size = chunk_size
+        self.merge_mode = merge_mode
+        self.backend = backend
         self.last_result: DistributedResult | None = None
 
     def partition(self, stream: EdgeStream) -> PartitionAssignment:
@@ -198,6 +841,8 @@ class DistributedClugpPartitioner(EdgePartitioner):
             config=self.config,
             seed=self.seed,
             chunk_size=self.chunk_size,
+            merge_mode=self.merge_mode,
+            backend=self.backend,
         )
         self.last_result = result
         return result.assignment

@@ -128,6 +128,15 @@ class ClusterPartitioningGame:
         slices; ``False`` keeps the faithful per-neighbor Python loop as
         the reference scorer.  Both produce bit-identical assignments
         (integer adjacency sums are exact in either order).
+    initial_assignment:
+        Optional warm start: a length-``m`` cluster->partition array that
+        replaces Algorithm 3's random initialization.  The distributed
+        merged mode seeds the coordinator's global game with the union of
+        the per-node local equilibria, so global refinement starts from a
+        state that is already locally consistent (and, with a single
+        node, is a Nash equilibrium outright — the refinement run then
+        proposes zero moves and the result is bit-identical to the
+        single-machine game).
     """
 
     def __init__(
@@ -136,15 +145,27 @@ class ClusterPartitioningGame:
         num_partitions: int,
         config: GameConfig | None = None,
         vectorized: bool = True,
+        initial_assignment: np.ndarray | None = None,
     ) -> None:
         self.graph = cluster_graph
         self.k = check_positive_int(num_partitions, "num_partitions")
         self.config = config or GameConfig()
         self.vectorized = bool(vectorized)
-        rng = as_rng(self.config.seed)
         m = cluster_graph.num_clusters
-        # Algorithm 3 line 2: random initial assignment
-        self.assignment = rng.integers(0, self.k, size=m, dtype=np.int64)
+        if initial_assignment is None:
+            rng = as_rng(self.config.seed)
+            # Algorithm 3 line 2: random initial assignment
+            self.assignment = rng.integers(0, self.k, size=m, dtype=np.int64)
+        else:
+            init = np.asarray(initial_assignment, dtype=np.int64)
+            if init.shape != (m,):
+                raise ValueError(
+                    f"initial_assignment must map all {m} clusters, "
+                    f"got shape {init.shape}"
+                )
+            if init.size and (int(init.min()) < 0 or int(init.max()) >= self.k):
+                raise ValueError("initial_assignment partitions out of range")
+            self.assignment = init.copy()
         self.loads = np.bincount(
             self.assignment, weights=cluster_graph.internal.astype(np.float64),
             minlength=self.k,

@@ -159,6 +159,7 @@ def parallel_game(
     cluster_graph: ClusterGraph,
     num_partitions: int,
     config: GameConfig | None = None,
+    initial_assignment: np.ndarray | None = None,
 ) -> GameResult:
     """Run the batched multi-threaded game; same result type as the
     sequential :meth:`ClusterPartitioningGame.run`.
@@ -166,10 +167,14 @@ def parallel_game(
     Batches are contiguous id ranges of ``config.batch_size`` clusters;
     ``config.num_threads`` threads process batches concurrently.  Outer
     rounds repeat until a full round proposes no move (a batch-consistent
-    equilibrium) or ``config.max_rounds`` is hit.
+    equilibrium) or ``config.max_rounds`` is hit.  ``initial_assignment``
+    replaces the random initialization (the distributed coordinator's
+    warm-started global refinement).
     """
     config = config or GameConfig()
-    game = ClusterPartitioningGame(cluster_graph, num_partitions, config)
+    game = ClusterPartitioningGame(
+        cluster_graph, num_partitions, config, initial_assignment=initial_assignment
+    )
     m = cluster_graph.num_clusters
     if m == 0:
         return GameResult(

@@ -35,6 +35,8 @@ three paths produce bit-identical assignments.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .._util import StageTimes, Timer
@@ -42,17 +44,88 @@ from ..config import ClugpConfig, GameConfig
 from ..graph.stream import EdgeStream
 from ..partitioners.base import EdgePartitioner, PartitionAssignment
 from .clustering import ClusteringResult, ClusteringState, streaming_clustering
-from .cluster_graph import ClusterGraph, build_cluster_graph
+from .cluster_graph import ClusterGraph, build_cluster_graph, cluster_graph_from_labels
 from .game import ClusterPartitioningGame, GameResult
 from .parallel import parallel_game
-from .transform import TransformState, TransformStats, transform_partitions
+from .transform import (
+    TransformState,
+    TransformStats,
+    replay_transform_chunked,
+    transform_partitions,
+)
 
 __all__ = [
+    "ClusterSummary",
     "ClugpPartitioner",
     "ClugpNoSplitPartitioner",
     "ClugpGreedyPartitioner",
     "greedy_cluster_assignment",
 ]
+
+
+@dataclass
+class ClusterSummary:
+    """The compact, serializable product of a node's pass 1 (+ local game).
+
+    This is everything a distributed ingest node ships to the coordinator
+    for the Section III-C merge — no raw interior edges, only cluster-level
+    aggregates plus the boundary residue the node cannot resolve alone:
+
+    * ``resolved`` — the shard's cluster graph restricted to edges with
+      **no** shard-boundary endpoint.  For those edges the local cluster
+      ids are final (an interior vertex lives in exactly one shard), so
+      the coordinator can union them into the global cluster graph by a
+      pure relabel (:meth:`ClusterGraph.merge`).
+    * ``unresolved_*`` — the raw endpoints *and* local endpoint clusters
+      of every edge that touches a boundary vertex.  Their cluster-graph
+      attribution depends on the coordinator's boundary resolution, so
+      they are shipped unaggregated and the coordinator attributes their
+      cut weight exactly against the merged vertex->cluster map.
+    * ``boundary_*`` — the vertex->cluster map (plus local degrees, used
+      by the resolution policy) restricted to boundary vertices seen in
+      this shard.
+    * ``local_assignment`` — the node's local game equilibrium, the warm
+      start of the coordinator's global refinement game.
+
+    ``wire_bytes`` measures the payload a real deployment would serialize
+    (the in-CSR of ``resolved`` is its transpose and is never shipped).
+    """
+
+    node: int
+    num_vertices: int
+    num_edges: int
+    num_clusters: int
+    volume: np.ndarray
+    resolved: ClusterGraph
+    boundary_vertices: np.ndarray
+    boundary_clusters: np.ndarray
+    boundary_degrees: np.ndarray
+    unresolved_src: np.ndarray
+    unresolved_dst: np.ndarray
+    unresolved_src_cluster: np.ndarray
+    unresolved_dst_cluster: np.ndarray
+    local_assignment: np.ndarray
+    local_game_rounds: int
+    splits: int
+
+    def wire_bytes(self) -> int:
+        """Measured serialized size: every array that crosses the wire."""
+        arrays = (
+            self.volume,
+            self.resolved.internal,
+            self.resolved.indptr,
+            self.resolved.indices,
+            self.resolved.weights,
+            self.boundary_vertices,
+            self.boundary_clusters,
+            self.boundary_degrees,
+            self.unresolved_src,
+            self.unresolved_dst,
+            self.unresolved_src_cluster,
+            self.unresolved_dst_cluster,
+            self.local_assignment,
+        )
+        return int(sum(a.nbytes for a in arrays))
 
 
 def greedy_cluster_assignment(cluster_graph: ClusterGraph, num_partitions: int) -> np.ndarray:
@@ -286,6 +359,111 @@ class ClugpPartitioner(EdgePartitioner):
         if not parts:
             return np.empty(0, dtype=np.int64)
         return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    # ------------------------------------------------------------------ #
+    # staged API (the distributed protocol's separable stages)
+    # ------------------------------------------------------------------ #
+
+    def cluster_summary(
+        self,
+        stream: EdgeStream,
+        boundary_mask: np.ndarray | None = None,
+        chunk_size: int | None = None,
+        node: int = 0,
+    ) -> ClusterSummary:
+        """Stage 1+2 (node-side): pass 1 over ``stream``, the local game,
+        and the serializable :class:`ClusterSummary` for the coordinator.
+
+        ``boundary_mask`` flags shard-boundary vertices (vertices that
+        also appear in other shards); edges touching one are shipped
+        unresolved, everything else is aggregated into the ``resolved``
+        cluster graph.  With no mask (or a single shard) every edge is
+        resolved and the summary carries the full local cluster graph.
+
+        The intermediate pipeline products are retained on
+        :attr:`last_clustering` / :attr:`last_cluster_graph` /
+        :attr:`last_game_result`, so a node can replay pass 3 afterwards
+        via :meth:`transform_with_mapping`.
+        """
+        cfg = self.config
+        vmax = cfg.resolve_vmax(stream.num_edges)
+        state = ClusteringState(
+            stream.num_vertices, vmax, enable_splitting=cfg.enable_splitting
+        )
+        size = chunk_size if chunk_size is not None else self.default_chunk_size
+        for src, dst in stream.batches(max(1, size)):
+            state.ingest_pair(src, dst)
+        clustering = state.finalize()
+        # the node's own (full) cluster graph drives its local game; the
+        # summary ships the boundary-free restriction of it
+        cluster_graph = build_cluster_graph(stream, clustering)
+        game_result = self._map_clusters(cluster_graph)
+        if boundary_mask is None:
+            boundary_mask = np.zeros(stream.num_vertices, dtype=bool)
+        cu = clustering.cluster_of[stream.src]
+        cv = clustering.cluster_of[stream.dst]
+        unresolved = boundary_mask[stream.src] | boundary_mask[stream.dst]
+        resolved_graph = cluster_graph_from_labels(
+            cu[~unresolved], cv[~unresolved], clustering.num_clusters
+        )
+        bverts = np.flatnonzero(clustering.active_mask() & boundary_mask)
+        self.last_clustering = clustering
+        self.last_cluster_graph = cluster_graph
+        self.last_game_result = game_result
+        return ClusterSummary(
+            node=node,
+            num_vertices=stream.num_vertices,
+            num_edges=stream.num_edges,
+            num_clusters=clustering.num_clusters,
+            volume=clustering.volume,
+            resolved=resolved_graph,
+            boundary_vertices=bverts,
+            boundary_clusters=clustering.cluster_of[bverts],
+            boundary_degrees=clustering.degree[bverts],
+            unresolved_src=stream.src[unresolved],
+            unresolved_dst=stream.dst[unresolved],
+            unresolved_src_cluster=cu[unresolved],
+            unresolved_dst_cluster=cv[unresolved],
+            local_assignment=game_result.assignment,
+            local_game_rounds=game_result.rounds,
+            splits=clustering.splits,
+        )
+
+    def transform_with_mapping(
+        self,
+        stream: EdgeStream,
+        vertex_partition: np.ndarray,
+        clustering: ClusteringResult | None = None,
+        chunk_size: int | None = None,
+        load_caps: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Stage 4 (node-side): replay pass 3 over ``stream`` under an
+        externally supplied vertex->partition mapping.
+
+        The distributed merged mode broadcasts the coordinator's global
+        decision and each node re-streams only its own shard; the local
+        mirror/degree heuristics (``divided`` flags, degrees) still come
+        from the node's pass-1 ``clustering`` (default: the one retained
+        by :meth:`cluster_summary`).  ``load_caps`` carries per-partition
+        quotas from the balance quota exchange (None = the uniform cap).
+        """
+        if clustering is None:
+            clustering = self.last_clustering
+        if clustering is None:
+            raise RuntimeError("run cluster_summary first or pass clustering")
+        cfg = self.config
+        size = chunk_size if chunk_size is not None else self.default_chunk_size
+        edge_partition, stats = replay_transform_chunked(
+            stream,
+            clustering,
+            vertex_partition,
+            cfg.num_partitions,
+            imbalance_factor=cfg.imbalance_factor,
+            load_caps=load_caps,
+            chunk_size=size,
+        )
+        self.last_transform_stats = stats
+        return edge_partition
 
     # ------------------------------------------------------------------ #
 

@@ -46,6 +46,7 @@ from .clustering import ClusteringResult
 __all__ = [
     "transform_partitions",
     "transform_partitions_chunked",
+    "replay_transform_chunked",
     "TransformState",
     "TransformStats",
 ]
@@ -101,7 +102,7 @@ def _vertex_partition_join(
     asymptotic footprint; the paper's sequential two-table query is an
     equivalent O(1)-per-edge lookup)."""
     vertex_partition = np.full(num_vertices, -1, dtype=np.int64)
-    seen = clustering.cluster_of >= 0
+    seen = clustering.active_mask()
     vertex_partition[seen] = cluster_partition[clustering.cluster_of[seen]]
     return vertex_partition
 
@@ -201,22 +202,68 @@ class TransformState:
     def __init__(
         self,
         clustering: ClusteringResult,
-        cluster_partition: np.ndarray,
+        cluster_partition: np.ndarray | None,
         num_partitions: int,
         num_edges: int,
         num_vertices: int,
         imbalance_factor: float = 1.0,
+        vertex_partition: np.ndarray | None = None,
+        load_caps: np.ndarray | None = None,
     ) -> None:
         k = int(num_partitions)
-        cluster_partition = _check_inputs(
-            clustering, cluster_partition, k, imbalance_factor
-        )
+        if (cluster_partition is None) == (vertex_partition is None):
+            raise ValueError(
+                "exactly one of cluster_partition and vertex_partition is required"
+            )
+        self._external = False
+        if vertex_partition is None:
+            cluster_partition = _check_inputs(
+                clustering, cluster_partition, k, imbalance_factor
+            )
+            vp = _vertex_partition_join(clustering, cluster_partition, num_vertices)
+        else:
+            # externally supplied mapping: the distributed merged mode
+            # replays pass 3 on each node under the coordinator's global
+            # vertex->partition decision instead of the local join
+            if imbalance_factor < 1.0:
+                raise ValueError(
+                    f"imbalance_factor must be >= 1, got {imbalance_factor}"
+                )
+            vp = np.asarray(vertex_partition, dtype=np.int64)
+            if vp.shape != (num_vertices,):
+                raise ValueError(
+                    f"vertex_partition must map all {num_vertices} vertices"
+                )
+            if vp.size and vp.max() >= k:
+                raise ValueError("vertex_partition ids out of range")
+            # -1 marks vertices absent from this shard; streamed endpoints
+            # must be mapped, checked per chunk (the stream arrives later)
+            self._external = True
         self.k = k
         self.load_cap = max(1, math.ceil(imbalance_factor * num_edges / k))
+        if load_caps is None:
+            # Algorithm 1's uniform hard cap L_max
+            self._caps = np.full(k, self.load_cap, dtype=np.int64)
+        else:
+            # per-partition quotas (the distributed merged mode's balance
+            # quota exchange): the coordinator hands each node caps that
+            # sum to the global L_max column-wise, so per-node enforcement
+            # still bounds the *global* relative balance by tau
+            caps = np.asarray(load_caps, dtype=np.int64)
+            if caps.shape != (k,):
+                raise ValueError(f"load_caps must have one entry per partition ({k})")
+            if caps.size and int(caps.min()) < 0:
+                raise ValueError("load_caps must be non-negative")
+            if int(caps.sum()) < num_edges:
+                raise ValueError(
+                    f"load_caps sum {int(caps.sum())} cannot hold {num_edges} edges"
+                )
+            self._caps = caps
+            self.load_cap = int(caps.max()) if caps.size else self.load_cap
         self.stats = TransformStats(self.load_cap)
         self.loads = np.zeros(k, dtype=np.int64)
         self.spill_ptr = 0
-        self._vp = _vertex_partition_join(clustering, cluster_partition, num_vertices)
+        self._vp = vp
         self._div = clustering.divided
         self._deg = clustering.degree
 
@@ -235,9 +282,14 @@ class TransformState:
         if m == 0:
             return np.empty(0, dtype=np.int64)
         k = self.k
-        cap = self.load_cap
+        caps = self._caps
         pu = self._vp[u]
         pv = self._vp[v]
+        if self._external and (int(pu.min()) < 0 or int(pv.min()) < 0):
+            raise ValueError(
+                "vertex_partition does not cover every streamed vertex "
+                "(-1 entry gathered for a chunk endpoint)"
+            )
         # Algorithm 1 rule table as masks (the non-spill elif chain):
         # agreement -> pu; u-mirrored -> pv; v-mirrored -> pu; else the
         # higher-degree endpoint is cut (ties cut v) -> pu iff deg[v] > deg[u]
@@ -252,9 +304,9 @@ class TransformState:
         rule = np.full(m, 2, dtype=np.int64)
         rule[mirror] = 1
         rule[agree] = 0
-        # fast path: no partition can reach the cap anywhere in this chunk
+        # fast path: no partition can reach its cap anywhere in this chunk
         projected = self.loads + np.bincount(tentative, minlength=k)
-        candidates = np.flatnonzero(projected >= cap)
+        candidates = np.flatnonzero(projected >= caps)
         if candidates.size == 0:
             cut = m
         else:
@@ -264,7 +316,7 @@ class TransformState:
                 run = np.zeros(m, dtype=np.int64)
                 np.cumsum(tentative[:-1] == p, out=run[1:])
                 run += self.loads[p]
-                violated |= ((pu == p) | (pv == p)) & (run >= cap)
+                violated |= ((pu == p) | (pv == p)) & (run >= caps[p])
             cut = int(np.argmax(violated)) if violated.any() else m
         out = np.empty(m, dtype=np.int64)
         if cut:
@@ -296,7 +348,7 @@ class TransformState:
     ) -> None:
         """Exact reference loop (spill branch included) from ``start`` on."""
         k = self.k
-        cap = self.load_cap
+        caps_l = self._caps.tolist()
         loads_l = self.loads.tolist()
         sp = self.spill_ptr
         stats = self.stats
@@ -306,7 +358,7 @@ class TransformState:
         for i in range(start, m):
             p_u = pu_l[i]
             p_v = pv_l[i]
-            if loads_l[p_u] < cap and loads_l[p_v] < cap:
+            if loads_l[p_u] < caps_l[p_u] and loads_l[p_v] < caps_l[p_v]:
                 target = t_l[i]
                 rc = rule_l[i]
                 if rc == 0:
@@ -316,14 +368,14 @@ class TransformState:
                 else:
                     degree_ct += 1
             else:
-                if loads_l[p_u] < cap:
+                if loads_l[p_u] < caps_l[p_u]:
                     target = p_u
-                elif loads_l[p_v] < cap:
+                elif loads_l[p_v] < caps_l[p_v]:
                     target = p_v
                 else:
-                    while loads_l[sp] >= cap:
+                    while loads_l[sp] >= caps_l[sp]:
                         sp += 1
-                        if sp == k:  # pragma: no cover - tau>=1 guarantees room
+                        if sp == k:  # pragma: no cover - caps sum guarantees room
                             raise RuntimeError("no underfull partition available")
                     target = sp
                 spill_ct += 1
@@ -336,6 +388,44 @@ class TransformState:
         stats.mirror_reuse += mirror_ct
         stats.degree_cut += degree_ct
         stats.balance_spill += spill_ct
+
+
+def replay_transform_chunked(
+    stream: EdgeStream,
+    clustering: ClusteringResult,
+    vertex_partition: np.ndarray,
+    num_partitions: int,
+    imbalance_factor: float = 1.0,
+    load_caps: np.ndarray | None = None,
+    chunk_size: int = 1 << 16,
+) -> tuple[np.ndarray, TransformStats]:
+    """Replay pass 3 under an externally supplied vertex->partition map.
+
+    The single implementation behind the distributed merged mode's node
+    replay — both the staged
+    :meth:`~repro.core.partitioner.ClugpPartitioner.transform_with_mapping`
+    API and the probe/commit stage workers call this, so the two paths
+    cannot drift.  ``load_caps`` carries the coordinator's per-partition
+    quotas (None = Algorithm 1's uniform cap).
+    """
+    state = TransformState(
+        clustering,
+        None,
+        num_partitions,
+        num_edges=stream.num_edges,
+        num_vertices=stream.num_vertices,
+        imbalance_factor=imbalance_factor,
+        vertex_partition=vertex_partition,
+        load_caps=load_caps,
+    )
+    parts = [
+        state.ingest_pair(src, dst)
+        for src, dst in stream.batches(max(1, chunk_size))
+    ]
+    if not parts:
+        return np.empty(0, dtype=np.int64), state.stats
+    out = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    return out, state.stats
 
 
 def transform_partitions_chunked(

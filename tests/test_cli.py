@@ -142,3 +142,39 @@ class TestCommands:
     def test_run_app_rejects_unknown_app(self):
         with pytest.raises(SystemExit):
             main(["run-app", "bogus"])
+
+    @pytest.mark.parametrize("mode", ["independent", "merged"])
+    def test_distribute(self, capsys, mode):
+        rc = main(
+            ["distribute", "--scale", "0.03", "-k", "4", "--num-nodes", "3",
+             "--merge-mode", mode]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"[{mode}/thread]" in out
+        assert "RF=" in out
+        assert "node 0:" in out and "node 2:" in out
+        if mode == "merged":
+            assert "boundary" in out and "wire=" in out
+
+    def test_distribute_process_backend(self, capsys):
+        rc = main(
+            ["distribute", "--scale", "0.03", "-k", "4", "--num-nodes", "2",
+             "--merge-mode", "merged", "--backend", "process"]
+        )
+        assert rc == 0
+        assert "[merged/process]" in capsys.readouterr().out
+
+    def test_distribute_compare_modes(self, capsys):
+        rc = main(
+            ["distribute", "--scale", "0.03", "-k", "4", "--num-nodes", "4",
+             "--compare-modes"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "independent" in out and "merged" in out
+        assert "sync wire" in out
+
+    def test_distribute_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            main(["distribute", "--merge-mode", "bogus"])

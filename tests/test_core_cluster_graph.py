@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.graph.digraph import DiGraph
 from repro.graph.stream import EdgeStream
 from repro.core.clustering import streaming_clustering
-from repro.core.cluster_graph import build_cluster_graph
+from repro.core.cluster_graph import ClusterGraph, build_cluster_graph
 
 
 def clustered_stream(edges, vmax=1000):
@@ -122,3 +122,143 @@ def test_property_every_edge_accounted(edges, vmax):
     # internal counts are non-negative and bounded by the stream
     assert (cg.internal >= 0).all()
     assert cg.internal.sum() <= s.num_edges
+
+
+class TestMerge:
+    """ClusterGraph.merge: the coordinator half of the distributed union."""
+
+    def _two_graphs(self):
+        s1, c1 = clustered_stream(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)], vmax=6
+        )
+        s2, c2 = clustered_stream([(0, 1), (1, 0), (2, 3), (0, 2)], vmax=4)
+        return build_cluster_graph(s1, c1), build_cluster_graph(s2, c2)
+
+    def test_identity_relabel_is_bit_identical(self):
+        g, _ = self._two_graphs()
+        merged = ClusterGraph.merge(
+            [g], [np.arange(g.num_clusters)], num_clusters=g.num_clusters
+        )
+        assert np.array_equal(merged.internal, g.internal)
+        assert np.array_equal(merged.indptr, g.indptr)
+        assert np.array_equal(merged.indices, g.indices)
+        assert np.array_equal(merged.weights, g.weights)
+        assert np.array_equal(merged.in_indptr, g.in_indptr)
+        assert np.array_equal(merged.in_indices, g.in_indices)
+        assert np.array_equal(merged.in_weights, g.in_weights)
+        assert merged.internal.dtype == np.int64
+        assert merged.weights.dtype == np.int64
+
+    def test_disjoint_union_conserves_weight(self):
+        g1, g2 = self._two_graphs()
+        m1, m2 = g1.num_clusters, g2.num_clusters
+        merged = ClusterGraph.merge(
+            [g1, g2],
+            [np.arange(m1), np.arange(m2) + m1],
+            num_clusters=m1 + m2,
+        )
+        assert merged.num_clusters == m1 + m2
+        assert merged.total_internal() == g1.total_internal() + g2.total_internal()
+        assert merged.total_cut() == g1.total_cut() + g2.total_cut()
+        # the relabel is a bijection onto 0..M-1: each input row survives
+        assert np.array_equal(merged.internal[:m1], g1.internal)
+        assert np.array_equal(merged.internal[m1:], g2.internal)
+
+    def test_bijective_relabel_permutes(self):
+        g, _ = self._two_graphs()
+        m = g.num_clusters
+        perm = np.arange(m)[::-1].copy()
+        merged = ClusterGraph.merge([g], [perm], num_clusters=m)
+        assert np.array_equal(merged.internal, g.internal[::-1])
+        assert merged.total_cut() == g.total_cut()
+        # inverse permutation restores the original arrays exactly
+        back = ClusterGraph.merge([merged], [perm], num_clusters=m)
+        assert np.array_equal(back.internal, g.internal)
+        assert np.array_equal(back.indices, g.indices)
+        assert np.array_equal(back.weights, g.weights)
+
+    def test_non_injective_relabel_folds_into_internal(self):
+        g = ClusterGraph.from_dicts(
+            3,
+            internal=np.array([2, 3, 1]),
+            out_edges=[{1: 4}, {2: 5}, {}],
+            in_edges=[{}, {0: 4}, {1: 5}],
+        )
+        # collapse clusters 0 and 1: their 4 cut edges become internal
+        merged = ClusterGraph.merge([g], [np.array([0, 0, 1])], num_clusters=2)
+        assert merged.num_clusters == 2
+        assert np.array_equal(merged.internal, [2 + 3 + 4, 1])
+        assert merged.total_cut() == 5
+        assert merged.out_dict(0) == {1: 5}
+        # total weight is conserved through the fold
+        assert (
+            merged.total_internal() + merged.total_cut()
+            == g.total_internal() + g.total_cut()
+        )
+
+    def test_duplicate_pairs_sum(self):
+        a = ClusterGraph.from_dicts(
+            2, internal=np.array([1, 1]), out_edges=[{1: 2}, {}], in_edges=[{}, {0: 2}]
+        )
+        b = ClusterGraph.from_dicts(
+            2, internal=np.array([0, 0]), out_edges=[{1: 7}, {0: 3}],
+            in_edges=[{1: 3}, {0: 7}],
+        )
+        merged = ClusterGraph.merge(
+            [a, b], [np.arange(2), np.arange(2)], num_clusters=2
+        )
+        assert merged.out_dict(0) == {1: 9}
+        assert merged.out_dict(1) == {0: 3}
+        assert np.array_equal(merged.internal, [1, 1])
+
+    def test_infers_num_clusters(self):
+        g, _ = self._two_graphs()
+        merged = ClusterGraph.merge([g], [np.arange(g.num_clusters)])
+        assert merged.num_clusters == g.num_clusters
+
+    def test_empty_inputs(self):
+        merged = ClusterGraph.merge([], [], num_clusters=0)
+        assert merged.num_clusters == 0
+        assert merged.indices.size == 0
+
+    def test_validates_relabel(self):
+        g, _ = self._two_graphs()
+        with pytest.raises(ValueError, match="relabel must map"):
+            ClusterGraph.merge([g], [np.arange(g.num_clusters - 1)])
+        with pytest.raises(ValueError, match="out of range"):
+            ClusterGraph.merge(
+                [g], [np.arange(g.num_clusters)], num_clusters=g.num_clusters - 1
+            )
+        with pytest.raises(ValueError, match="relabel maps"):
+            ClusterGraph.merge([g], [])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 11), st.integers(0, 11)), min_size=1, max_size=60
+    ),
+    vmax=st.integers(min_value=1, max_value=12),
+    split=st.integers(min_value=0, max_value=59),
+)
+def test_property_merge_of_halves_equals_whole_under_shared_clustering(
+    edges, vmax, split
+):
+    """Splitting a stream in two, building each half's cluster graph under
+    the SAME clustering, and merging with identity relabels must equal the
+    whole-stream graph — the resolved-edge half of the DESIGN.md §6
+    exactness argument."""
+    s, clustering = clustered_stream(edges, vmax=vmax)
+    whole = build_cluster_graph(s, clustering)
+    split = min(split, s.num_edges)
+    halves = [
+        EdgeStream(s.src[:split], s.dst[:split], s.num_vertices),
+        EdgeStream(s.src[split:], s.dst[split:], s.num_vertices),
+    ]
+    graphs = [build_cluster_graph(h, clustering) for h in halves]
+    m = clustering.num_clusters
+    merged = ClusterGraph.merge(graphs, [np.arange(m), np.arange(m)], num_clusters=m)
+    assert np.array_equal(merged.internal, whole.internal)
+    assert np.array_equal(merged.indptr, whole.indptr)
+    assert np.array_equal(merged.indices, whole.indices)
+    assert np.array_equal(merged.weights, whole.weights)

@@ -6,6 +6,7 @@ import pytest
 from repro.config import ClugpConfig
 from repro.core.distributed import (
     DistributedClugpPartitioner,
+    _balance_quotas,
     _shard_ranges,
     distributed_clugp,
 )
@@ -97,6 +98,191 @@ class TestDistributedClugp:
         tiny = EdgeStream([0], [1], num_vertices=2)
         with pytest.raises(ValueError, match="num_nodes"):
             distributed_clugp(tiny, 2, num_nodes=5)
+
+
+class TestMergedMode:
+    def test_single_node_bit_identical_to_single_machine(self, stream):
+        # the merged protocol with one node degenerates exactly: identity
+        # relabel, no boundary vertices, a warm-started refinement game
+        # that proposes zero moves, and a quota equal to the uniform cap
+        single = ClugpPartitioner(8, seed=3).partition(stream)
+        merged = distributed_clugp(stream, 8, num_nodes=1, seed=3, merge_mode="merged")
+        assert np.array_equal(
+            single.edge_partition, merged.assignment.edge_partition
+        )
+        assert merged.merge.game_moves == 0
+        assert merged.merge.num_boundary_vertices == 0
+        assert merged.merge.num_unresolved_edges == 0
+
+    def test_single_node_identity_other_seeds_and_k(self, stream):
+        for seed, k in ((0, 4), (7, 16)):
+            single = ClugpPartitioner(k, seed=seed).partition(stream)
+            merged = distributed_clugp(
+                stream, k, num_nodes=1, seed=seed, merge_mode="merged"
+            )
+            assert np.array_equal(
+                single.edge_partition, merged.assignment.edge_partition
+            )
+
+    def test_valid_global_assignment(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=4, merge_mode="merged")
+        a = result.assignment
+        assert a.edge_partition.shape == (stream.num_edges,)
+        assert a.edge_partition.min() >= 0 and a.edge_partition.max() < 8
+        assert a.partition_sizes().sum() == stream.num_edges
+
+    def test_beats_independent_on_bench_fixture(self, stream):
+        for num_nodes in (2, 4, 8):
+            ind = distributed_clugp(
+                stream, 8, num_nodes=num_nodes, merge_mode="independent"
+            )
+            mer = distributed_clugp(
+                stream, 8, num_nodes=num_nodes, merge_mode="merged"
+            )
+            assert (
+                mer.assignment.replication_factor()
+                <= ind.assignment.replication_factor()
+            )
+
+    def test_balance_strictly_conforms(self, stream):
+        # the quota exchange caps every partition at the *global* L_max,
+        # so merged mode holds tau exactly (plus ceil rounding), unlike
+        # independent mode's per-shard rounding slack
+        result = distributed_clugp(
+            stream, 8, num_nodes=4, merge_mode="merged",
+            config=ClugpConfig(imbalance_factor=1.05),
+        )
+        cap = int(np.ceil(1.05 * stream.num_edges / 8))
+        assert int(result.assignment.partition_sizes().max()) <= cap
+
+    def test_parallel_matches_sequential(self, stream):
+        par = distributed_clugp(
+            stream, 8, num_nodes=4, seed=1, merge_mode="merged", parallel_nodes=True
+        )
+        seq = distributed_clugp(
+            stream, 8, num_nodes=4, seed=1, merge_mode="merged", parallel_nodes=False
+        )
+        assert np.array_equal(
+            par.assignment.edge_partition, seq.assignment.edge_partition
+        )
+
+    def test_process_backend_matches_thread(self, stream):
+        thread = distributed_clugp(
+            stream, 8, num_nodes=3, seed=2, merge_mode="merged", backend="thread"
+        )
+        process = distributed_clugp(
+            stream, 8, num_nodes=3, seed=2, merge_mode="merged", backend="process"
+        )
+        assert np.array_equal(
+            thread.assignment.edge_partition, process.assignment.edge_partition
+        )
+
+    def test_process_backend_independent_mode(self, stream):
+        thread = distributed_clugp(
+            stream, 8, num_nodes=3, seed=2, merge_mode="independent", backend="thread"
+        )
+        process = distributed_clugp(
+            stream, 8, num_nodes=3, seed=2, merge_mode="independent", backend="process"
+        )
+        assert np.array_equal(
+            thread.assignment.edge_partition, process.assignment.edge_partition
+        )
+
+    def test_stage_walls_and_critical_path(self, stream):
+        result = distributed_clugp(
+            stream, 8, num_nodes=4, merge_mode="merged", parallel_nodes=False
+        )
+        times = result.assignment.stage_times
+        for stage in ("shard", "merge", "game", "transform"):
+            assert stage in times
+        assert times.total == pytest.approx(
+            times["shard"] + times["merge"] + times["game"] + times["transform"]
+        )
+        expected_wall = (
+            times.walls["shard"]
+            + times["merge"]
+            + times["game"]
+            + times.walls["transform"]
+        )
+        assert times.walls["critical_path"] == pytest.approx(expected_wall)
+        assert result.assignment.wall_time() == pytest.approx(expected_wall)
+        # walls are maxima over concurrent nodes: never above summed work
+        assert times.walls["shard"] <= times["shard"] + 1e-9
+        assert times.walls["transform"] <= times["transform"] + 1e-9
+
+    def test_merge_report_wire_bytes(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=4, merge_mode="merged")
+        m = result.merge
+        assert m is not None
+        assert m.merge_bytes == sum(n.summary_bytes for n in result.nodes)
+        assert m.merge_bytes > 0
+        assert m.broadcast_bytes > 0
+        assert m.quota_bytes == 2 * 4 * 8 * 8  # 2 exchanges * nodes * k * int64
+        assert m.num_boundary_vertices > 0
+        assert m.num_global_clusters == sum(n.num_clusters for n in result.nodes)
+
+    def test_to_dict_shape(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=2, merge_mode="merged")
+        d = result.to_dict()
+        assert d["merge_mode"] == "merged"
+        assert d["num_nodes"] == 2
+        assert d["replication_factor"] == pytest.approx(
+            result.assignment.replication_factor()
+        )
+        assert set(d["stage_seconds"]) == {"shard", "merge", "game", "transform"}
+        assert d["merge"]["num_global_clusters"] > 0
+        assert len(d["nodes"]) == 2
+        import json
+
+        json.dumps(d)  # must be JSON-serializable as-is
+
+    def test_summary_mentions_protocol(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=2, merge_mode="merged")
+        text = result.summary()
+        assert "merged" in text and "boundary" in text and "RF=" in text
+
+    def test_independent_to_dict(self, stream):
+        result = distributed_clugp(stream, 8, num_nodes=2, merge_mode="independent")
+        d = result.to_dict()
+        assert d["merge"] is None
+        assert d["merge_mode"] == "independent"
+
+    def test_rejects_unknown_mode_and_backend(self, stream):
+        with pytest.raises(ValueError, match="merge_mode"):
+            distributed_clugp(stream, 8, num_nodes=2, merge_mode="bogus")
+        with pytest.raises(ValueError, match="backend"):
+            distributed_clugp(stream, 8, num_nodes=2, backend="mpi")
+
+
+class TestBalanceQuotas:
+    def test_columns_sum_to_cap(self):
+        loads = np.array([[10, 0, 5], [0, 12, 5]], dtype=np.int64)
+        cap = 9
+        quotas = _balance_quotas(loads, cap)
+        assert (quotas.sum(axis=0) == cap).all()
+
+    def test_rows_cover_each_shard(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n, k = int(rng.integers(1, 6)), int(rng.integers(1, 9))
+            loads = rng.integers(0, 50, size=(n, k)).astype(np.int64)
+            total = int(loads.sum())
+            cap = max(1, int(np.ceil(1.05 * total / k)))
+            quotas = _balance_quotas(loads, cap)
+            assert (quotas.sum(axis=0) <= cap).all()
+            assert (quotas.sum(axis=1) >= loads.sum(axis=1)).all()
+            assert (quotas >= 0).all()
+
+    def test_single_node_gets_uniform_cap(self):
+        loads = np.array([[30, 1, 2]], dtype=np.int64)
+        quotas = _balance_quotas(loads, 12)
+        assert (quotas[0] == 12).all()
+
+    def test_no_overfull_keeps_demands(self):
+        loads = np.array([[3, 4], [2, 1]], dtype=np.int64)
+        quotas = _balance_quotas(loads, 10)
+        assert (quotas >= loads).all()
+        assert (quotas.sum(axis=0) == 10).all()
 
 
 class TestPartitionerInterface:

@@ -253,3 +253,39 @@ def test_property_game_reaches_stable_state(edges, k, seed):
     # potential decreased weakly and assignment is valid
     assert result.potential_trace[-1] <= result.potential_trace[0] + 1e-9
     assert (result.assignment >= 0).all() and (result.assignment < k).all()
+
+
+class TestInitialAssignment:
+    """Warm starts: the distributed coordinator's refinement entry point."""
+
+    def test_equilibrium_warm_start_is_fixed_point(self):
+        cg = crawl_cluster_graph(seed=3)
+        first = ClusterPartitioningGame(cg, 4, GameConfig(seed=1)).run()
+        refine = ClusterPartitioningGame(
+            cg, 4, GameConfig(seed=1), initial_assignment=first.assignment
+        ).run()
+        assert refine.moves == 0
+        assert refine.rounds == 1
+        assert np.array_equal(refine.assignment, first.assignment)
+
+    def test_warm_start_replaces_random_init(self):
+        cg = crawl_cluster_graph(seed=3)
+        init = np.zeros(cg.num_clusters, dtype=np.int64)
+        game = ClusterPartitioningGame(cg, 4, initial_assignment=init)
+        assert np.array_equal(game.assignment, init)
+        assert game.assignment is not init  # defensive copy
+        result = game.run()
+        assert game.is_nash_equilibrium()
+        assert result.converged
+
+    def test_validates_initial_assignment(self):
+        cg = crawl_cluster_graph(seed=3)
+        with pytest.raises(ValueError, match="initial_assignment must map"):
+            ClusterPartitioningGame(
+                cg, 4, initial_assignment=np.zeros(1, dtype=np.int64)
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            ClusterPartitioningGame(
+                cg, 4,
+                initial_assignment=np.full(cg.num_clusters, 9, dtype=np.int64),
+            )

@@ -125,3 +125,14 @@ class TestBatchedBestResponseIdentity:
         )
         for c in range(0, cluster_graph.num_clusters, 7):
             assert np.array_equal(costs[c], game.cost_vector(c))
+
+
+class TestInitialAssignment:
+    def test_parallel_game_accepts_warm_start(self, cluster_graph):
+        seq = parallel_game(cluster_graph, 4, GameConfig(seed=5))
+        refined = parallel_game(
+            cluster_graph, 4, GameConfig(seed=5), initial_assignment=seq.assignment
+        )
+        # a batch-consistent equilibrium stays put under refinement
+        assert refined.moves == 0
+        assert np.array_equal(refined.assignment, seq.assignment)

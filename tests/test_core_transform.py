@@ -142,3 +142,139 @@ def test_property_transform_invariants(edges, k, tau):
     assert loads.max() <= stats.load_cap
     # rule counters account for every edge
     assert stats.total() == s.num_edges
+
+
+class TestExternalMapping:
+    """TransformState with an externally supplied vertex->partition map
+    (the distributed merged mode's broadcast decision)."""
+
+    def test_matches_internal_join(self):
+        g = web_crawl_graph(400, avg_out_degree=6, host_size=20, seed=2)
+        s, clustering, cluster_partition = pipeline_inputs(g, k=4)
+        from repro.core.transform import TransformState
+
+        joined = TransformState(
+            clustering, cluster_partition, 4,
+            num_edges=s.num_edges, num_vertices=s.num_vertices,
+            imbalance_factor=1.05,
+        )
+        vp = np.full(s.num_vertices, -1, dtype=np.int64)
+        seen = clustering.active_mask()
+        vp[seen] = cluster_partition[clustering.cluster_of[seen]]
+        external = TransformState(
+            clustering, None, 4,
+            num_edges=s.num_edges, num_vertices=s.num_vertices,
+            imbalance_factor=1.05, vertex_partition=vp,
+        )
+        a = joined.ingest_pair(s.src, s.dst)
+        b = external.ingest_pair(s.src, s.dst)
+        assert np.array_equal(a, b)
+
+    def test_requires_exactly_one_mapping(self):
+        s, clustering, cluster_partition = pipeline_inputs([(0, 1), (1, 2)], k=2)
+        from repro.core.transform import TransformState
+
+        vp = np.zeros(s.num_vertices, dtype=np.int64)
+        with pytest.raises(ValueError, match="exactly one"):
+            TransformState(
+                clustering, cluster_partition, 2,
+                num_edges=s.num_edges, num_vertices=s.num_vertices,
+                vertex_partition=vp,
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            TransformState(
+                clustering, None, 2,
+                num_edges=s.num_edges, num_vertices=s.num_vertices,
+            )
+
+    def test_validates_external_mapping(self):
+        s, clustering, _ = pipeline_inputs([(0, 1), (1, 2)], k=2)
+        from repro.core.transform import TransformState
+
+        with pytest.raises(ValueError, match="vertex_partition must map"):
+            TransformState(
+                clustering, None, 2, num_edges=s.num_edges,
+                num_vertices=s.num_vertices,
+                vertex_partition=np.zeros(1, dtype=np.int64),
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            TransformState(
+                clustering, None, 2, num_edges=s.num_edges,
+                num_vertices=s.num_vertices,
+                vertex_partition=np.full(s.num_vertices, 5, dtype=np.int64),
+            )
+
+
+class TestPerPartitionCaps:
+    """load_caps: the distributed balance quota exchange's enforcement."""
+
+    def test_uniform_caps_match_default(self):
+        g = web_crawl_graph(400, avg_out_degree=6, host_size=20, seed=3)
+        s, clustering, cluster_partition = pipeline_inputs(g, k=4)
+        from repro.core.transform import TransformState
+
+        import math
+        cap = max(1, math.ceil(1.05 * s.num_edges / 4))
+        default = TransformState(
+            clustering, cluster_partition, 4,
+            num_edges=s.num_edges, num_vertices=s.num_vertices,
+            imbalance_factor=1.05,
+        )
+        explicit = TransformState(
+            clustering, cluster_partition, 4,
+            num_edges=s.num_edges, num_vertices=s.num_vertices,
+            imbalance_factor=1.05,
+            load_caps=np.full(4, cap, dtype=np.int64),
+        )
+        a = default.ingest_pair(s.src, s.dst)
+        b = explicit.ingest_pair(s.src, s.dst)
+        assert np.array_equal(a, b)
+        assert default.stats.balance_spill == explicit.stats.balance_spill
+
+    def test_unbounded_caps_never_spill(self):
+        g = web_crawl_graph(400, avg_out_degree=6, host_size=20, seed=3)
+        s, clustering, cluster_partition = pipeline_inputs(g, k=4)
+        from repro.core.transform import TransformState
+
+        state = TransformState(
+            clustering, cluster_partition, 4,
+            num_edges=s.num_edges, num_vertices=s.num_vertices,
+            load_caps=np.full(4, s.num_edges, dtype=np.int64),
+        )
+        state.ingest_pair(s.src, s.dst)
+        assert state.stats.balance_spill == 0
+        assert int(state.loads.sum()) == s.num_edges
+
+    def test_asymmetric_caps_enforced(self):
+        g = web_crawl_graph(400, avg_out_degree=6, host_size=20, seed=4)
+        s, clustering, cluster_partition = pipeline_inputs(g, k=4)
+        from repro.core.transform import TransformState
+
+        caps = np.array([s.num_edges, s.num_edges, 10, 0], dtype=np.int64)
+        state = TransformState(
+            clustering, cluster_partition, 4,
+            num_edges=s.num_edges, num_vertices=s.num_vertices,
+            load_caps=caps,
+        )
+        parts = [state.ingest_pair(u, v) for u, v in s.batches(64)]
+        out = np.concatenate(parts)
+        loads = np.bincount(out, minlength=4)
+        assert (loads <= caps).all()
+        assert int(loads.sum()) == s.num_edges
+
+    def test_validates_caps(self):
+        s, clustering, cluster_partition = pipeline_inputs([(0, 1), (1, 2)], k=2)
+        from repro.core.transform import TransformState
+
+        with pytest.raises(ValueError, match="one entry per partition"):
+            TransformState(
+                clustering, cluster_partition, 2, num_edges=s.num_edges,
+                num_vertices=s.num_vertices,
+                load_caps=np.array([5], dtype=np.int64),
+            )
+        with pytest.raises(ValueError, match="cannot hold"):
+            TransformState(
+                clustering, cluster_partition, 2, num_edges=s.num_edges,
+                num_vertices=s.num_vertices,
+                load_caps=np.zeros(2, dtype=np.int64),
+            )

@@ -1,0 +1,271 @@
+"""Property tests for the distributed merge protocol (PR 5).
+
+Covers the three exactness/quality claims of DESIGN.md §6:
+
+* the coordinator's merged cluster graph equals the oracle built from the
+  full stream and the assembled global clustering (cut attribution is
+  exact, never modeled);
+* merged-mode replication factor does not exceed independent-mode on
+  community-structured streams (power-law web crawls, natural and random
+  order) — the quality cliff the merge removes;
+* the :class:`ClusterSummary` stays shard-local: resolved + unresolved
+  edges account for exactly the shard, and its wire size is the measured
+  sum of the shipped arrays.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ClugpConfig
+from repro.core.cluster_graph import build_cluster_graph
+from repro.core.clustering import ClusteringResult
+from repro.core.distributed import (
+    _boundary_mask,
+    _cluster_stage_worker,
+    _merge_summaries,
+    _shard_ranges,
+    distributed_clugp,
+)
+from repro.core.partitioner import ClugpPartitioner
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+
+
+def _run_cluster_stage(stream, num_nodes, k, seed):
+    """Serial stage-1 run: per-node summaries + clusterings + ranges."""
+    ranges = _shard_ranges(stream.num_edges, num_nodes)
+    boundary = _boundary_mask(stream, ranges)
+    summaries, clusterings = [], []
+    for node, (start, stop) in enumerate(ranges):
+        _, summary, clustering, _ = _cluster_stage_worker(
+            (
+                node,
+                stream.src[start:stop],
+                stream.dst[start:stop],
+                stream.num_vertices,
+                boundary,
+                k,
+                ClugpConfig(num_partitions=k),
+                seed,
+                1 << 16,
+            )
+        )
+        summaries.append(summary)
+        clusterings.append(clustering)
+    return ranges, boundary, summaries, clusterings
+
+
+class TestMergedGraphExactness:
+    @pytest.mark.parametrize("num_nodes", [1, 2, 3, 5])
+    def test_merged_graph_equals_full_stream_oracle(self, crawl_stream, num_nodes):
+        """ClusterGraph.merge + unresolved attribution == build_cluster_graph
+        over the full stream under the assembled global clustering."""
+        k = 8
+        ranges, boundary, summaries, clusterings = _run_cluster_stage(
+            crawl_stream, num_nodes, k, seed=0
+        )
+        decision = _merge_summaries(summaries, crawl_stream.num_vertices)
+
+        # assemble the global vertex->cluster map the protocol implies
+        n = crawl_stream.num_vertices
+        global_of = np.full(n, -1, dtype=np.int64)
+        for node, clustering in enumerate(clusterings):
+            seen = clustering.active_mask()
+            global_of[seen] = clustering.cluster_of[seen] + decision.offsets[node]
+        global_of[decision.boundary_vertices] = decision.boundary_global_cluster
+        m = decision.merged_graph.num_clusters
+        oracle_clustering = ClusteringResult(
+            cluster_of=global_of,
+            degree=crawl_stream.degrees(),
+            volume=np.zeros(m, dtype=np.int64),
+            divided=np.zeros(n, dtype=bool),
+            mirror_clusters={},
+            num_clusters=m,
+            max_volume=1,
+        )
+        oracle = build_cluster_graph(crawl_stream, oracle_clustering)
+
+        merged = decision.merged_graph
+        assert np.array_equal(merged.internal, oracle.internal)
+        assert np.array_equal(merged.indptr, oracle.indptr)
+        assert np.array_equal(merged.indices, oracle.indices)
+        assert np.array_equal(merged.weights, oracle.weights)
+        assert np.array_equal(merged.in_indptr, oracle.in_indptr)
+        assert np.array_equal(merged.in_indices, oracle.in_indices)
+        assert np.array_equal(merged.in_weights, oracle.in_weights)
+
+    def test_merged_graph_accounts_every_edge(self, crawl_stream):
+        _, _, summaries, _ = _run_cluster_stage(crawl_stream, 4, 8, seed=1)
+        decision = _merge_summaries(summaries, crawl_stream.num_vertices)
+        merged = decision.merged_graph
+        assert (
+            merged.total_internal() + merged.total_cut() == crawl_stream.num_edges
+        )
+        assert merged.edge_count_check(crawl_stream.num_edges)
+
+
+class TestClusterSummary:
+    def test_shard_local_split_is_exact(self, crawl_stream):
+        """resolved + unresolved edges partition the shard: no edge is
+        double-counted and no edge escapes the summary."""
+        ranges, boundary, summaries, _ = _run_cluster_stage(crawl_stream, 4, 8, seed=0)
+        for (start, stop), s in zip(ranges, summaries):
+            shard_edges = stop - start
+            resolved_edges = s.resolved.total_internal() + s.resolved.total_cut()
+            assert resolved_edges + s.unresolved_src.size == shard_edges
+            # unresolved edges are exactly those touching a boundary vertex
+            src = crawl_stream.src[start:stop]
+            dst = crawl_stream.dst[start:stop]
+            expected = int((boundary[src] | boundary[dst]).sum())
+            assert s.unresolved_src.size == expected
+
+    def test_wire_bytes_measured(self, crawl_stream):
+        _, _, summaries, _ = _run_cluster_stage(crawl_stream, 2, 8, seed=0)
+        s = summaries[0]
+        expected = sum(
+            a.nbytes
+            for a in (
+                s.volume,
+                s.resolved.internal,
+                s.resolved.indptr,
+                s.resolved.indices,
+                s.resolved.weights,
+                s.boundary_vertices,
+                s.boundary_clusters,
+                s.boundary_degrees,
+                s.unresolved_src,
+                s.unresolved_dst,
+                s.unresolved_src_cluster,
+                s.unresolved_dst_cluster,
+                s.local_assignment,
+            )
+        )
+        assert s.wire_bytes() == expected
+
+    def test_no_boundary_means_full_local_graph(self, crawl_stream):
+        """Without a boundary mask the summary's resolved graph is the
+        node's full cluster graph — the single-node degenerate case."""
+        partitioner = ClugpPartitioner(8, seed=0)
+        summary = partitioner.cluster_summary(crawl_stream)
+        full = partitioner.last_cluster_graph
+        assert summary.unresolved_src.size == 0
+        assert np.array_equal(summary.resolved.internal, full.internal)
+        assert np.array_equal(summary.resolved.indices, full.indices)
+        assert np.array_equal(summary.resolved.weights, full.weights)
+
+
+class TestStagedApi:
+    def test_summary_plus_transform_equals_partition(self, crawl_stream):
+        """The staged API composed over one 'shard' (the whole stream)
+        reproduces the monolithic pipeline bit for bit."""
+        reference = ClugpPartitioner(8, seed=4).partition(crawl_stream)
+        staged = ClugpPartitioner(8, seed=4)
+        summary = staged.cluster_summary(crawl_stream)
+        clustering = staged.last_clustering
+        vp = np.full(crawl_stream.num_vertices, -1, dtype=np.int64)
+        seen = clustering.active_mask()
+        vp[seen] = summary.local_assignment[clustering.cluster_of[seen]]
+        edge_partition = staged.transform_with_mapping(crawl_stream, vp)
+        assert np.array_equal(edge_partition, reference.edge_partition)
+        assert staged.last_transform_stats.total() == crawl_stream.num_edges
+
+    def test_transform_with_mapping_requires_clustering(self, crawl_stream):
+        partitioner = ClugpPartitioner(8)
+        vp = np.zeros(crawl_stream.num_vertices, dtype=np.int64)
+        with pytest.raises(RuntimeError, match="cluster_summary first"):
+            partitioner.transform_with_mapping(crawl_stream, vp)
+
+    def test_uncovered_streamed_vertex_raises(self, crawl_stream):
+        staged = ClugpPartitioner(8, seed=4)
+        staged.cluster_summary(crawl_stream)
+        vp = np.full(crawl_stream.num_vertices, -1, dtype=np.int64)  # covers nothing
+        with pytest.raises(ValueError, match="does not cover"):
+            staged.transform_with_mapping(crawl_stream, vp)
+
+    def test_merge_report_granularity_diagnostic(self, crawl_stream):
+        result = distributed_clugp(crawl_stream, 8, num_nodes=4, merge_mode="merged")
+        m = result.merge
+        assert m.max_cluster_volume > 0
+        assert m.total_wire_bytes() == (
+            m.merge_bytes + m.broadcast_bytes + m.quota_bytes
+        )
+        assert result.to_dict()["merge"]["total_wire_bytes"] == m.total_wire_bytes()
+
+
+class TestMergedQualityProperties:
+    """Hypothesis sweeps of the merged <= independent RF property.
+
+    The claim targets the quality cliff the merge removes: replication
+    inflating with the node count on community-structured power-law
+    crawl streams (the paper's setting).  The strategy therefore draws
+    the inflation regime — k=8, 4-8 nodes, non-trivial size — in natural
+    (BFS-crawl) and random stream order.  Outside it the property decays
+    into equilibrium noise: at 2 nodes or k=4 both modes land within a
+    couple of RF percent of each other and either can win a given draw
+    (measured: 0/100 violations with min margin 0.115 RF inside the
+    regime vs occasional <1% inversions at num_nodes=2 or k=4; the same
+    happens on structureless uniform streams, see DESIGN.md §6).
+    """
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        pages=st.integers(min_value=800, max_value=1300),
+        avg_degree=st.floats(min_value=6.0, max_value=10.0),
+        host_size=st.integers(min_value=20, max_value=40),
+        graph_seed=st.integers(min_value=0, max_value=10_000),
+        num_nodes=st.sampled_from([4, 8]),
+        seed=st.integers(min_value=0, max_value=16),
+    )
+    def test_merged_rf_le_independent_powerlaw(
+        self, pages, avg_degree, host_size, graph_seed, num_nodes, seed
+    ):
+        graph = web_crawl_graph(
+            pages, avg_out_degree=avg_degree, host_size=host_size, seed=graph_seed
+        )
+        stream = EdgeStream.from_graph(graph, order="natural")
+        ind = distributed_clugp(
+            stream, 8, num_nodes=num_nodes, seed=seed, merge_mode="independent"
+        )
+        mer = distributed_clugp(
+            stream, 8, num_nodes=num_nodes, seed=seed, merge_mode="merged"
+        )
+        assert (
+            mer.assignment.replication_factor()
+            <= ind.assignment.replication_factor()
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        pages=st.integers(min_value=800, max_value=1300),
+        graph_seed=st.integers(min_value=0, max_value=10_000),
+        order_seed=st.integers(min_value=0, max_value=100),
+        num_nodes=st.sampled_from([4, 8]),
+    )
+    def test_merged_rf_le_independent_random_order(
+        self, pages, graph_seed, order_seed, num_nodes
+    ):
+        graph = web_crawl_graph(
+            pages, avg_out_degree=8.0, host_size=30, seed=graph_seed
+        )
+        stream = EdgeStream.from_graph(graph, order="random", seed=order_seed)
+        ind = distributed_clugp(
+            stream, 8, num_nodes=num_nodes, seed=0, merge_mode="independent"
+        )
+        mer = distributed_clugp(
+            stream, 8, num_nodes=num_nodes, seed=0, merge_mode="merged"
+        )
+        assert (
+            mer.assignment.replication_factor()
+            <= ind.assignment.replication_factor()
+        )
+
+    def test_merged_strictly_better_at_eight_nodes(self, crawl_stream):
+        """The acceptance-criterion fixture: at 8 nodes the merge must
+        strictly beat independent concatenation."""
+        ind = distributed_clugp(crawl_stream, 8, num_nodes=8, merge_mode="independent")
+        mer = distributed_clugp(crawl_stream, 8, num_nodes=8, merge_mode="merged")
+        assert (
+            mer.assignment.replication_factor()
+            < ind.assignment.replication_factor()
+        )
