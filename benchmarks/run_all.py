@@ -2,7 +2,7 @@
 """Run the engineering benchmarks and write one consolidated JSON report.
 
 This is the perf-trajectory entry point: each PR that touches a hot path
-runs ``python benchmarks/run_all.py --json BENCH_pr5.json`` and CI runs
+runs ``python benchmarks/run_all.py --json BENCH_pr6.json`` and CI runs
 the ``--quick`` variant on every push, so regressions in any of the
 enforced floors fail loudly and the JSON artifacts accumulate a
 machine-readable history of the repo's throughput claims.
@@ -27,6 +27,11 @@ Sections (each with its own floors; exit status is non-zero if any fails):
   factor must never exceed independent (strictly lower at 8 nodes),
   merged balance must hold the global tau cap, and the per-run rows
   record stage walls plus measured merge/broadcast/quota wire bytes.
+* ``incremental`` — bench_incremental_service: the PartitionService
+  serving path — single-batch bit-identity vs the batch pipeline,
+  sustained edges/sec over >= 50 batches, per-batch migration cap and
+  hard balance cap respected, and end-of-feed RF drift vs the
+  from-scratch oracle under the documented ceiling.
 * ``fig8_pagerank`` — bench_fig8_pagerank: the partition-local runtime
   parity gate (local PageRank values/supersteps/per-superstep messages
   vs the retained global oracle, and measured messages vs the
@@ -36,7 +41,7 @@ Sections (each with its own floors; exit status is non-zero if any fails):
 
 Usage::
 
-    python benchmarks/run_all.py --json BENCH_pr5.json     # full run
+    python benchmarks/run_all.py --json BENCH_pr6.json     # full run
     python benchmarks/run_all.py --quick --json out.json   # CI smoke
 """
 
@@ -63,6 +68,7 @@ import numpy as np
 import bench_chunked_throughput
 import bench_clugp_stages
 import bench_fig8_pagerank
+import bench_incremental_service
 from repro._util import Timer
 from repro.config import ClugpConfig, GameConfig
 from repro.core.cluster_graph import build_cluster_graph
@@ -304,6 +310,11 @@ def main(argv=None) -> int:
     print("\n=== distributed merge: merged vs independent ===")
     report, fails = run_distributed_merge_bench(args.quick)
     consolidated["distributed_merge"] = report
+    failures += fails
+
+    print("\n=== incremental service ===")
+    report, fails = _run_sub_bench(bench_incremental_service, "incremental", args.quick)
+    consolidated["incremental"] = report
     failures += fails
 
     print("\n=== fig8 pagerank: local-runtime parity ===")

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the repo's markdown docs.
+
+Scans README.md, DESIGN.md, CHANGES.md, ROADMAP.md, and every ``*.md``
+under ``docs/`` for inline markdown links ``[text](target)`` and checks
+that each *relative* target resolves to an existing file or directory
+(anchors and ``http(s)``/``mailto`` targets are skipped; an anchor-only
+link like ``(#section)`` is accepted as long as the file itself exists).
+
+Usage::
+
+    python scripts/check_links.py            # exit 1 + report on dead links
+    python scripts/check_links.py --verbose  # also list every checked link
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: files and globs to scan, relative to the repo root.
+DOC_SOURCES = ["README.md", "DESIGN.md", "CHANGES.md", "ROADMAP.md", "docs/*.md"]
+
+#: inline markdown link — non-greedy text, target up to the closing paren.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: schemes that are out of scope for a filesystem check.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_doc_files() -> list[Path]:
+    """Resolve ``DOC_SOURCES`` to the markdown files that exist."""
+    files: list[Path] = []
+    for source in DOC_SOURCES:
+        if "*" in source:
+            files.extend(sorted(REPO.glob(source)))
+        elif (REPO / source).is_file():
+            files.append(REPO / source)
+    return files
+
+
+def check_file(path: Path, verbose: bool = False) -> list[str]:
+    """Return one error string per dead relative link in ``path``."""
+    errors = []
+    try:
+        label = path.relative_to(REPO)
+    except ValueError:
+        label = path
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            base = target.split("#", 1)[0]
+            resolved = path if not base else (path.parent / base).resolve()
+            if verbose:
+                print(f"  {label}:{lineno}: {target}")
+            if not resolved.exists():
+                errors.append(
+                    f"{label}:{lineno}: dead link ({target!r} -> {resolved})"
+                )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true", help="list every link")
+    args = parser.parse_args(argv)
+
+    files = iter_doc_files()
+    if not files:
+        print("check_links: no markdown files found", file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, verbose=args.verbose))
+
+    print(f"check_links: scanned {len(files)} files")
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"check_links: {len(errors)} dead link(s)", file=sys.stderr)
+        return 1
+    print("check_links: all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,8 @@ Subpackages
     Offline multilevel (METIS-style) comparator.
 ``repro.analysis``
     Quality metrics and comparison reports.
+``repro.service``
+    Online incremental partition maintenance (:class:`PartitionService`).
 ``repro.system``
     PowerGraph-style GAS distributed-execution simulator + graph apps.
 ``repro.bench``
@@ -61,6 +63,7 @@ from .partitioners import (
     make_partitioner,
     PARTITIONERS,
 )
+from .service import BatchStats, MigrationPlan, PartitionService
 from .analysis import (
     quality_report,
     QualityReport,
@@ -88,6 +91,9 @@ __all__ = [
     "ClusterPartitioningGame",
     "parallel_game",
     "transform_partitions",
+    "PartitionService",
+    "MigrationPlan",
+    "BatchStats",
     "PartitionAssignment",
     "EdgePartitioner",
     "HashingPartitioner",

@@ -13,6 +13,10 @@ Commands
 ``distribute`` shard the stream across ingest nodes and run the
                distributed CLUGP deployment (``distribute --num-nodes 8
                --merge-mode merged --backend process``)
+``serve``      replay a dataset as a timed batch feed through the
+               incremental :class:`~repro.service.PartitionService`
+               (``serve --num-batches 50 --migration-cap 64``); see
+               docs/service.md
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``clugp`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="clugp",
         description="CLUGP: clustering-based vertex-cut partitioning (ICDE 2022 reproduction)",
@@ -147,6 +152,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument(
         "--compare-modes", action="store_true",
         help="run both merge modes and print the comparison table",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="replay the stream as a batch feed through PartitionService",
+    )
+    p_serve.add_argument(
+        "--num-batches", type=int, default=50,
+        help="number of batches to split the stream into (default 50)",
+    )
+    p_serve.add_argument(
+        "--migration-cap", type=int, default=None, metavar="N",
+        help="max served-vertex moves per batch (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--quality-every", type=int, default=10, metavar="N",
+        help="collect RF/balance every N batches (costs O(E); default 10)",
+    )
+    p_serve.add_argument(
+        "--oracle", action="store_true",
+        help="also run the from-scratch pipeline at the end and report drift",
+    )
+    p_serve.add_argument(
+        "--json", action="store_true",
+        help="emit the per-batch stats and summary as JSON",
     )
     return parser
 
@@ -319,6 +350,71 @@ def _cmd_distribute(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json as _json
+
+    from .config import ClugpConfig, GameConfig
+    from .service import PartitionService
+
+    stream = _load_stream(args)
+    cfg = ClugpConfig(
+        num_partitions=args.partitions, game=GameConfig(seed=args.seed)
+    )
+    svc = PartitionService(
+        stream.num_vertices,
+        cfg,
+        migration_cap=args.migration_cap,
+        expected_edges=stream.num_edges,
+        quality_every=max(1, args.quality_every),
+    )
+    batch_size = max(1, stream.num_edges // max(1, args.num_batches))
+    for src, dst in stream.batches(batch_size):
+        stats = svc.ingest_pair(src, dst)
+        if not args.json:
+            rf = (
+                f" rf={stats.replication_factor:.4f}"
+                if stats.replication_factor is not None
+                else ""
+            )
+            print(
+                f"batch {stats.batch:4d}: +{stats.num_edges} edges "
+                f"({stats.edges_per_second:,.0f} e/s) "
+                f"frontier={stats.frontier_clusters}/{stats.clusters} "
+                f"moves={stats.applied_moves}/{stats.candidate_moves} "
+                f"churn={stats.churn_edges}{rf}"
+            )
+    summary = svc.summary()
+    final = svc.assignment()
+    summary["replication_factor"] = final.replication_factor()
+    summary["relative_balance"] = final.relative_balance()
+    if args.oracle:
+        oracle_rf = svc.oracle_assignment().replication_factor()
+        summary["rf_oracle"] = oracle_rf
+        if oracle_rf > 0:
+            summary["rf_drift"] = (
+                summary["replication_factor"] - oracle_rf
+            ) / oracle_rf
+    if args.json:
+        print(_json.dumps(
+            {"summary": summary, "batches": [s.to_dict() for s in svc.history]},
+            indent=2,
+        ))
+        return 0
+    print(
+        f"served {summary['num_edges']} edges in {summary['batches']} batches "
+        f"({summary['edges_per_second']:,.0f} e/s sustained)\n"
+        f"replication_factor={summary['replication_factor']:.4f} "
+        f"balance={summary['relative_balance']:.4f} "
+        f"moves={summary['applied_moves']} churn={summary['churn_edges']}"
+    )
+    if args.oracle:
+        print(
+            f"oracle_rf={summary['rf_oracle']:.4f} "
+            f"drift={summary.get('rf_drift', 0.0):+.2%}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "partition": _cmd_partition,
     "compare": _cmd_compare,
@@ -327,10 +423,12 @@ _COMMANDS = {
     "pagerank": _cmd_pagerank,
     "run-app": _cmd_run_app,
     "distribute": _cmd_distribute,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv=None) -> int:
+    """CLI entry point: parse ``argv`` and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -99,6 +99,14 @@ class ClusteringResult:
         The ``V_max`` used.
     splits, migrations, allocations:
         Operation counters (for tests and the ablation analysis).
+    raw_ids:
+        ``raw_ids[c]`` — the pre-compaction (raw) id of compact cluster
+        ``c``.  Raw ids are *stable across snapshots* of one
+        :class:`ClusteringState` (a surviving cluster keeps its raw id for
+        the lifetime of the state), which is what lets the incremental
+        :class:`~repro.service.PartitionService` carry the game
+        equilibrium from one batch to the next.  ``None`` only on results
+        built by legacy constructors that bypass :func:`_compact`.
     """
 
     cluster_of: np.ndarray
@@ -111,6 +119,7 @@ class ClusteringResult:
     splits: int = 0
     migrations: int = 0
     allocations: int = 0
+    raw_ids: np.ndarray | None = field(default=None, repr=False)
     _members: dict[int, list[int]] | None = field(default=None, repr=False)
 
     def active_mask(self) -> np.ndarray:
@@ -561,6 +570,49 @@ class ClusteringState:
 
     # ------------------------------------------------------------------ #
 
+    def raw_clusters(self, vertices: np.ndarray) -> np.ndarray:
+        """Current *raw* (pre-compaction) cluster id of each given vertex.
+
+        Raw ids are stable for the lifetime of the state: allocation and
+        splitting only append fresh ids and migration moves vertices
+        between existing ids, so a cluster that survives keeps its raw id
+        across every subsequent :meth:`snapshot`.  ``-1`` marks vertices
+        not yet seen.  The service layer reads these before and after a
+        batch to compute the dirty-cluster frontier.
+        """
+        self._to_arrays()
+        return self._clu[np.asarray(vertices, dtype=np.int64)]
+
+    def snapshot(self) -> ClusteringResult:
+        """Compact the *current* state into a :class:`ClusteringResult`
+        without ending ingestion.
+
+        Unlike :meth:`finalize` the state stays live — further
+        :meth:`ingest` calls continue exactly where the stream left off,
+        and the returned result is bit-identical to what
+        :func:`streaming_clustering` produces on the prefix ingested so
+        far (the warm-state invariant the service tests pin down).  The
+        arrays inside the result are copies, so later ingestion never
+        mutates an outstanding snapshot.
+        """
+        if self._finalized:
+            raise RuntimeError("ClusteringState already finalized")
+        self._to_arrays()
+        mirror_clusters: dict[int, list[int]] = {}
+        for vtx, c in zip(self._mirror_v, self._mirror_c):
+            mirror_clusters.setdefault(vtx, []).append(c)
+        return _compact(
+            self._clu.copy(),
+            self._deg.copy(),
+            self._vol[: self.num_raw].copy(),
+            self._div.copy(),
+            mirror_clusters,
+            self.max_volume,
+            self.splits,
+            self.migrations,
+            self.allocations,
+        )
+
     def finalize(self) -> ClusteringResult:
         """Compact cluster ids and return the :class:`ClusteringResult`."""
         self._finalized = True
@@ -614,6 +666,10 @@ def _compact(
     point at clusters that later emptied — those mirror entries are kept
     only if the cluster still has at least one master vertex (an empty
     cluster is never mapped to a partition, so a mirror there is moot).
+
+    The surviving raw ids are recorded on the result (``raw_ids``) so
+    consumers that snapshot repeatedly (the incremental service) can
+    correlate compact ids across snapshots.
     """
     raw_count = len(volumes)
     used = np.zeros(raw_count, dtype=bool)
@@ -640,4 +696,5 @@ def _compact(
         splits=splits,
         migrations=migrations,
         allocations=allocations,
+        raw_ids=np.flatnonzero(used),
     )

@@ -72,6 +72,7 @@ __all__ = [
     "MergeReport",
     "DistributedResult",
     "DistributedClugpPartitioner",
+    "balance_quotas",
     "distributed_clugp",
 ]
 
@@ -94,6 +95,7 @@ class NodeReport:
     transform_seconds: float = 0.0
 
     def to_dict(self) -> dict:
+        """Flat JSON-ready view of this node's stats."""
         return {
             "node": self.node,
             "num_edges": self.num_edges,
@@ -129,6 +131,7 @@ class MergeReport:
         return self.merge_bytes + self.broadcast_bytes + self.quota_bytes
 
     def to_dict(self) -> dict:
+        """Flat JSON-ready view of the merge report."""
         return {
             "num_global_clusters": self.num_global_clusters,
             "num_boundary_vertices": self.num_boundary_vertices,
@@ -350,7 +353,7 @@ def _transform_commit_worker(args) -> tuple[int, np.ndarray, float]:
     return node, out, timer.elapsed
 
 
-def _balance_quotas(node_loads: np.ndarray, cap: int) -> np.ndarray:
+def balance_quotas(node_loads: np.ndarray, cap: int) -> np.ndarray:
     """Split the global per-partition cap into per-node quotas.
 
     ``node_loads[i, p]`` is node ``i``'s tentative (uncapped) load; the
@@ -719,7 +722,7 @@ def _run_merged(
     # stage 4b (coordinator): balance quota exchange — per-node caps that
     # column-sum to the global L_max, so only the true global excess spills
     global_cap = max(1, math.ceil(config.imbalance_factor * stream.num_edges / num_partitions))
-    quotas = _balance_quotas(node_loads, global_cap)
+    quotas = balance_quotas(node_loads, global_cap)
 
     # stage 4c (nodes): committed pass-3 replay under the quotas
     commit_tasks = [
@@ -833,6 +836,7 @@ class DistributedClugpPartitioner(EdgePartitioner):
         self.last_result: DistributedResult | None = None
 
     def partition(self, stream: EdgeStream) -> PartitionAssignment:
+        """Run the full distributed pipeline; keeps ``last_result``."""
         self._last_stream = stream
         result = distributed_clugp(
             stream,
@@ -851,6 +855,7 @@ class DistributedClugpPartitioner(EdgePartitioner):
         return self.partition(stream).edge_partition
 
     def state_memory_bytes(self, stream: EdgeStream) -> int:
+        """Rough per-node state footprint for the memory comparisons."""
         # per-node vertex tables over its shard; upper-bounded by the
         # single-node footprint times the node count in the worst case of
         # fully-overlapping shards

@@ -333,14 +333,41 @@ class ClusterPartitioningGame:
             )
         return adj
 
-    def run(self) -> GameResult:
+    def run(self, active: np.ndarray | None = None) -> GameResult:
         """Iterate best responses until Nash equilibrium (Algorithm 3).
 
         Uses the incremental adjacency table when it fits: each move
         updates only the moved cluster's neighbor rows, so rounds are O(m)
         vectorized cost evaluations plus O(moved degree) table updates.
+
+        Parameters
+        ----------
+        active:
+            Optional boolean mask (length ``m``) restricting the *player
+            set*: only clusters with ``active[c]`` may move; the rest are
+            frozen at their initial assignment (they still contribute to
+            loads and adjacency, i.e. they act as fixed constraints).
+            ``None`` plays the full game — ``run(active=all_true)`` and
+            ``run()`` are bit-identical.
+
+            Restricting players preserves convergence: the game is an
+            exact potential game (Theorem 4) and every improving move by
+            an active player strictly decreases the same potential
+            ``Phi``, regardless of which players are allowed to respond —
+            so the restricted dynamics terminate in an equilibrium *of
+            the restricted game* (no active player can improve; frozen
+            players may retain improving moves).  This is what lets the
+            incremental service re-run only the dirty-cluster frontier
+            warm-started from the previous equilibrium.
         """
         m = self.graph.num_clusters
+        if active is None:
+            players = range(m)
+        else:
+            active = np.asarray(active, dtype=bool)
+            if active.shape != (m,):
+                raise ValueError(f"active mask must have shape ({m},)")
+            players = np.flatnonzero(active).tolist()
         adj = self._build_adj_table()
         internal = self.graph.internal
         cut_degree = self._cut_degree
@@ -363,7 +390,7 @@ class ClusterPartitioningGame:
         last_eval = [-1] * m
         for rounds in range(1, self.config.max_rounds + 1):
             moves = 0
-            for c in range(m):
+            for c in players:
                 if last_eval[c] == move_counter:
                     continue
                 last_eval[c] = move_counter
@@ -416,9 +443,19 @@ class ClusterPartitioningGame:
             converged=converged,
         )
 
-    def is_nash_equilibrium(self) -> bool:
-        """True iff no cluster has a strictly improving unilateral move."""
-        for c in range(self.graph.num_clusters):
+    def is_nash_equilibrium(self, active: np.ndarray | None = None) -> bool:
+        """True iff no (active) cluster has a strictly improving move.
+
+        With ``active`` given, only the masked players are checked — the
+        equilibrium notion of the frontier-restricted game (see
+        :meth:`run`).
+        """
+        clusters = (
+            range(self.graph.num_clusters)
+            if active is None
+            else np.flatnonzero(np.asarray(active, dtype=bool)).tolist()
+        )
+        for c in clusters:
             costs = self.cost_vector(c)
             if costs.min() < costs[self.assignment[c]] - _IMPROVEMENT_EPS:
                 return False

@@ -65,6 +65,7 @@ class TransformStats:
         self.load_cap = load_cap
 
     def total(self) -> int:
+        """Edges placed so far, summed over the four placement rules."""
         return self.agreement + self.mirror_reuse + self.degree_cut + self.balance_spill
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -209,7 +210,45 @@ class TransformState:
         imbalance_factor: float = 1.0,
         vertex_partition: np.ndarray | None = None,
         load_caps: np.ndarray | None = None,
+        initial_loads: np.ndarray | None = None,
     ) -> None:
+        """Build pass-3 state for a stream of ``num_edges`` edges.
+
+        Parameters
+        ----------
+        clustering:
+            Pass-1 output; supplies the ``divided`` flags and degrees the
+            mirror/degree rules read (and the join table when
+            ``cluster_partition`` is given).
+        cluster_partition:
+            Pass-2 output (partition per compact cluster); mutually
+            exclusive with ``vertex_partition``.
+        num_partitions:
+            ``k``.
+        num_edges:
+            Number of edges this state will ingest; sizes the uniform
+            hard cap ``L_max = ceil(tau * num_edges / k)`` and validates
+            that the caps can hold the stream.
+        num_vertices:
+            Vertex-id space size (shapes the join / mapping checks).
+        imbalance_factor:
+            ``tau >= 1`` for the uniform cap.
+        vertex_partition:
+            Externally supplied vertex->partition map (the distributed
+            broadcast, or the service's served map); ``-1`` marks
+            vertices absent from this shard.
+        load_caps:
+            Per-partition quota vector overriding the uniform cap (the
+            PR 5 balance quota exchange).
+        initial_loads:
+            Pre-existing per-partition edge counts to seed ``loads``
+            with.  The incremental service uses this for *delta
+            application*: retained edges keep their partitions, their
+            counts are seeded here, and only the re-routed and new edges
+            stream through this state — bit-identical to re-ingesting
+            the retained edges first (loads are the only coupling
+            between edges on the non-spill path).
+        """
         k = int(num_partitions)
         if (cluster_partition is None) == (vertex_partition is None):
             raise ValueError(
@@ -240,9 +279,23 @@ class TransformState:
             # must be mapped, checked per chunk (the stream arrives later)
             self._external = True
         self.k = k
+        if initial_loads is None:
+            seeded = np.zeros(k, dtype=np.int64)
+        else:
+            seeded = np.asarray(initial_loads, dtype=np.int64).copy()
+            if seeded.shape != (k,):
+                raise ValueError(f"initial_loads must have one entry per partition ({k})")
+            if seeded.size and int(seeded.min()) < 0:
+                raise ValueError("initial_loads must be non-negative")
+        placed = int(seeded.sum())
         self.load_cap = max(1, math.ceil(imbalance_factor * num_edges / k))
         if load_caps is None:
             # Algorithm 1's uniform hard cap L_max
+            if placed and k * self.load_cap < num_edges + placed:
+                raise ValueError(
+                    f"uniform cap {self.load_cap} x {k} cannot hold {num_edges} "
+                    f"edges on top of {placed} already placed; pass load_caps"
+                )
             self._caps = np.full(k, self.load_cap, dtype=np.int64)
         else:
             # per-partition quotas (the distributed merged mode's balance
@@ -254,14 +307,15 @@ class TransformState:
                 raise ValueError(f"load_caps must have one entry per partition ({k})")
             if caps.size and int(caps.min()) < 0:
                 raise ValueError("load_caps must be non-negative")
-            if int(caps.sum()) < num_edges:
+            if int(caps.sum()) < num_edges + placed:
                 raise ValueError(
                     f"load_caps sum {int(caps.sum())} cannot hold {num_edges} edges"
+                    + (f" on top of {placed} already placed" if placed else "")
                 )
             self._caps = caps
             self.load_cap = int(caps.max()) if caps.size else self.load_cap
         self.stats = TransformStats(self.load_cap)
-        self.loads = np.zeros(k, dtype=np.int64)
+        self.loads = seeded
         self.spill_ptr = 0
         self._vp = vp
         self._div = clustering.divided

@@ -1,0 +1,14 @@
+"""Online incremental partition maintenance on top of the CLUGP passes.
+
+``repro.core`` answers the batch question ("partition this stream");
+this package answers the serving question ("keep the partition good
+while the stream keeps arriving").  :class:`PartitionService` is the
+entry point; :class:`MigrationPlan` / :class:`BatchStats` are its
+per-batch products.  See docs/service.md for the operator guide and
+DESIGN.md §7 for the invariants and the drift/churn analysis.
+"""
+
+from .plan import BatchStats, MigrationPlan, plan_migrations
+from .service import PartitionService
+
+__all__ = ["PartitionService", "MigrationPlan", "BatchStats", "plan_migrations"]

@@ -1,0 +1,453 @@
+"""The long-lived incremental partition maintainer (``clugp serve``).
+
+The batch pipeline answers "partition this graph"; a serving system asks
+the harder question "keep this graph partitioned while it grows".  The
+:class:`PartitionService` holds the three CLUGP passes warm across an
+unbounded sequence of edge batches:
+
+* **pass 1 never restarts** — one :class:`~repro.core.clustering.
+  ClusteringState` ingests every batch; :meth:`~repro.core.clustering.
+  ClusteringState.snapshot` compacts the live state per batch without
+  ending ingestion, so the clustering is always exactly what the batch
+  pipeline would have produced on the concatenated stream;
+* **pass 2 replays only the dirty frontier** — clusters whose vertex
+  neighborhoods changed this batch, clusters born this batch, and their
+  cluster-graph neighbors; everything else is frozen at the previous
+  equilibrium (warm-started via raw-cluster-id stability).  Because the
+  game is an exact potential game, the restricted dynamics still strictly
+  descend the same potential and terminate (see
+  :meth:`~repro.core.game.ClusterPartitioningGame.run`);
+* **pass 3 applies deltas** — the refreshed ideal map is diffed against
+  the served map into a bounded :class:`~repro.service.plan.
+  MigrationPlan`; only edges incident to moved vertices plus the new
+  batch re-stream through a :class:`~repro.core.transform.TransformState`
+  seeded with the retained per-partition loads (``initial_loads``) and
+  per-partition caps from the PR-5 quota exchange
+  (:func:`~repro.core.distributed.balance_quotas`; single-node it
+  degenerates to the uniform ``L_max``), so churn is bounded by
+  construction and the hard balance cap keeps holding.
+
+The first batch takes the exact batch-pipeline path (no warm start, no
+frontier, no migration diff), so a service fed the whole stream as one
+batch is **bit-identical** to :meth:`~repro.core.partitioner.
+ClugpPartitioner.partition` — the anchor invariant of
+``tests/test_service.py``.  DESIGN.md §7 states all the invariants and
+the measured drift/churn tradeoff.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._util import Timer
+from ..config import ClugpConfig
+from ..core.clustering import ClusteringState
+from ..core.cluster_graph import build_cluster_graph
+from ..core.distributed import balance_quotas
+from ..core.game import ClusterPartitioningGame
+from ..core.partitioner import ClugpPartitioner
+from ..core.transform import TransformState
+from ..graph.stream import EdgeStream
+from ..partitioners.base import PartitionAssignment
+from .plan import BatchStats, MigrationPlan, plan_migrations
+
+__all__ = ["PartitionService"]
+
+
+def _grow(buf: np.ndarray, used: int, extra: int, fill: int | None = None) -> np.ndarray:
+    """Return ``buf`` with capacity for ``used + extra`` entries (amortized
+    doubling); newly exposed cells are ``fill`` when given."""
+    need = used + extra
+    if need <= buf.size:
+        return buf
+    cap = max(need, 2 * buf.size, 1024)
+    out = np.empty(cap, dtype=buf.dtype)
+    out[:used] = buf[:used]
+    if fill is not None:
+        out[used:] = fill
+    return out
+
+
+class PartitionService:
+    """Maintain a CLUGP partition over a continuously growing edge stream.
+
+    Parameters
+    ----------
+    num_vertices:
+        Size of the vertex-id space.  Fixed for the service lifetime (the
+        paper's streams are crawls over a known id space; growing ``|V|``
+        online would need growable vertex tables — see docs/service.md).
+    config:
+        Pipeline configuration; ``config.num_partitions`` is ``k``.  The
+        service always runs the sequential vectorized game (the batched
+        parallel game produces identical assignments but has no
+        frontier-restriction hook) and always uses the game
+        (``use_game=False`` has no warm-startable equilibrium).
+    migration_cap:
+        Per-batch budget of served-vertex moves (``None`` = unbounded).
+        Initial placements of new vertices never consume budget.
+    expected_edges:
+        Resolve ``V_max`` against this count instead of the first batch's
+        size.  With neither this nor ``config.max_cluster_volume`` set,
+        ``V_max`` locks to ``config.resolve_vmax(first batch size)`` —
+        which is exactly what the batch pipeline uses when the whole
+        stream arrives as one batch (the bit-identity anchor), but is a
+        poor choice when the first batch is a sliver of the eventual
+        stream; operators should pass an estimate.
+    quality_every:
+        Collect replication factor / balance every this many batches
+        (they cost a full O(E) pass each; 1 = every batch).
+
+    Usage::
+
+        svc = PartitionService(n, config, migration_cap=64)
+        for chunk in feed:                     # (m, 2) int64 arrays
+            stats = svc.ingest(chunk)
+        assignment = svc.assignment()          # full PartitionAssignment
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        config: ClugpConfig | None = None,
+        migration_cap: int | None = None,
+        expected_edges: int | None = None,
+        quality_every: int = 1,
+    ) -> None:
+        self.config = config or ClugpConfig()
+        self.num_vertices = int(num_vertices)
+        self.k = self.config.num_partitions
+        if migration_cap is not None and migration_cap < 0:
+            raise ValueError(f"migration_cap must be >= 0 or None, got {migration_cap}")
+        self.migration_cap = migration_cap
+        self.expected_edges = expected_edges
+        if quality_every < 1:
+            raise ValueError(f"quality_every must be >= 1, got {quality_every}")
+        self.quality_every = int(quality_every)
+        n = self.num_vertices
+        self._state: ClusteringState | None = None  # created on first batch
+        self._src = np.empty(0, dtype=np.int64)
+        self._dst = np.empty(0, dtype=np.int64)
+        self._edge_part = np.empty(0, dtype=np.int64)
+        self._num_edges = 0
+        self._vp = np.full(n, -1, dtype=np.int64)  # served vertex->partition
+        self._raw_assign = np.full(0, -1, dtype=np.int64)  # raw cluster->partition
+        self._loads = np.zeros(self.k, dtype=np.int64)
+        self.batch_index = 0
+        self.history: list[BatchStats] = []
+        self.last_plan: MigrationPlan | None = None
+
+    # ------------------------------------------------------------------ #
+    # read-side API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_edges(self) -> int:
+        """Edges ingested so far (across all batches)."""
+        return self._num_edges
+
+    @property
+    def vertex_partition(self) -> np.ndarray:
+        """The served vertex->partition map (copy; ``-1`` = never seen)."""
+        return self._vp.copy()
+
+    @property
+    def edge_partition(self) -> np.ndarray:
+        """Partition id of every ingested edge, in arrival order (copy)."""
+        return self._edge_part[: self._num_edges].copy()
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Current per-partition edge counts (copy)."""
+        return self._loads.copy()
+
+    def stream(self) -> EdgeStream:
+        """The concatenated stream ingested so far (views, zero-copy)."""
+        return EdgeStream(
+            self._src[: self._num_edges],
+            self._dst[: self._num_edges],
+            self.num_vertices,
+        )
+
+    def assignment(self) -> PartitionAssignment:
+        """The served state as a full :class:`PartitionAssignment`."""
+        return PartitionAssignment(
+            self.stream(), self._edge_part[: self._num_edges], self.k
+        )
+
+    def oracle_assignment(self) -> PartitionAssignment:
+        """Run the from-scratch batch pipeline on everything ingested.
+
+        The drift oracle: what a cold :class:`~repro.core.partitioner.
+        ClugpPartitioner` (same config and ``V_max``) would produce if the
+        stream arrived all at once.  O(E) work — benchmarking only.
+        """
+        cfg = self._locked_config()
+        part = ClugpPartitioner(self.k, seed=cfg.game.seed, config=cfg)
+        return part.partition(self.stream())
+
+    def _locked_config(self) -> ClugpConfig:
+        """The config with ``V_max`` pinned to the service's locked value."""
+        if self._state is None:
+            raise RuntimeError("no batch ingested yet")
+        return self.config.with_(max_cluster_volume=self._state.max_volume)
+
+    def summary(self) -> dict:
+        """Aggregate service counters (CLI/bench reporting)."""
+        secs = sum(s.seconds for s in self.history)
+        return {
+            "batches": self.batch_index,
+            "num_edges": self._num_edges,
+            "num_vertices": self.num_vertices,
+            "num_partitions": self.k,
+            "migration_cap": self.migration_cap,
+            "seconds": secs,
+            "edges_per_second": self._num_edges / secs if secs > 0 else 0.0,
+            "applied_moves": sum(s.applied_moves for s in self.history),
+            "deferred_moves": sum(s.deferred_moves for s in self.history),
+            "churn_edges": sum(s.churn_edges for s in self.history),
+            "reassigned_edges": sum(s.reassigned_edges for s in self.history),
+        }
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, edges: np.ndarray) -> BatchStats:
+        """Ingest one ``(m, 2)`` int64 edge batch; returns its stats."""
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError(f"edges must have shape (m, 2), got {edges.shape}")
+        return self.ingest_pair(edges[:, 0], edges[:, 1])
+
+    def ingest_pair(self, u: np.ndarray, v: np.ndarray) -> BatchStats:
+        """Ingest one batch given as endpoint column arrays.
+
+        Runs the full maintenance cycle — warm pass 1, frontier game,
+        capped migration plan, delta pass 3 — and appends the resulting
+        :class:`BatchStats` to :attr:`history`.
+        """
+        u = np.ascontiguousarray(u, dtype=np.int64)
+        v = np.ascontiguousarray(v, dtype=np.int64)
+        if u.shape != v.shape or u.ndim != 1:
+            raise ValueError("endpoint arrays must be 1-D and equal length")
+        m_batch = u.shape[0]
+        if m_batch and (
+            min(int(u.min()), int(v.min())) < 0
+            or max(int(u.max()), int(v.max())) >= self.num_vertices
+        ):
+            raise ValueError("vertex ids out of range")
+        if m_batch == 0:
+            stats = BatchStats(
+                batch=self.batch_index, num_edges=0, total_edges=self._num_edges,
+                seconds=0.0, clusters=0, frontier_clusters=0, game_rounds=0,
+                game_moves=0, candidate_moves=0, applied_moves=0,
+                deferred_moves=0, reassigned_edges=0, churn_edges=0,
+            )
+            self.batch_index += 1
+            self.history.append(stats)
+            return stats
+
+        with Timer() as t:
+            stats = self._maintain(u, v, m_batch)
+        stats.seconds = t.elapsed
+        if self.batch_index % self.quality_every == 0:
+            a = self.assignment()
+            stats.replication_factor = a.replication_factor()
+            stats.relative_balance = a.relative_balance()
+        self.batch_index += 1
+        self.history.append(stats)
+        return stats
+
+    def _maintain(self, u: np.ndarray, v: np.ndarray, m_batch: int) -> BatchStats:
+        """One maintenance cycle (the hot path timed by :meth:`ingest_pair`)."""
+        cfg = self.config
+        k = self.k
+        n = self.num_vertices
+        first = self._state is None
+        if first:
+            vmax = cfg.resolve_vmax(
+                self.expected_edges if self.expected_edges else m_batch
+            )
+            self._state = ClusteringState(
+                n, vmax, enable_splitting=cfg.enable_splitting
+            )
+        state = self._state
+
+        # -- pass 1 (warm): dirty raw clusters are those touching batch
+        #    endpoints before OR after ingestion (migration/splitting can
+        #    move an endpoint's whole neighborhood's cut structure)
+        endpoints = np.unique(np.concatenate([u, v]))
+        prev_raw = state.raw_clusters(endpoints)
+        state.ingest_pair(u, v)
+        new_raw = state.raw_clusters(endpoints)
+        snap = state.snapshot()
+        m_clusters = snap.num_clusters
+
+        old_edges = self._num_edges
+        total = old_edges + m_batch
+        self._src = _grow(self._src, old_edges, m_batch)
+        self._dst = _grow(self._dst, old_edges, m_batch)
+        self._edge_part = _grow(self._edge_part, old_edges, m_batch)
+        self._src[old_edges:total] = u
+        self._dst[old_edges:total] = v
+        self._num_edges = total
+        stream = self.stream()
+
+        # -- pass 2 (frontier-restricted, warm-started)
+        graph = build_cluster_graph(stream, snap)
+        raw_to_compact = np.full(state.num_raw, -1, dtype=np.int64)
+        raw_to_compact[snap.raw_ids] = np.arange(m_clusters, dtype=np.int64)
+        if first:
+            init = None
+            active = None
+            frontier_size = m_clusters
+        else:
+            init, active = self._warm_start(snap, graph, prev_raw, new_raw,
+                                            raw_to_compact, m_clusters)
+            frontier_size = int(active.sum())
+        game = ClusterPartitioningGame(
+            graph, k, cfg.game, vectorized=True, initial_assignment=init
+        )
+        result = game.run(active=active)
+
+        # persist the equilibrium against stable raw ids for the next batch
+        self._raw_assign = _grow(
+            self._raw_assign, self._raw_assign.size,
+            state.num_raw - self._raw_assign.size, fill=-1,
+        )
+        self._raw_assign[snap.raw_ids] = result.assignment
+
+        # -- migration plan: diff served map against the refreshed ideal
+        ideal = np.full(n, -1, dtype=np.int64)
+        seen = snap.cluster_of >= 0
+        ideal[seen] = result.assignment[snap.cluster_of[seen]]
+        plan = plan_migrations(self._vp, ideal, snap.degree, self.migration_cap)
+        self.last_plan = plan
+        newly_placed = (self._vp < 0) & (ideal >= 0)
+        self._vp[newly_placed] = ideal[newly_placed]
+        if plan.vertices.size:
+            self._vp[plan.vertices] = plan.targets
+
+        # -- pass 3 (delta): re-route edges incident to moved vertices,
+        #    then stream the new batch, against retained loads and the
+        #    quota-exchange caps
+        if plan.vertices.size and old_edges:
+            moved = np.zeros(n, dtype=bool)
+            moved[plan.vertices] = True
+            affected = np.flatnonzero(
+                moved[self._src[:old_edges]] | moved[self._dst[:old_edges]]
+            )
+        else:
+            affected = np.empty(0, dtype=np.int64)
+        loads = self._loads
+        old_parts = self._edge_part[affected].copy()
+        if affected.size:
+            loads -= np.bincount(old_parts, minlength=k)
+        cap = max(1, math.ceil(cfg.imbalance_factor * total / k))
+        caps = balance_quotas(loads.reshape(1, k), cap)[0]
+        transform = TransformState(
+            snap, None, k,
+            num_edges=int(affected.size) + m_batch,
+            num_vertices=n,
+            imbalance_factor=cfg.imbalance_factor,
+            vertex_partition=self._vp,
+            load_caps=caps,
+            initial_loads=loads,
+        )
+        churn = 0
+        if affected.size:
+            re_parts = transform.ingest_pair(
+                self._src[affected], self._dst[affected]
+            )
+            self._edge_part[affected] = re_parts
+            churn = int((re_parts != old_parts).sum())
+        self._edge_part[old_edges:total] = transform.ingest_pair(u, v)
+        self._loads = transform.loads
+
+        return BatchStats(
+            batch=self.batch_index,
+            num_edges=m_batch,
+            total_edges=total,
+            seconds=0.0,  # stamped by ingest_pair
+            clusters=m_clusters,
+            frontier_clusters=frontier_size,
+            game_rounds=result.rounds,
+            game_moves=result.moves,
+            candidate_moves=plan.candidates,
+            applied_moves=plan.applied,
+            deferred_moves=plan.deferred,
+            reassigned_edges=int(affected.size),
+            churn_edges=churn,
+        )
+
+    def _warm_start(
+        self,
+        snap,
+        graph,
+        prev_raw: np.ndarray,
+        new_raw: np.ndarray,
+        raw_to_compact: np.ndarray,
+        m_clusters: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Build the warm-start assignment and the dirty-frontier mask.
+
+        *Warm start*: every compact cluster whose raw id carried an
+        assignment last batch inherits it; a newborn cluster adopts the
+        served partition of its highest-degree previously-placed member
+        (it probably split or migrated out of that neighborhood), else
+        the least-loaded partition.
+
+        *Frontier*: clusters that gained/lost batch endpoints, newborn
+        clusters, and their one-hop cluster-graph neighbors (a changed
+        cluster shifts its neighbors' cut costs, so they must be allowed
+        to respond; anything further is provably cost-unchanged this
+        batch and stays frozen).
+        """
+        dirty = np.zeros(m_clusters, dtype=bool)
+        touched_raw = np.concatenate([prev_raw[prev_raw >= 0], new_raw[new_raw >= 0]])
+        if touched_raw.size:
+            tc = raw_to_compact[np.unique(touched_raw)]
+            dirty[tc[tc >= 0]] = True
+
+        init = np.full(m_clusters, -1, dtype=np.int64)
+        known_raw = snap.raw_ids[snap.raw_ids < self._raw_assign.size]
+        known_compact = raw_to_compact[known_raw]
+        init[known_compact] = self._raw_assign[known_raw]
+        dirty |= init < 0  # newborn clusters always play
+
+        unknown = init < 0
+        if unknown.any():
+            cand = np.flatnonzero(
+                (snap.cluster_of >= 0)
+                & unknown[np.maximum(snap.cluster_of, 0)]
+                & (self._vp >= 0)
+            )
+            if cand.size:
+                cl = snap.cluster_of[cand]
+                order = np.lexsort((cand, -snap.degree[cand], cl))
+                grouped = cand[order]
+                labels, firsts = np.unique(cl[order], return_index=True)
+                init[labels] = self._vp[grouped[firsts]]
+            still = np.flatnonzero(init < 0)
+            if still.size:
+                filled = init >= 0
+                load_init = np.bincount(
+                    init[filled], weights=graph.internal[filled].astype(np.float64),
+                    minlength=self.k,
+                )
+                for c in still.tolist():
+                    p = int(np.argmin(load_init))
+                    init[c] = p
+                    load_init[p] += float(graph.internal[c])
+
+        indptr, indices, _ = graph.sym()
+        frontier = dirty.copy()
+        if indices.size:
+            rows = np.repeat(
+                np.arange(m_clusters, dtype=np.int64), np.diff(indptr)
+            )
+            frontier[indices[dirty[rows]]] = True
+        return init, frontier

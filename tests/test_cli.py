@@ -178,3 +178,32 @@ class TestCommands:
     def test_distribute_rejects_unknown_mode(self):
         with pytest.raises(SystemExit):
             main(["distribute", "--merge-mode", "bogus"])
+
+
+class TestServe:
+    def test_serve(self, capsys):
+        assert main([
+            "serve", "--dataset", "uk", "--scale", "0.05", "-k", "4",
+            "--num-batches", "4", "--migration-cap", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        assert "replication_factor=" in out
+
+    def test_serve_json_with_oracle(self, capsys):
+        import json
+
+        assert main([
+            "serve", "--dataset", "uk", "--scale", "0.05", "-k", "4",
+            "--num-batches", "3", "--oracle", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["batches"] >= 3
+        assert "rf_drift" in payload["summary"]
+        assert len(payload["batches"]) == payload["summary"]["batches"]
+        assert all(s.get("applied_moves") is not None for s in payload["batches"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.num_batches == 50
+        assert args.migration_cap is None

@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import star_graph, web_crawl_graph
 from repro.graph.stream import EdgeStream
-from repro.core.clustering import streaming_clustering
+from repro.core.clustering import ClusteringState, streaming_clustering
 
 
 def stream_of(edges, n=None):
@@ -213,3 +213,46 @@ def test_property_clustering_invariants(edges, vmax, split):
     for v, mirrors in result.mirror_clusters.items():
         assert result.divided[v]
         assert all(0 <= c < result.num_clusters for c in mirrors)
+
+
+class TestRawClusterStability:
+    """raw_clusters()/raw_ids — the service's cross-snapshot correlation."""
+
+    def test_raw_clusters_before_and_after_ingest(self):
+        state = ClusteringState(6, max_volume=8)
+        verts = np.arange(6)
+        assert (state.raw_clusters(verts) == -1).all()
+        state.ingest_pair(np.array([0, 1]), np.array([1, 2]))
+        raw = state.raw_clusters(verts)
+        assert (raw[:3] >= 0).all()
+        assert (raw[3:] == -1).all()
+
+    def test_raw_ids_map_compact_to_raw(self):
+        state = ClusteringState(8, max_volume=4)
+        state.ingest_pair(
+            np.array([0, 1, 4, 5, 0]), np.array([1, 2, 5, 6, 4])
+        )
+        snap = state.snapshot()
+        assert snap.raw_ids is not None
+        assert snap.raw_ids.shape == (snap.num_clusters,)
+        # per-vertex raw id agrees with raw_ids[compact id]
+        raw = state.raw_clusters(np.arange(8))
+        seen = snap.cluster_of >= 0
+        assert np.array_equal(
+            raw[seen], snap.raw_ids[snap.cluster_of[seen]]
+        )
+
+    def test_raw_ids_survive_further_ingestion(self):
+        rng = np.random.default_rng(2)
+        u = rng.integers(0, 40, size=200)
+        v = rng.integers(0, 40, size=200)
+        state = ClusteringState(40, max_volume=10)
+        state.ingest_pair(u[:100], v[:100])
+        snap1 = state.snapshot()
+        state.ingest_pair(u[100:], v[100:])
+        snap2 = state.snapshot()
+        # a raw id present in both snapshots refers to the same live
+        # cluster: its volume evolved but it was never renumbered
+        common = np.intersect1d(snap1.raw_ids, snap2.raw_ids)
+        assert common.size > 0
+        assert state.num_raw >= max(int(snap2.raw_ids.max()) + 1, 1)

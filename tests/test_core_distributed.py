@@ -6,7 +6,7 @@ import pytest
 from repro.config import ClugpConfig
 from repro.core.distributed import (
     DistributedClugpPartitioner,
-    _balance_quotas,
+    balance_quotas,
     _shard_ranges,
     distributed_clugp,
 )
@@ -258,7 +258,7 @@ class TestBalanceQuotas:
     def test_columns_sum_to_cap(self):
         loads = np.array([[10, 0, 5], [0, 12, 5]], dtype=np.int64)
         cap = 9
-        quotas = _balance_quotas(loads, cap)
+        quotas = balance_quotas(loads, cap)
         assert (quotas.sum(axis=0) == cap).all()
 
     def test_rows_cover_each_shard(self):
@@ -268,19 +268,19 @@ class TestBalanceQuotas:
             loads = rng.integers(0, 50, size=(n, k)).astype(np.int64)
             total = int(loads.sum())
             cap = max(1, int(np.ceil(1.05 * total / k)))
-            quotas = _balance_quotas(loads, cap)
+            quotas = balance_quotas(loads, cap)
             assert (quotas.sum(axis=0) <= cap).all()
             assert (quotas.sum(axis=1) >= loads.sum(axis=1)).all()
             assert (quotas >= 0).all()
 
     def test_single_node_gets_uniform_cap(self):
         loads = np.array([[30, 1, 2]], dtype=np.int64)
-        quotas = _balance_quotas(loads, 12)
+        quotas = balance_quotas(loads, 12)
         assert (quotas[0] == 12).all()
 
     def test_no_overfull_keeps_demands(self):
         loads = np.array([[3, 4], [2, 1]], dtype=np.int64)
-        quotas = _balance_quotas(loads, 10)
+        quotas = balance_quotas(loads, 10)
         assert (quotas >= loads).all()
         assert (quotas.sum(axis=0) == 10).all()
 

@@ -278,3 +278,84 @@ class TestPerPartitionCaps:
                 num_vertices=s.num_vertices,
                 load_caps=np.zeros(2, dtype=np.int64),
             )
+
+
+class TestInitialLoads:
+    """initial_loads seeding — the service's delta-application contract."""
+
+    def _stream(self, seed=4):
+        g = web_crawl_graph(400, avg_out_degree=6, host_size=20, seed=seed)
+        return pipeline_inputs(g, k=4)
+
+    def test_seeded_state_equals_prefix_then_rest(self):
+        from repro.core.transform import TransformState
+
+        s, clustering, cluster_partition = self._stream()
+        k = 4
+        vp = np.full(s.num_vertices, -1, dtype=np.int64)
+        seen = clustering.active_mask()
+        vp[seen] = cluster_partition[clustering.cluster_of[seen]]
+        caps = np.full(k, s.num_edges, dtype=np.int64)
+        whole = TransformState(
+            clustering, None, k, num_edges=s.num_edges,
+            num_vertices=s.num_vertices, vertex_partition=vp, load_caps=caps,
+        )
+        half = s.num_edges // 2
+        first = whole.ingest_pair(s.src[:half], s.dst[:half])
+        seeded = TransformState(
+            clustering, None, k, num_edges=s.num_edges - half,
+            num_vertices=s.num_vertices, vertex_partition=vp, load_caps=caps,
+            initial_loads=np.bincount(first, minlength=k),
+        )
+        rest_whole = whole.ingest_pair(s.src[half:], s.dst[half:])
+        rest_seeded = seeded.ingest_pair(s.src[half:], s.dst[half:])
+        assert np.array_equal(rest_whole, rest_seeded)
+        assert np.array_equal(whole.loads, seeded.loads)
+
+    def test_initial_loads_validation(self):
+        from repro.core.transform import TransformState
+
+        s, clustering, cluster_partition = pipeline_inputs([(0, 1), (1, 2)], k=2)
+        with pytest.raises(ValueError, match="one entry per partition"):
+            TransformState(
+                clustering, cluster_partition, 2, num_edges=s.num_edges,
+                num_vertices=s.num_vertices,
+                initial_loads=np.zeros(3, dtype=np.int64),
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            TransformState(
+                clustering, cluster_partition, 2, num_edges=s.num_edges,
+                num_vertices=s.num_vertices,
+                initial_loads=np.array([-1, 0], dtype=np.int64),
+            )
+        # the uniform cap must hold the stream on top of the seed
+        with pytest.raises(ValueError, match="already placed"):
+            TransformState(
+                clustering, cluster_partition, 2, num_edges=s.num_edges,
+                num_vertices=s.num_vertices,
+                initial_loads=np.array([100, 100], dtype=np.int64),
+            )
+        # explicit caps are validated against seed + stream too
+        with pytest.raises(ValueError, match="cannot hold"):
+            TransformState(
+                clustering, cluster_partition, 2, num_edges=s.num_edges,
+                num_vertices=s.num_vertices,
+                load_caps=np.array([2, 1], dtype=np.int64),
+                initial_loads=np.array([1, 1], dtype=np.int64),
+            )
+
+    def test_seeded_loads_count_toward_caps(self):
+        from repro.core.transform import TransformState
+
+        s, clustering, cluster_partition = self._stream(seed=6)
+        k = 4
+        seed_loads = np.array([7, 0, 3, 1], dtype=np.int64)
+        caps = np.full(k, s.num_edges + 11, dtype=np.int64)
+        state = TransformState(
+            clustering, cluster_partition, k, num_edges=s.num_edges,
+            num_vertices=s.num_vertices, load_caps=caps,
+            initial_loads=seed_loads,
+        )
+        state.ingest_pair(s.src, s.dst)
+        assert int(state.loads.sum()) == s.num_edges + int(seed_loads.sum())
+        assert (state.loads <= caps).all()

@@ -1,0 +1,37 @@
+"""Docs hygiene: every relative markdown link must resolve.
+
+Runs the same checker CI uses (``scripts/check_links.py``) so a renamed
+or deleted file fails tier-1 locally, not just in the workflow.
+"""
+
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "scripts"))
+
+import check_links  # noqa: E402
+
+
+class TestDocsLinks:
+    def test_expected_docs_exist(self):
+        for rel in ("README.md", "DESIGN.md", "docs/architecture.md",
+                    "docs/service.md"):
+            assert (REPO / rel).is_file(), f"missing doc: {rel}"
+
+    def test_scanner_finds_the_docs(self):
+        scanned = {p.relative_to(REPO).as_posix() for p in check_links.iter_doc_files()}
+        assert {"README.md", "DESIGN.md", "docs/architecture.md",
+                "docs/service.md"} <= scanned
+
+    def test_no_dead_relative_links(self):
+        errors = []
+        for path in check_links.iter_doc_files():
+            errors.extend(check_links.check_file(path))
+        assert not errors, "\n".join(errors)
+
+    def test_checker_flags_a_dead_link(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [here](no/such/file.md)\n")
+        errors = check_links.check_file(bad)
+        assert len(errors) == 1 and "dead link" in errors[0]
