@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""Compiled-kernel (``chunk_impl="jit"``) throughput and identity floors.
+
+Standalone script in the run_all.py family: it demonstrates the PR 7
+engineering claims for the :mod:`repro.kernels` backends —
+
+* the hdrf/greedy jit chunk path is >= 5x faster than the ``"fast"``
+  scalar core it bypasses and >= 10x faster than per-edge streaming on
+  the 100k-edge bench graph,
+* CLUGP end-to-end (pass 1 + game + pass 3) with ``chunk_impl="jit"``
+  is >= 10x faster than the per-edge reference pipeline (up from ~4x
+  for the numpy chunk engines alone), and
+* every jit assignment is **bit-identical** to the fast and per-edge
+  paths (``identity_mismatches`` must be empty in the JSON artifact).
+
+Kernel compilation (numba nopython build or the one-off ``cc`` call) is
+excluded from every timing region via :func:`repro.kernels.warmup`.
+When no compiled backend is available the floors are skipped — the
+section then only records ``backend: null`` so CI without a compiler
+still passes.
+
+Usage::
+
+    python benchmarks/bench_kernels.py           # full run
+    python benchmarks/bench_kernels.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# allow running straight from a checkout without `pip install -e .`
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+import numpy as np
+
+from repro import kernels
+from repro._util import Timer
+from repro.bench.harness import clugp_stage_times
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+from repro.partitioners.registry import make_partitioner
+
+#: scalar-core heuristics the kernels accelerate
+JIT_ALGORITHMS = ("hdrf", "greedy")
+JIT_VS_FAST_FLOOR = 5.0
+JIT_VS_PER_EDGE_FLOOR = 10.0
+CLUGP_E2E_FLOOR = 10.0
+
+#: jit assignments that must match the fast path bit for bit
+IDENTITY_ALGORITHMS = ("hdrf", "greedy", "clugp", "clugp-s", "clugp-g")
+
+
+def build_stream(num_edges: int, seed: int = 7) -> EdgeStream:
+    """The same power-law web-crawl fixture bench_chunked_throughput uses."""
+    avg_out = 10.0
+    graph = web_crawl_graph(
+        max(64, int(num_edges / avg_out)),
+        avg_out_degree=avg_out,
+        host_size=30,
+        intra_host_prob=0.88,
+        seed=seed,
+    )
+    return EdgeStream.from_graph(graph, order="random", seed=seed)
+
+
+def measure_jit(stream: EdgeStream, k: int, chunk_size: int, repeats: int) -> dict:
+    """Best-of-``repeats`` timings for per-edge / fast / jit per algorithm."""
+    rows = {}
+    for name in JIT_ALGORITHMS:
+        timings = {}
+        for path in ("per-edge", "fast", "jit"):
+            best = float("inf")
+            for _ in range(repeats):
+                kwargs = {"chunk_impl": "jit"} if path == "jit" else {}
+                partitioner = make_partitioner(name, k, seed=0, **kwargs)
+                with Timer() as t:
+                    if path == "per-edge":
+                        partitioner.partition_per_edge(stream)
+                    else:
+                        partitioner.partition_chunked(stream, chunk_size=chunk_size)
+                best = min(best, t.elapsed)
+            timings[path] = max(best, 1e-9)
+        rows[name] = {
+            "per_edge_eps": stream.num_edges / timings["per-edge"],
+            "fast_eps": stream.num_edges / timings["fast"],
+            "jit_eps": stream.num_edges / timings["jit"],
+            "speedup_vs_fast": timings["fast"] / timings["jit"],
+            "speedup_vs_per_edge": timings["per-edge"] / timings["jit"],
+        }
+    return rows
+
+
+def measure_clugp(stream: EdgeStream, k: int, repeats: int) -> dict:
+    """End-to-end CLUGP per-pass timings, fast vs jit chunk engines."""
+    fast = clugp_stage_times(stream, k, repeats=repeats)
+    jit = clugp_stage_times(stream, k, repeats=repeats, chunk_impl="jit")
+    per_edge = fast["per-edge"]["total"]
+    return {
+        "per_edge": fast["per-edge"],
+        "fast": fast["chunked"],
+        "jit": jit["chunked"],
+        "speedup_fast_vs_per_edge": per_edge / max(fast["chunked"]["total"], 1e-9),
+        "speedup_jit_vs_per_edge": per_edge / max(jit["chunked"]["total"], 1e-9),
+    }
+
+
+def check_bit_identical(num_edges: int, k: int, chunk_size: int) -> list[str]:
+    """Names whose jit assignment differs from fast/per-edge (want: none)."""
+    stream = build_stream(num_edges, seed=11)
+    mismatches = []
+    for name in IDENTITY_ALGORITHMS:
+        per_edge = make_partitioner(name, k, seed=1).partition_per_edge(stream)
+        jit = make_partitioner(name, k, seed=1, chunk_impl="jit").partition_chunked(
+            stream, chunk_size=chunk_size
+        )
+        if not np.array_equal(per_edge.edge_partition, jit.edge_partition):
+            mismatches.append(name)
+    # the multiword-bitmask corner: k > 64 needs two words per vertex row
+    for name in JIT_ALGORITHMS:
+        per_edge = make_partitioner(name, 100, seed=1).partition_per_edge(stream)
+        jit = make_partitioner(name, 100, seed=1, chunk_impl="jit").partition_chunked(
+            stream, chunk_size=chunk_size
+        )
+        if not np.array_equal(per_edge.edge_partition, jit.edge_partition):
+            mismatches.append(f"{name}[k=100]")
+    return mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--edges", type=int, default=100_000, help="stream size")
+    parser.add_argument("-k", "--partitions", type=int, default=8)
+    parser.add_argument("--chunk-size", type=int, default=1 << 16)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of timing repeats")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small graph, single repeat, relaxed floors",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write results as JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.edges <= 0 or args.partitions <= 0 or args.chunk_size <= 0 or args.repeats <= 0:
+        parser.error("--edges, --partitions, --chunk-size, and --repeats must be positive")
+
+    if args.quick:
+        args.edges = min(args.edges, 20_000)
+        args.repeats = 1
+
+    # one-shot compile, outside every timing region
+    backend = kernels.warmup()
+    if backend is None:
+        print("kernels: no compiled backend available (numba or cc) — skipping floors")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump({"backend": None, "skipped": True}, fh, indent=2)
+            print(f"wrote {args.json}")
+        return 0
+    print(f"kernels: backend={backend} (warm-up excluded from timings)")
+
+    # quick mode runs a warm-up-dominated graph on noisy CI runners
+    vs_fast_floor = 2.0 if args.quick else JIT_VS_FAST_FLOOR
+    vs_pe_floor = 3.0 if args.quick else JIT_VS_PER_EDGE_FLOOR
+    e2e_floor = 3.0 if args.quick else CLUGP_E2E_FLOOR
+
+    stream = build_stream(args.edges)
+    print(
+        f"stream: |V|={stream.num_vertices} |E|={stream.num_edges}, "
+        f"k={args.partitions}, chunk_size={args.chunk_size}"
+    )
+
+    failures = []
+    rows = measure_jit(stream, args.partitions, args.chunk_size, args.repeats)
+    print(
+        f"\n{'algorithm':10s} {'per-edge e/s':>14s} {'fast e/s':>14s} "
+        f"{'jit e/s':>14s} {'vs fast':>9s} {'vs per-edge':>12s}"
+    )
+    for name, row in rows.items():
+        print(
+            f"{name:10s} {row['per_edge_eps']:14.0f} {row['fast_eps']:14.0f} "
+            f"{row['jit_eps']:14.0f} {row['speedup_vs_fast']:8.1f}x "
+            f"{row['speedup_vs_per_edge']:11.1f}x"
+        )
+        if row["speedup_vs_fast"] < vs_fast_floor:
+            failures.append(
+                f"{name}: jit {row['speedup_vs_fast']:.1f}x vs the fast core, "
+                f"below the {vs_fast_floor:.0f}x floor"
+            )
+        if row["speedup_vs_per_edge"] < vs_pe_floor:
+            failures.append(
+                f"{name}: jit {row['speedup_vs_per_edge']:.1f}x vs per-edge, "
+                f"below the {vs_pe_floor:.0f}x floor"
+            )
+
+    clugp = measure_clugp(stream, args.partitions, args.repeats)
+    print(
+        f"\nclugp e2e: per-edge {clugp['per_edge']['total']*1000:.0f}ms, "
+        f"fast {clugp['fast']['total']*1000:.0f}ms "
+        f"({clugp['speedup_fast_vs_per_edge']:.1f}x), "
+        f"jit {clugp['jit']['total']*1000:.0f}ms "
+        f"({clugp['speedup_jit_vs_per_edge']:.1f}x, floor {e2e_floor:.0f}x)"
+    )
+    print(
+        "  jit stages: "
+        + " ".join(
+            f"{stage}={clugp['jit'][stage]*1000:.1f}ms"
+            for stage in ("clustering", "game", "transform")
+        )
+    )
+    if clugp["speedup_jit_vs_per_edge"] < e2e_floor:
+        failures.append(
+            f"clugp: jit end-to-end {clugp['speedup_jit_vs_per_edge']:.1f}x "
+            f"vs per-edge, below the {e2e_floor:.0f}x floor"
+        )
+
+    identity_edges = min(args.edges, 20_000)
+    mismatches = check_bit_identical(identity_edges, args.partitions, chunk_size=1013)
+    if mismatches:
+        failures.append(f"jit != per-edge for: {', '.join(mismatches)}")
+    else:
+        print(
+            f"\nbit-identity: jit == per-edge for "
+            f"{'/'.join(IDENTITY_ALGORITHMS)} incl. the k=100 multiword "
+            f"corner ({identity_edges} edges, chunk_size=1013)"
+        )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(
+                {
+                    "backend": backend,
+                    "edges": stream.num_edges,
+                    "vertices": stream.num_vertices,
+                    "partitions": args.partitions,
+                    "chunk_size": args.chunk_size,
+                    "floors": {
+                        "jit_vs_fast": vs_fast_floor,
+                        "jit_vs_per_edge": vs_pe_floor,
+                        "clugp_e2e_vs_per_edge": e2e_floor,
+                    },
+                    "jit": rows,
+                    "clugp": clugp,
+                    "identity_mismatches": mismatches,
+                },
+                fh,
+                indent=2,
+            )
+        print(f"wrote {args.json}")
+
+    if failures:
+        print("\nFAIL:\n  " + "\n  ".join(failures))
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

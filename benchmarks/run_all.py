@@ -2,7 +2,7 @@
 """Run the engineering benchmarks and write one consolidated JSON report.
 
 This is the perf-trajectory entry point: each PR that touches a hot path
-runs ``python benchmarks/run_all.py --json BENCH_pr6.json`` and CI runs
+runs ``python benchmarks/run_all.py --json BENCH_pr7.json`` and CI runs
 the ``--quick`` variant on every push, so regressions in any of the
 enforced floors fail loudly and the JSON artifacts accumulate a
 machine-readable history of the repo's throughput claims.
@@ -13,6 +13,12 @@ Sections (each with its own floors; exit status is non-zero if any fails):
   chunked-vs-per-edge floors, hdrf/greedy >= 5x vs their retained
   reference chunk loop plus a vs-per-edge floor, full-registry
   bit-identity sweep.
+* ``kernels`` — bench_kernels: the compiled ``chunk_impl="jit"``
+  backends — hdrf/greedy >= 5x vs the fast scalar core and >= 10x vs
+  per-edge, CLUGP end-to-end >= 10x vs per-edge, jit-vs-per-edge
+  bit-identity incl. the k=100 multiword corner; warm-up (numba/cc
+  compile) excluded from every timing region.  Skipped (not failed)
+  when no compiled backend resolves.
 * ``clugp_stages`` — bench_clugp_stages: per-pass timings and the >= 4x
   end-to-end CLUGP chunked floor.
 * ``parallel_game`` — batched vs sequential-reference best response:
@@ -41,7 +47,7 @@ Sections (each with its own floors; exit status is non-zero if any fails):
 
 Usage::
 
-    python benchmarks/run_all.py --json BENCH_pr6.json     # full run
+    python benchmarks/run_all.py --json BENCH_pr7.json     # full run
     python benchmarks/run_all.py --quick --json out.json   # CI smoke
 """
 
@@ -69,6 +75,7 @@ import bench_chunked_throughput
 import bench_clugp_stages
 import bench_fig8_pagerank
 import bench_incremental_service
+import bench_kernels
 from repro._util import Timer
 from repro.config import ClugpConfig, GameConfig
 from repro.core.cluster_graph import build_cluster_graph
@@ -290,6 +297,11 @@ def main(argv=None) -> int:
     print("=== chunked throughput ===")
     report, fails = _run_sub_bench(bench_chunked_throughput, "chunked_throughput", args.quick)
     consolidated["chunked_throughput"] = report
+    failures += fails
+
+    print("\n=== compiled kernels (chunk_impl=jit) ===")
+    report, fails = _run_sub_bench(bench_kernels, "kernels", args.quick)
+    consolidated["kernels"] = report
     failures += fails
 
     print("\n=== CLUGP stages ===")

@@ -119,6 +119,8 @@ def clugp_stage_times(
     seed: int = 0,
     chunk_size: int = 1 << 16,
     repeats: int = 3,
+    chunk_impl: str = "fast",
+    kernel_backend: str = "auto",
 ) -> dict[str, dict[str, float]]:
     """Best-of-``repeats`` per-pass wall-clock of one CLUGP variant.
 
@@ -129,8 +131,9 @@ def clugp_stage_times(
     per-neighbor game scorer,
     :func:`repro.core.transform.transform_partitions`); the chunked side
     times the vectorized chunk engines (:class:`ClusteringState`, the
-    CSR/adjacency-table game, :class:`TransformState`).  Both paths are
-    asserted bit-identical before timings are returned.
+    CSR/adjacency-table game, :class:`TransformState`) running
+    ``chunk_impl`` (``"fast"``/``"reference"``/``"jit"``).  Both paths
+    are asserted bit-identical before timings are returned.
     """
     import numpy as np
 
@@ -170,6 +173,8 @@ def clugp_stage_times(
                         stream.num_vertices,
                         vmax,
                         enable_splitting=cfg.enable_splitting,
+                        chunk_impl=chunk_impl,
+                        kernel_backend=kernel_backend,
                     )
                     for src, dst in stream.batches(chunk_size):
                         state.ingest_pair(src, dst)
@@ -185,6 +190,8 @@ def clugp_stage_times(
                         num_edges=stream.num_edges,
                         num_vertices=stream.num_vertices,
                         imbalance_factor=cfg.imbalance_factor,
+                        chunk_impl=chunk_impl,
+                        kernel_backend=kernel_backend,
                     )
                     parts = [
                         transform.ingest_pair(src, dst)

@@ -57,7 +57,30 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--seed", type=int, default=0, help="random seed")
     common.add_argument("-k", "--partitions", type=int, default=32, help="number of partitions")
 
-    p_part = sub.add_parser("partition", parents=[common], help="run one partitioner")
+    # chunked-ingestion machinery knobs, shared by the subcommands that
+    # drive a chunk-capable pipeline (partition / distribute / serve)
+    impl_common = argparse.ArgumentParser(add_help=False)
+    impl_common.add_argument(
+        "--chunk-impl",
+        default="fast",
+        choices=["fast", "reference", "jit"],
+        help=(
+            "chunked-ingestion implementation: 'fast' (adaptive numpy, "
+            "default), 'reference' (sequential oracle) or 'jit' (compiled "
+            "repro.kernels backend, degrading to 'fast' when unavailable); "
+            "all three are bit-identical"
+        ),
+    )
+    impl_common.add_argument(
+        "--kernel-backend",
+        default="auto",
+        choices=["auto", "numba", "cc", "python", "none"],
+        help="kernel backend --chunk-impl=jit resolves (default: auto)",
+    )
+
+    p_part = sub.add_parser(
+        "partition", parents=[common, impl_common], help="run one partitioner"
+    )
     p_part.add_argument(
         "--algorithm", default="clugp", choices=sorted(PARTITIONERS), help="algorithm"
     )
@@ -126,7 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_dist = sub.add_parser(
         "distribute",
-        parents=[common],
+        parents=[common, impl_common],
         help="run the distributed CLUGP deployment (Section III-C)",
     )
     p_dist.add_argument(
@@ -156,7 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        parents=[common],
+        parents=[common, impl_common],
         help="replay the stream as a batch feed through PartitionService",
     )
     p_serve.add_argument(
@@ -190,9 +213,34 @@ def _load_stream(args) -> EdgeStream:
     return EdgeStream.from_graph(graph, order="natural")
 
 
+def _impl_kwargs(args) -> dict:
+    """Non-default --chunk-impl/--kernel-backend values as ctor kwargs.
+
+    Only non-defaults are forwarded so algorithms without the knobs keep
+    working untouched; passing a non-default to one of those raises a
+    friendly error instead of a bare TypeError.
+    """
+    kwargs = {}
+    if args.chunk_impl != "fast":
+        kwargs["chunk_impl"] = args.chunk_impl
+    if args.kernel_backend != "auto":
+        kwargs["kernel_backend"] = args.kernel_backend
+    return kwargs
+
+
 def _cmd_partition(args) -> int:
     stream = _load_stream(args)
-    partitioner = make_partitioner(args.algorithm, args.partitions, seed=args.seed)
+    impl_kwargs = _impl_kwargs(args)
+    try:
+        partitioner = make_partitioner(
+            args.algorithm, args.partitions, seed=args.seed, **impl_kwargs
+        )
+    except TypeError:
+        raise SystemExit(
+            f"--chunk-impl/--kernel-backend are not supported by "
+            f"{args.algorithm!r} (chunk-capable algorithms: hdrf, greedy, "
+            f"clugp and its ablations)"
+        )
     if partitioner.preferred_order != "natural":
         stream = stream.reordered(partitioner.preferred_order, seed=args.seed)
     if args.chunk_size is not None:
@@ -307,9 +355,16 @@ def _cmd_run_app(args) -> int:
 
 def _cmd_distribute(args) -> int:
     from .analysis.report import distributed_modes_table
+    from .config import ClugpConfig, GameConfig
     from .core.distributed import distributed_clugp
 
     stream = _load_stream(args)
+    cfg = ClugpConfig(
+        num_partitions=args.partitions,
+        game=GameConfig(seed=args.seed),
+        chunk_impl=args.chunk_impl,
+        kernel_backend=args.kernel_backend,
+    )
     if args.compare_modes:
         rows = []
         for mode in ("independent", "merged"):
@@ -317,6 +372,7 @@ def _cmd_distribute(args) -> int:
                 stream,
                 args.partitions,
                 num_nodes=args.num_nodes,
+                config=cfg,
                 seed=args.seed,
                 chunk_size=args.chunk_size,
                 merge_mode=mode,
@@ -335,6 +391,7 @@ def _cmd_distribute(args) -> int:
         stream,
         args.partitions,
         num_nodes=args.num_nodes,
+        config=cfg,
         seed=args.seed,
         chunk_size=args.chunk_size,
         merge_mode=args.merge_mode,
@@ -358,7 +415,10 @@ def _cmd_serve(args) -> int:
 
     stream = _load_stream(args)
     cfg = ClugpConfig(
-        num_partitions=args.partitions, game=GameConfig(seed=args.seed)
+        num_partitions=args.partitions,
+        game=GameConfig(seed=args.seed),
+        chunk_impl=args.chunk_impl,
+        kernel_backend=args.kernel_backend,
     )
     svc = PartitionService(
         stream.num_vertices,

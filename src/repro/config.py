@@ -96,6 +96,15 @@ class ClugpConfig:
         the sequential round-robin best-response loop (Algorithm 3).
     game:
         The nested :class:`GameConfig`.
+    chunk_impl:
+        Ingestion machinery for the chunked passes 1 and 3: ``"fast"``
+        (default, the adaptive numpy path), ``"reference"`` (the plain
+        sequential oracle) or ``"jit"`` (compiled kernels from
+        :mod:`repro.kernels`, degrading to ``"fast"`` when no backend is
+        available).  All three are bit-identical.
+    kernel_backend:
+        Which kernel backend ``chunk_impl="jit"`` resolves — one of
+        ``"auto"``, ``"numba"``, ``"cc"``, ``"python"``, ``"none"``.
     """
 
     num_partitions: int = 32
@@ -105,6 +114,8 @@ class ClugpConfig:
     use_game: bool = True
     parallel_game: bool = False
     game: GameConfig = GameConfig()
+    chunk_impl: str = "fast"
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_partitions, "num_partitions")
@@ -113,6 +124,16 @@ class ClugpConfig:
         if self.imbalance_factor < 1.0:
             raise ValueError(
                 f"imbalance_factor must be >= 1.0, got {self.imbalance_factor!r}"
+            )
+        if self.chunk_impl not in ("fast", "reference", "jit"):
+            raise ValueError(
+                f"chunk_impl must be 'fast', 'reference' or 'jit', "
+                f"got {self.chunk_impl!r}"
+            )
+        if self.kernel_backend not in ("auto", "numba", "cc", "python", "none"):
+            raise ValueError(
+                f"kernel_backend must be one of 'auto', 'numba', 'cc', "
+                f"'python', 'none', got {self.kernel_backend!r}"
             )
 
     def with_(self, **kwargs) -> "ClugpConfig":

@@ -63,6 +63,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import kernels
 from .._util import check_positive_int, stable_argsort_bounded
 from ..graph.stream import EdgeStream
 
@@ -277,6 +278,14 @@ class ClusteringState:
     :func:`streaming_clustering`.  See the module docstring for the
     boring/suspect decomposition; DESIGN.md proves its equivalence.
 
+    ``chunk_impl`` selects the ingestion machinery: ``"fast"`` (default)
+    is the adaptive classifier + list-backed scalar loop; ``"reference"``
+    sends every edge through the scalar loop (no classifier — the plain
+    sequential oracle); ``"jit"`` dispatches whole chunks into a compiled
+    kernel (:mod:`repro.kernels`) over the flat array state, degrading to
+    ``"fast"`` when no backend is available.  All three are bit-identical
+    at every chunk size.
+
     Usage::
 
         state = ClusteringState(stream.num_vertices, vmax)
@@ -293,9 +302,26 @@ class ClusteringState:
     _MAX_CASCADE = 64
 
     def __init__(
-        self, num_vertices: int, max_volume: int, enable_splitting: bool = True
+        self,
+        num_vertices: int,
+        max_volume: int,
+        enable_splitting: bool = True,
+        chunk_impl: str = "fast",
+        kernel_backend: str = "auto",
     ) -> None:
         check_positive_int(max_volume, "max_volume")
+        if chunk_impl not in ("fast", "reference", "jit"):
+            raise ValueError(
+                f"chunk_impl must be 'fast', 'reference' or 'jit', got {chunk_impl!r}"
+            )
+        self.chunk_impl = chunk_impl
+        self.kernel_backend = kernel_backend
+        self._run_impl = chunk_impl
+        self._backend = None
+        if chunk_impl == "jit":
+            self._backend = kernels.get_backend(kernel_backend)
+            if self._backend is None:
+                self._run_impl = "fast"  # graceful degradation, same results
         self.num_vertices = int(num_vertices)
         self.max_volume = int(max_volume)
         self.enable_splitting = bool(enable_splitting)
@@ -367,6 +393,14 @@ class ClusteringState:
         if m == 0:
             return
         self.edges_ingested += m
+        if self._run_impl == "jit":
+            self._ingest_jit(u, v)
+            return
+        if self._run_impl == "reference":
+            # plain sequential oracle: every edge through the scalar loop
+            self._scalar_loop(u.tolist(), v.tolist())
+            self.edges_suspect += m
+            return
         probe = self._chunk_index % self._PROBE_EVERY == 0
         self._chunk_index += 1
         if self._scalar_bias and not probe:
@@ -389,6 +423,51 @@ class ClusteringState:
                 su = u[suspect].tolist()
                 sv = v[suspect].tolist()
             self._scalar_loop(su, sv)
+
+    def _ingest_jit(self, u: np.ndarray, v: np.ndarray) -> None:
+        """Dispatch one chunk into the compiled allocation/splitting/
+        migration kernel over the flat array state.
+
+        The kernel mutates ``_clu``/``_deg``/``_div``/``_vol`` in place and
+        reports raw-cluster growth, new mirrors and the operation counters
+        through a small int64 array; the per-chunk mirror buffers are sized
+        ``2 * m`` (each edge can split at most both endpoints once).
+        """
+        m = u.shape[0]
+        self._to_arrays()
+        # worst case: 2 allocations + 2 splits per edge, one raw id each
+        need = self.num_raw + 4 * m
+        if need > self._vol.size:
+            vol = np.zeros(max(need, 2 * self._vol.size), dtype=np.int64)
+            vol[: self.num_raw] = self._vol[: self.num_raw]
+            self._vol = vol
+        mirror_v = np.empty(2 * m, dtype=np.int64)
+        mirror_c = np.empty(2 * m, dtype=np.int64)
+        counters = np.array(
+            [self.num_raw, 0, self.splits, self.migrations, self.allocations],
+            dtype=np.int64,
+        )
+        self._backend.clustering_chunk(
+            np.ascontiguousarray(u),
+            np.ascontiguousarray(v),
+            self.max_volume,
+            self.enable_splitting,
+            self._clu,
+            self._deg,
+            self._div.view(np.uint8),
+            self._vol,
+            mirror_v,
+            mirror_c,
+            counters,
+        )
+        self.num_raw = int(counters[0])
+        n_mirrors = int(counters[1])
+        if n_mirrors:
+            self._mirror_v.extend(mirror_v[:n_mirrors].tolist())
+            self._mirror_c.extend(mirror_c[:n_mirrors].tolist())
+        self.splits = int(counters[2])
+        self.migrations = int(counters[3])
+        self.allocations = int(counters[4])
 
     def _classify(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Conservative suspect mask: edges that *may* allocate, split, or
@@ -598,15 +677,12 @@ class ClusteringState:
         if self._finalized:
             raise RuntimeError("ClusteringState already finalized")
         self._to_arrays()
-        mirror_clusters: dict[int, list[int]] = {}
-        for vtx, c in zip(self._mirror_v, self._mirror_c):
-            mirror_clusters.setdefault(vtx, []).append(c)
         return _compact(
             self._clu.copy(),
             self._deg.copy(),
             self._vol[: self.num_raw].copy(),
             self._div.copy(),
-            mirror_clusters,
+            (self._mirror_v, self._mirror_c),
             self.max_volume,
             self.splits,
             self.migrations,
@@ -617,15 +693,12 @@ class ClusteringState:
         """Compact cluster ids and return the :class:`ClusteringResult`."""
         self._finalized = True
         self._to_arrays()
-        mirror_clusters: dict[int, list[int]] = {}
-        for vtx, c in zip(self._mirror_v, self._mirror_c):
-            mirror_clusters.setdefault(vtx, []).append(c)
         return _compact(
             self._clu,
             self._deg,
             self._vol[: self.num_raw],
             self._div,
-            mirror_clusters,
+            (self._mirror_v, self._mirror_c),
             self.max_volume,
             self.splits,
             self.migrations,
@@ -638,11 +711,17 @@ def streaming_clustering_chunked(
     max_volume: int,
     enable_splitting: bool = True,
     chunk_size: int = 1 << 16,
+    chunk_impl: str = "fast",
+    kernel_backend: str = "auto",
 ) -> ClusteringResult:
     """Run Algorithm 2 by chunked ingestion; bit-identical to
-    :func:`streaming_clustering` for every chunk size."""
+    :func:`streaming_clustering` for every chunk size and ``chunk_impl``."""
     state = ClusteringState(
-        stream.num_vertices, max_volume, enable_splitting=enable_splitting
+        stream.num_vertices,
+        max_volume,
+        enable_splitting=enable_splitting,
+        chunk_impl=chunk_impl,
+        kernel_backend=kernel_backend,
     )
     for chunk in stream.chunks(chunk_size):
         state.ingest(chunk)
@@ -654,7 +733,7 @@ def _compact(
     degree: np.ndarray,
     volumes,
     divided: np.ndarray,
-    mirror_clusters: dict[int, list[int]],
+    mirror_clusters,
     max_volume: int,
     splits: int,
     migrations: int,
@@ -667,6 +746,13 @@ def _compact(
     only if the cluster still has at least one master vertex (an empty
     cluster is never mapped to a partition, so a mirror there is moot).
 
+    ``mirror_clusters`` is either the ``{vertex: [raw ids]}`` dict the
+    per-edge loop accumulates, or a ``(vertices, raw_ids)`` pair of
+    parallel sequences (the chunked state's journal) — the latter is
+    compacted vectorized, which keeps ``finalize`` off the hot-path
+    profile.  Both forms produce the same dict: sorted unique compact ids
+    per vertex, vertices with no surviving mirror dropped.
+
     The surviving raw ids are recorded on the result (``raw_ids``) so
     consumers that snapshot repeatedly (the incremental service) can
     correlate compact ids across snapshots.
@@ -675,16 +761,35 @@ def _compact(
     used = np.zeros(raw_count, dtype=bool)
     active = cluster_of >= 0
     used[cluster_of[active]] = True
+    num_used = int(used.sum())
     remap = np.full(raw_count, -1, dtype=np.int64)
-    remap[used] = np.arange(int(used.sum()), dtype=np.int64)
+    remap[used] = np.arange(num_used, dtype=np.int64)
     compact_of = cluster_of.copy()
     compact_of[active] = remap[cluster_of[active]]
     compact_volumes = np.asarray(volumes, dtype=np.int64)[used]
     compact_mirrors: dict[int, list[int]] = {}
-    for v, raw_ids in mirror_clusters.items():
-        kept = sorted({int(remap[c]) for c in raw_ids if used[c]})
-        if kept:
-            compact_mirrors[v] = kept
+    if isinstance(mirror_clusters, dict):
+        for v, raw_ids in mirror_clusters.items():
+            kept = sorted({int(remap[c]) for c in raw_ids if used[c]})
+            if kept:
+                compact_mirrors[v] = kept
+    else:
+        mv, mc = mirror_clusters
+        mv = np.asarray(mv, dtype=np.int64)
+        mc = np.asarray(mc, dtype=np.int64)
+        if mv.size:
+            kept = used[mc]
+            mv, mc = mv[kept], remap[mc[kept]]
+        if mv.size:
+            # sorted unique (vertex, compact id) pairs via one scalar key;
+            # consecutive runs of the vertex component are the dict groups
+            keys = np.unique(mv * num_used + mc)
+            vs = keys // num_used
+            cs = (keys % num_used).tolist()
+            vs_list = vs.tolist()
+            starts = np.flatnonzero(np.r_[True, np.diff(vs) != 0]).tolist()
+            for a, b in zip(starts, starts[1:] + [len(cs)]):
+                compact_mirrors[vs_list[a]] = cs[a:b]
     return ClusteringResult(
         cluster_of=compact_of,
         degree=degree,

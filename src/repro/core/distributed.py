@@ -309,6 +309,7 @@ def _transform_probe_worker(args) -> tuple[int, np.ndarray, float]:
     (
         node, src, dst, num_vertices, clustering, offset, cluster_partition,
         boundary_vertices, boundary_global_cluster, num_partitions, chunk_size,
+        chunk_impl, kernel_backend,
     ) = args
     shard = EdgeStream(src, dst, num_vertices)
     with Timer() as timer:
@@ -323,6 +324,8 @@ def _transform_probe_worker(args) -> tuple[int, np.ndarray, float]:
             num_partitions,
             load_caps=np.full(num_partitions, max(1, shard.num_edges), dtype=np.int64),
             chunk_size=chunk_size,
+            chunk_impl=chunk_impl,
+            kernel_backend=kernel_backend,
         )
         loads = np.bincount(out, minlength=num_partitions)
     return node, loads, timer.elapsed
@@ -333,7 +336,7 @@ def _transform_commit_worker(args) -> tuple[int, np.ndarray, float]:
     (
         node, src, dst, num_vertices, clustering, offset, cluster_partition,
         boundary_vertices, boundary_global_cluster, num_partitions,
-        imbalance_factor, load_caps, chunk_size,
+        imbalance_factor, load_caps, chunk_size, chunk_impl, kernel_backend,
     ) = args
     shard = EdgeStream(src, dst, num_vertices)
     with Timer() as timer:
@@ -349,6 +352,8 @@ def _transform_commit_worker(args) -> tuple[int, np.ndarray, float]:
             imbalance_factor=imbalance_factor,
             load_caps=load_caps,
             chunk_size=chunk_size,
+            chunk_impl=chunk_impl,
+            kernel_backend=kernel_backend,
         )
     return node, out, timer.elapsed
 
@@ -713,7 +718,10 @@ def _run_merged(
         )
         for node, (start, stop) in enumerate(ranges)
     ]
-    probe_tasks = [task + (chunk_size,) for task in common]
+    probe_tasks = [
+        task + (chunk_size, config.chunk_impl, config.kernel_backend)
+        for task in common
+    ]
     stage4a = _run_stage(probe_tasks, _transform_probe_worker, parallel_nodes, backend)
     stage4a.sort(key=lambda item: item[0])
     node_loads = np.stack([item[1] for item in stage4a])
@@ -726,7 +734,14 @@ def _run_merged(
 
     # stage 4c (nodes): committed pass-3 replay under the quotas
     commit_tasks = [
-        task + (config.imbalance_factor, quotas[node], chunk_size)
+        task
+        + (
+            config.imbalance_factor,
+            quotas[node],
+            chunk_size,
+            config.chunk_impl,
+            config.kernel_backend,
+        )
         for node, task in enumerate(common)
     ]
     stage4c = _run_stage(commit_tasks, _transform_commit_worker, parallel_nodes, backend)

@@ -157,7 +157,8 @@ class ClugpPartitioner(EdgePartitioner):
         Full :class:`~repro.config.ClugpConfig`; when omitted, a default
         config with this ``k``/``seed`` is built.  Keyword conveniences
         (``imbalance_factor``, ``max_cluster_volume``, ``parallel_game``,
-        ``game``) override single fields.
+        ``game``, ``chunk_impl``, ``kernel_backend``) override single
+        fields.
 
     After :meth:`partition` (or a chunked run) the intermediate products
     of the three passes are exposed as :attr:`last_clustering`,
@@ -182,6 +183,8 @@ class ClugpPartitioner(EdgePartitioner):
         max_cluster_volume: int | None = None,
         parallel: bool | None = None,
         game: GameConfig | None = None,
+        chunk_impl: str | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         super().__init__(num_partitions, seed)
         if config is None:
@@ -195,6 +198,10 @@ class ClugpPartitioner(EdgePartitioner):
             overrides["max_cluster_volume"] = max_cluster_volume
         if parallel is not None:
             overrides["parallel_game"] = parallel
+        if chunk_impl is not None:
+            overrides["chunk_impl"] = chunk_impl
+        if kernel_backend is not None:
+            overrides["kernel_backend"] = kernel_backend
         overrides["enable_splitting"] = self._enable_splitting
         overrides["use_game"] = self._use_game
         if game is not None:
@@ -225,7 +232,11 @@ class ClugpPartitioner(EdgePartitioner):
 
         with Timer() as t1:
             state = ClusteringState(
-                stream.num_vertices, vmax, enable_splitting=cfg.enable_splitting
+                stream.num_vertices,
+                vmax,
+                enable_splitting=cfg.enable_splitting,
+                chunk_impl=cfg.chunk_impl,
+                kernel_backend=cfg.kernel_backend,
             )
             for src, dst in stream.batches(max(1, self.default_chunk_size)):
                 state.ingest_pair(src, dst)
@@ -245,6 +256,8 @@ class ClugpPartitioner(EdgePartitioner):
                 num_edges=stream.num_edges,
                 num_vertices=stream.num_vertices,
                 imbalance_factor=cfg.imbalance_factor,
+                chunk_impl=cfg.chunk_impl,
+                kernel_backend=cfg.kernel_backend,
             )
             parts = [
                 transform.ingest_pair(src, dst)
@@ -306,7 +319,11 @@ class ClugpPartitioner(EdgePartitioner):
         cfg = self.config
         vmax = cfg.resolve_vmax(stream.num_edges)
         self._chunk_state = ClusteringState(
-            stream.num_vertices, vmax, enable_splitting=cfg.enable_splitting
+            stream.num_vertices,
+            vmax,
+            enable_splitting=cfg.enable_splitting,
+            chunk_impl=cfg.chunk_impl,
+            kernel_backend=cfg.kernel_backend,
         )
         self._chunk_buffer = []
         self._chunk_stream_meta = (stream.num_vertices, stream.num_edges)
@@ -345,6 +362,8 @@ class ClugpPartitioner(EdgePartitioner):
             num_edges=buffered.num_edges,
             num_vertices=num_vertices,
             imbalance_factor=cfg.imbalance_factor,
+            chunk_impl=cfg.chunk_impl,
+            kernel_backend=cfg.kernel_backend,
         )
         parts = [
             transform.ingest_pair(src, dst)
@@ -388,7 +407,11 @@ class ClugpPartitioner(EdgePartitioner):
         cfg = self.config
         vmax = cfg.resolve_vmax(stream.num_edges)
         state = ClusteringState(
-            stream.num_vertices, vmax, enable_splitting=cfg.enable_splitting
+            stream.num_vertices,
+            vmax,
+            enable_splitting=cfg.enable_splitting,
+            chunk_impl=cfg.chunk_impl,
+            kernel_backend=cfg.kernel_backend,
         )
         size = chunk_size if chunk_size is not None else self.default_chunk_size
         for src, dst in stream.batches(max(1, size)):
@@ -461,6 +484,8 @@ class ClugpPartitioner(EdgePartitioner):
             imbalance_factor=cfg.imbalance_factor,
             load_caps=load_caps,
             chunk_size=size,
+            chunk_impl=cfg.chunk_impl,
+            kernel_backend=cfg.kernel_backend,
         )
         self.last_transform_stats = stats
         return edge_partition

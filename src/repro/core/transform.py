@@ -40,6 +40,7 @@ import math
 
 import numpy as np
 
+from .. import kernels
 from ..graph.stream import EdgeStream
 from .clustering import ClusteringResult
 
@@ -211,6 +212,8 @@ class TransformState:
         vertex_partition: np.ndarray | None = None,
         load_caps: np.ndarray | None = None,
         initial_loads: np.ndarray | None = None,
+        chunk_impl: str = "fast",
+        kernel_backend: str = "auto",
     ) -> None:
         """Build pass-3 state for a stream of ``num_edges`` edges.
 
@@ -248,8 +251,28 @@ class TransformState:
             stream through this state — bit-identical to re-ingesting
             the retained edges first (loads are the only coupling
             between edges on the non-spill path).
+        chunk_impl:
+            ``"fast"`` (default) is the vectorized prefix-commit scheme;
+            ``"reference"`` replays every edge through the exact scalar
+            loop; ``"jit"`` dispatches whole chunks into a compiled
+            kernel (:mod:`repro.kernels`), degrading to ``"fast"`` when
+            no backend is available.  All three are bit-identical.
+        kernel_backend:
+            Which kernel backend ``"jit"`` resolves.
         """
         k = int(num_partitions)
+        if chunk_impl not in ("fast", "reference", "jit"):
+            raise ValueError(
+                f"chunk_impl must be 'fast', 'reference' or 'jit', got {chunk_impl!r}"
+            )
+        self.chunk_impl = chunk_impl
+        self.kernel_backend = kernel_backend
+        self._run_impl = chunk_impl
+        self._backend = None
+        if chunk_impl == "jit":
+            self._backend = kernels.get_backend(kernel_backend)
+            if self._backend is None:
+                self._run_impl = "fast"  # graceful degradation, same results
         if (cluster_partition is None) == (vertex_partition is None):
             raise ValueError(
                 "exactly one of cluster_partition and vertex_partition is required"
@@ -320,6 +343,14 @@ class TransformState:
         self._vp = vp
         self._div = clustering.divided
         self._deg = clustering.degree
+        if self._run_impl == "jit":
+            # kernel-facing views: contiguous uint8 divided flags, int64 rest
+            if self._div.dtype == np.bool_ and self._div.flags.c_contiguous:
+                self._div_u8 = self._div.view(np.uint8)
+            else:
+                self._div_u8 = np.ascontiguousarray(self._div, dtype=np.uint8)
+            self._deg = np.ascontiguousarray(self._deg, dtype=np.int64)
+            self._vp = np.ascontiguousarray(self._vp, dtype=np.int64)
 
     def ingest(self, edges: np.ndarray) -> np.ndarray:
         """Assign one chunk of edges; returns their partition ids."""
@@ -335,6 +366,8 @@ class TransformState:
         m = u.shape[0]
         if m == 0:
             return np.empty(0, dtype=np.int64)
+        if self._run_impl == "jit":
+            return self._ingest_jit(u, v)
         k = self.k
         caps = self._caps
         pu = self._vp[u]
@@ -358,20 +391,23 @@ class TransformState:
         rule = np.full(m, 2, dtype=np.int64)
         rule[mirror] = 1
         rule[agree] = 0
-        # fast path: no partition can reach its cap anywhere in this chunk
-        projected = self.loads + np.bincount(tentative, minlength=k)
-        candidates = np.flatnonzero(projected >= caps)
-        if candidates.size == 0:
-            cut = m
+        if self._run_impl == "reference":
+            cut = 0  # plain sequential oracle: scalar loop from edge 0
         else:
-            # exact first index where the reference enters the spill branch
-            violated = np.zeros(m, dtype=bool)
-            for p in candidates.tolist():
-                run = np.zeros(m, dtype=np.int64)
-                np.cumsum(tentative[:-1] == p, out=run[1:])
-                run += self.loads[p]
-                violated |= ((pu == p) | (pv == p)) & (run >= caps[p])
-            cut = int(np.argmax(violated)) if violated.any() else m
+            # fast path: no partition can reach its cap anywhere in this chunk
+            projected = self.loads + np.bincount(tentative, minlength=k)
+            candidates = np.flatnonzero(projected >= caps)
+            if candidates.size == 0:
+                cut = m
+            else:
+                # exact first index where the reference enters the spill branch
+                violated = np.zeros(m, dtype=bool)
+                for p in candidates.tolist():
+                    run = np.zeros(m, dtype=np.int64)
+                    np.cumsum(tentative[:-1] == p, out=run[1:])
+                    run += self.loads[p]
+                    violated |= ((pu == p) | (pv == p)) & (run >= caps[p])
+                cut = int(np.argmax(violated)) if violated.any() else m
         out = np.empty(m, dtype=np.int64)
         if cut:
             out[:cut] = tentative[:cut]
@@ -389,6 +425,55 @@ class TransformState:
                 tentative.tolist(),
                 rule.tolist(),
             )
+        return out
+
+    def _ingest_jit(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Dispatch one chunk into the compiled transform kernel.
+
+        The kernel runs the whole reference loop (spill branch included)
+        in machine code; the spill pointer and rule counters round-trip
+        through a small int64 array.  The externally-mapped ``-1``
+        endpoint check is performed by the kernel *before* any state
+        mutation (status 2), matching the fast path's pre-check.
+        """
+        m = u.shape[0]
+        out = np.empty(m, dtype=np.int64)
+        stats = self.stats
+        counters = np.array(
+            [
+                self.spill_ptr,
+                stats.agreement,
+                stats.mirror_reuse,
+                stats.degree_cut,
+                stats.balance_spill,
+            ],
+            dtype=np.int64,
+        )
+        status = self._backend.transform_chunk(
+            np.ascontiguousarray(u),
+            np.ascontiguousarray(v),
+            self.k,
+            self._vp,
+            self._div_u8,
+            self._deg,
+            self.loads,
+            self._caps,
+            counters,
+            self._external,
+            out,
+        )
+        if status == 2:
+            raise ValueError(
+                "vertex_partition does not cover every streamed vertex "
+                "(-1 entry gathered for a chunk endpoint)"
+            )
+        if status == 1:  # pragma: no cover - caps sum guarantees room
+            raise RuntimeError("no underfull partition available")
+        self.spill_ptr = int(counters[0])
+        stats.agreement = int(counters[1])
+        stats.mirror_reuse = int(counters[2])
+        stats.degree_cut = int(counters[3])
+        stats.balance_spill = int(counters[4])
         return out
 
     def _scalar_tail(
@@ -452,6 +537,8 @@ def replay_transform_chunked(
     imbalance_factor: float = 1.0,
     load_caps: np.ndarray | None = None,
     chunk_size: int = 1 << 16,
+    chunk_impl: str = "fast",
+    kernel_backend: str = "auto",
 ) -> tuple[np.ndarray, TransformStats]:
     """Replay pass 3 under an externally supplied vertex->partition map.
 
@@ -471,6 +558,8 @@ def replay_transform_chunked(
         imbalance_factor=imbalance_factor,
         vertex_partition=vertex_partition,
         load_caps=load_caps,
+        chunk_impl=chunk_impl,
+        kernel_backend=kernel_backend,
     )
     parts = [
         state.ingest_pair(src, dst)
@@ -489,9 +578,11 @@ def transform_partitions_chunked(
     num_partitions: int,
     imbalance_factor: float = 1.0,
     chunk_size: int = 1 << 16,
+    chunk_impl: str = "fast",
+    kernel_backend: str = "auto",
 ) -> tuple[np.ndarray, TransformStats]:
     """Run Algorithm 1 by chunked ingestion; bit-identical to
-    :func:`transform_partitions` for every chunk size."""
+    :func:`transform_partitions` for every chunk size and ``chunk_impl``."""
     state = TransformState(
         clustering,
         cluster_partition,
@@ -499,6 +590,8 @@ def transform_partitions_chunked(
         num_edges=stream.num_edges,
         num_vertices=stream.num_vertices,
         imbalance_factor=imbalance_factor,
+        chunk_impl=chunk_impl,
+        kernel_backend=kernel_backend,
     )
     parts = [state.ingest(chunk) for chunk in stream.chunks(chunk_size)]
     if not parts:

@@ -1,0 +1,186 @@
+"""JIT-accelerated scalar decision cores (`chunk_impl="jit"` backends).
+
+The chunked partitioners keep three scalar hot loops that DESIGN.md §4.3
+proved cannot be bulk-committed bit-identically: the HDRF decision core,
+the greedy decision core, and CLUGP's pass-1 allocation/splitting/
+migration replay (plus the pass-3 transform tail).  This package holds
+compiled implementations of those loops behind one numpy-level API, so
+``chunk_impl="jit"`` can dispatch whole chunks into machine code while
+remaining bit-identical to the per-edge references.
+
+Backends, in ``"auto"`` resolution order:
+
+* ``"numba"`` — ``@njit`` over :mod:`._pykernels` (needs the ``[jit]``
+  extra installed);
+* ``"cc"`` — ``kernels.c`` compiled at first use with the system C
+  compiler and bound via ctypes;
+* ``"python"`` — the plain-Python :mod:`._pykernels` functions.  Never
+  selected by ``"auto"`` (it is *slower* than the numpy fast path); it
+  exists so tests can exercise the kernel glue everywhere;
+* ``"none"`` — explicit empty resolution, forcing callers onto their
+  numpy fallback.
+
+Importing this package never hard-fails: with neither numba nor a C
+compiler present, :func:`available` is False, :func:`get_backend`
+returns None, and ``chunk_impl="jit"`` silently degrades to the
+``"fast"`` numpy path.  The ``CLUGP_KERNEL_BACKEND`` environment
+variable overrides the default resolution (same values as
+``kernel_backend``).
+
+:func:`warmup` triggers every deferred compile (numba nopython build or
+the one-off ``cc`` invocation) and runs each kernel once on tiny inputs,
+so benchmark timing regions never include compiler time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+from . import _pykernels
+
+__all__ = [
+    "BACKEND_NAMES",
+    "available",
+    "backend_name",
+    "get_backend",
+    "popcount",
+    "warmup",
+]
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total set bits in a uint64 array (replica accounting at finish)."""
+    if hasattr(np, "bitwise_count"):
+        return int(np.bitwise_count(words).sum())
+    return int(np.unpackbits(words.view(np.uint8)).sum())  # numpy < 2.0
+
+BACKEND_NAMES = ("auto", "numba", "cc", "python", "none")
+
+_AUTO_ORDER = ("numba", "cc")
+
+
+class PythonBackend:
+    """Plain-Python kernels; the always-available glue-test backend."""
+
+    name = "python"
+
+    hdrf_chunk = staticmethod(_pykernels.hdrf_chunk)
+    greedy_chunk = staticmethod(_pykernels.greedy_chunk)
+    clustering_chunk = staticmethod(_pykernels.clustering_chunk)
+    transform_chunk = staticmethod(_pykernels.transform_chunk)
+
+
+_cache: dict[str, Any] = {}
+
+
+def _load(name: str) -> Any:
+    """Load one concrete backend by name, memoized (None on failure)."""
+    if name in _cache:
+        return _cache[name]
+    backend = None
+    if name == "numba":
+        from . import _numba_backend
+
+        backend = _numba_backend.load()
+    elif name == "cc":
+        from . import _cc_backend
+
+        backend = _cc_backend.load()
+    elif name == "python":
+        backend = PythonBackend()
+    _cache[name] = backend
+    return backend
+
+
+def get_backend(name: str | None = None) -> Any:
+    """Resolve a kernel backend; None means "use the numpy fallback".
+
+    ``name`` is one of :data:`BACKEND_NAMES` (None means ``"auto"``).
+    ``"auto"`` honours the ``CLUGP_KERNEL_BACKEND`` environment variable,
+    then tries numba and the C backend in order; ``"python"`` and
+    ``"none"`` are explicit-only.  Asking for a concrete backend that is
+    unavailable returns None rather than raising — jit mode always
+    degrades gracefully.
+    """
+    if name is None:
+        name = "auto"
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if name == "auto":
+        env = os.environ.get("CLUGP_KERNEL_BACKEND", "").strip().lower()
+        if env and env != "auto":
+            if env not in BACKEND_NAMES:
+                raise ValueError(
+                    f"CLUGP_KERNEL_BACKEND={env!r} is not one of {BACKEND_NAMES}"
+                )
+            return get_backend(env)
+        for candidate in _AUTO_ORDER:
+            backend = _load(candidate)
+            if backend is not None:
+                return backend
+        return None
+    if name == "none":
+        return None
+    return _load(name)
+
+
+def available() -> bool:
+    """True when a *compiled* backend (numba or cc) can be resolved."""
+    return any(_load(candidate) is not None for candidate in _AUTO_ORDER)
+
+
+def backend_name(name: str | None = None) -> str | None:
+    """Name of the backend :func:`get_backend` would return (or None)."""
+    backend = get_backend(name)
+    return None if backend is None else backend.name
+
+
+_warmed: set[str] = set()
+
+
+def warmup(name: str | None = None) -> str | None:
+    """One-shot compile + tiny-input run of every kernel.
+
+    Returns the resolved backend name (None if no backend is available,
+    in which case there is nothing to warm).  Idempotent per backend, so
+    benchmark harnesses can call it unconditionally before timing.
+    """
+    backend = get_backend(name)
+    if backend is None:
+        return None
+    if backend.name in _warmed:
+        return backend.name
+    k, nw, n = 2, 1, 4
+    u = np.array([0, 2], dtype=np.int64)
+    v = np.array([1, 3], dtype=np.int64)
+    out = np.zeros(2, dtype=np.int64)
+    backend.hdrf_chunk(
+        u, v, k, nw, 1.0, 1.0,
+        np.zeros(k, dtype=np.float64), np.zeros(n, dtype=np.int64),
+        np.zeros(n * nw, dtype=np.uint64), out,
+    )
+    backend.greedy_chunk(
+        u, v, k, nw,
+        np.zeros(k, dtype=np.int64), np.zeros(n * nw, dtype=np.uint64), out,
+    )
+    backend.clustering_chunk(
+        u, v, 4, 1,
+        np.full(n, -1, dtype=np.int64), np.zeros(n, dtype=np.int64),
+        np.zeros(n, dtype=np.uint8), np.zeros(16, dtype=np.int64),
+        np.zeros(8, dtype=np.int64), np.zeros(8, dtype=np.int64),
+        np.zeros(5, dtype=np.int64),
+    )
+    backend.transform_chunk(
+        u, v, k,
+        np.zeros(n, dtype=np.int64), np.zeros(n, dtype=np.uint8),
+        np.ones(n, dtype=np.int64), np.zeros(k, dtype=np.int64),
+        np.full(k, 8, dtype=np.int64), np.zeros(5, dtype=np.int64),
+        1, out,
+    )
+    _warmed.add(backend.name)
+    return backend.name

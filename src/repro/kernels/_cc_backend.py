@@ -1,0 +1,179 @@
+"""C kernel backend: compile ``kernels.c`` on first use, bind via ctypes.
+
+This is the "JIT" tier for machines without numba but with a system C
+compiler (``cc``/``gcc``/``clang``): the shipped ``kernels.c`` is
+compiled once into a per-user cache directory keyed by a hash of the
+source, so every later import is a single ``dlopen``.  Compilation uses
+``-O2 -ffp-contract=off`` and **no** ``-ffast-math`` — IEEE double
+semantics must match CPython's exactly for the HDRF bit-identity
+guarantee (DESIGN.md §8).
+
+Everything degrades gracefully: no compiler, a failed compile, or a
+failed load simply makes :func:`load` return ``None`` and the caller
+falls back to the next backend tier.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "kernels.c")
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_U64P = ctypes.POINTER(ctypes.c_uint64)
+_U8P = ctypes.POINTER(ctypes.c_uint8)
+_F64P = ctypes.POINTER(ctypes.c_double)
+
+
+def _cache_dir() -> str:
+    root = os.environ.get("CLUGP_KERNEL_CACHE")
+    if not root:
+        base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+            os.path.expanduser("~"), ".cache"
+        )
+        root = os.path.join(base, "clugp-kernels")
+    return root
+
+
+def _find_compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build(source_path: str) -> str | None:
+    """Compile the kernel library if not cached; return the .so path."""
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    try:
+        with open(source_path, "rb") as fh:
+            source = fh.read()
+    except OSError:
+        return None
+    key = hashlib.sha256(source + sys.platform.encode()).hexdigest()[:16]
+    suffix = ".dylib" if sys.platform == "darwin" else ".so"
+    cache = _cache_dir()
+    lib_path = os.path.join(cache, f"kernels-{key}{suffix}")
+    if os.path.exists(lib_path):
+        return lib_path
+    try:
+        os.makedirs(cache, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=suffix, dir=cache)
+        os.close(fd)
+        cmd = [
+            compiler,
+            "-O2",
+            "-fPIC",
+            "-shared",
+            "-ffp-contract=off",
+            "-o",
+            tmp,
+            source_path,
+        ]
+        proc = subprocess.run(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE, timeout=120
+        )
+        if proc.returncode != 0:
+            os.unlink(tmp)
+            return None
+        os.replace(tmp, lib_path)  # atomic: concurrent builders agree on the key
+        return lib_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _ptr(arr: np.ndarray, ctype):
+    return arr.ctypes.data_as(ctypes.POINTER(ctype))
+
+
+class CcBackend:
+    """ctypes bindings presenting the uniform numpy-level kernel API."""
+
+    name = "cc"
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._lib = lib
+        lib.hdrf_chunk.restype = None
+        lib.hdrf_chunk.argtypes = [
+            _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_double, ctypes.c_double, _F64P, _I64P, _U64P, _I64P,
+        ]
+        lib.greedy_chunk.restype = None
+        lib.greedy_chunk.argtypes = [
+            _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64P, _U64P, _I64P,
+        ]
+        lib.clustering_chunk.restype = None
+        lib.clustering_chunk.argtypes = [
+            _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64P, _I64P, _U8P, _I64P, _I64P, _I64P, _I64P,
+        ]
+        lib.transform_chunk.restype = ctypes.c_int64
+        lib.transform_chunk.argtypes = [
+            _I64P, _I64P, ctypes.c_int64, ctypes.c_int64,
+            _I64P, _U8P, _I64P, _I64P, _I64P, _I64P, ctypes.c_int64, _I64P,
+        ]
+
+    def hdrf_chunk(self, u, v, k, nw, lam, eps, loads, degree, words, out) -> None:
+        self._lib.hdrf_chunk(
+            _ptr(u, ctypes.c_int64), _ptr(v, ctypes.c_int64),
+            u.shape[0], k, nw, lam, eps,
+            _ptr(loads, ctypes.c_double), _ptr(degree, ctypes.c_int64),
+            _ptr(words, ctypes.c_uint64), _ptr(out, ctypes.c_int64),
+        )
+
+    def greedy_chunk(self, u, v, k, nw, loads, words, out) -> None:
+        self._lib.greedy_chunk(
+            _ptr(u, ctypes.c_int64), _ptr(v, ctypes.c_int64),
+            u.shape[0], k, nw,
+            _ptr(loads, ctypes.c_int64), _ptr(words, ctypes.c_uint64),
+            _ptr(out, ctypes.c_int64),
+        )
+
+    def clustering_chunk(
+        self, u, v, vmax, splitting, clu, deg, divided, vol, mirror_v, mirror_c, counters
+    ) -> None:
+        self._lib.clustering_chunk(
+            _ptr(u, ctypes.c_int64), _ptr(v, ctypes.c_int64),
+            u.shape[0], vmax, 1 if splitting else 0,
+            _ptr(clu, ctypes.c_int64), _ptr(deg, ctypes.c_int64),
+            _ptr(divided, ctypes.c_uint8), _ptr(vol, ctypes.c_int64),
+            _ptr(mirror_v, ctypes.c_int64), _ptr(mirror_c, ctypes.c_int64),
+            _ptr(counters, ctypes.c_int64),
+        )
+
+    def transform_chunk(
+        self, u, v, k, vp, divided, deg, loads, caps, counters, check_mapped, out
+    ) -> int:
+        return int(
+            self._lib.transform_chunk(
+                _ptr(u, ctypes.c_int64), _ptr(v, ctypes.c_int64),
+                u.shape[0], k,
+                _ptr(vp, ctypes.c_int64), _ptr(divided, ctypes.c_uint8),
+                _ptr(deg, ctypes.c_int64), _ptr(loads, ctypes.c_int64),
+                _ptr(caps, ctypes.c_int64), _ptr(counters, ctypes.c_int64),
+                1 if check_mapped else 0, _ptr(out, ctypes.c_int64),
+            )
+        )
+
+
+def load() -> CcBackend | None:
+    """Build (cached) and bind the C kernel library; None if impossible."""
+    lib_path = _build(_SOURCE)
+    if lib_path is None:
+        return None
+    try:
+        return CcBackend(ctypes.CDLL(lib_path))
+    except OSError:
+        return None

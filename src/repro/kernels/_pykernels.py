@@ -1,0 +1,273 @@
+"""Numba-compilable Python form of the scalar decision cores.
+
+These four functions are the *source* of the numba backend (``@njit`` is
+applied to them unchanged by :mod:`._numba_backend`) and double as the
+pure-Python ``"python"`` backend — always importable, never fast, used by
+the tests to exercise the kernel call paths on machines with neither
+numba nor a C compiler.
+
+Each function is a line-for-line transliteration of the corresponding
+per-edge reference loop (the same algorithms as ``kernels.c``; the two
+files must be kept in lockstep — see DESIGN.md §8):
+
+* :func:`hdrf_chunk` — ``HDRFPartitioner._assign``;
+* :func:`greedy_chunk` — ``GreedyPartitioner._assign``;
+* :func:`clustering_chunk` — :func:`repro.core.clustering.streaming_clustering`;
+* :func:`transform_chunk` — :func:`repro.core.transform.transform_partitions`
+  (generalized to per-partition caps, matching
+  ``TransformState._scalar_tail``).
+
+Conventions shared with the C kernels: vertex partition sets are flat
+multiword uint64 bitmask rows (``nw = ceil(k / 64)`` words per vertex,
+vertex ``x`` owns ``words[x * nw : (x + 1) * nw]``); counters cross the
+boundary in small int64 arrays so one signature fits nopython mode,
+ctypes, and plain Python.  Only nopython-subset constructs are used —
+no Python int bitmasks, no lists, no dicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hdrf_chunk",
+    "greedy_chunk",
+    "clustering_chunk",
+    "transform_chunk",
+]
+
+_ONE = np.uint64(1)
+_U6 = np.uint64(6)  # word index shift (p >> 6 == p // 64)
+_M63 = np.uint64(63)
+
+
+def hdrf_chunk(u, v, k, nw, lam, eps, loads, degree, words, out):
+    """HDRF decision core over one chunk (mutates loads/degree/words)."""
+    m = u.shape[0]
+    for i in range(m):
+        ui = u[i]
+        vi = v[i]
+        degree[ui] += 1
+        degree[vi] += 1
+        du = degree[ui]
+        dv = degree[vi]
+        theta_u = du / (du + dv)
+        gu = 1.0 + (1.0 - theta_u)
+        gv = 1.0 + theta_u
+        max_load = loads[0]
+        min_load = loads[0]
+        for p in range(1, k):
+            if loads[p] > max_load:
+                max_load = loads[p]
+            if loads[p] < min_load:
+                min_load = loads[p]
+        scale = lam / (eps + (max_load - min_load))
+        base_u = ui * nw
+        base_v = vi * nw
+        best_p = 0
+        best_score = -1e300
+        for p in range(k):
+            score = scale * (max_load - loads[p])
+            pw = np.uint64(p)
+            bit = _ONE << (pw & _M63)
+            if words[base_u + (p >> 6)] & bit:
+                score += gu
+            if words[base_v + (p >> 6)] & bit:
+                score += gv
+            if score > best_score:
+                best_score = score
+                best_p = p
+        out[i] = best_p
+        loads[best_p] += 1.0
+        bw = np.uint64(best_p)
+        bit = _ONE << (bw & _M63)
+        words[base_u + (best_p >> 6)] |= bit
+        words[base_v + (best_p >> 6)] |= bit
+
+
+def greedy_chunk(u, v, k, nw, loads, words, out):
+    """Greedy decision core over one chunk (mutates loads/words)."""
+    m = u.shape[0]
+    for i in range(m):
+        ui = u[i]
+        vi = v[i]
+        base_u = ui * nw
+        base_v = vi * nw
+        any_common = False
+        for w in range(nw):
+            if words[base_u + w] & words[base_v + w]:
+                any_common = True
+                break
+        # cases 1-3: argmin load over the candidate bits, ascending p with
+        # strict < (the (load, id) lexicographic rule); case 4: first
+        # least-loaded partition overall
+        best_p = -1
+        best_l = 0
+        for p in range(k):
+            pw = np.uint64(p)
+            bit = _ONE << (pw & _M63)
+            wu = words[base_u + (p >> 6)]
+            wv = words[base_v + (p >> 6)]
+            member = (wu & wv & bit) if any_common else ((wu | wv) & bit)
+            if member:
+                lp = loads[p]
+                if best_p < 0 or lp < best_l:
+                    best_l = lp
+                    best_p = p
+        if best_p < 0:
+            best_p = 0
+            best_l = loads[0]
+            for p in range(1, k):
+                if loads[p] < best_l:
+                    best_l = loads[p]
+                    best_p = p
+        out[i] = best_p
+        loads[best_p] += 1
+        bw = np.uint64(best_p)
+        bit = _ONE << (bw & _M63)
+        words[base_u + (best_p >> 6)] |= bit
+        words[base_v + (best_p >> 6)] |= bit
+
+
+def clustering_chunk(
+    u, v, vmax, splitting, clu, deg, divided, vol, mirror_v, mirror_c, counters
+):
+    """Pass-1 allocation/splitting/migration replay over one chunk.
+
+    ``counters``: ``[num_raw, num_mirrors, splits, migrations,
+    allocations]``; ``vol`` needs capacity ``num_raw + 4 * m`` and the
+    mirror buffers ``2 * m`` (the caller guarantees both).
+    """
+    m = u.shape[0]
+    next_raw = counters[0]
+    n_mirrors = counters[1]
+    splits = counters[2]
+    migrations = counters[3]
+    allocations = counters[4]
+    for i in range(m):
+        ui = u[i]
+        vi = v[i]
+        # --- allocation ---
+        cu = clu[ui]
+        if cu == -1:
+            cu = next_raw
+            next_raw += 1
+            vol[cu] = 0
+            clu[ui] = cu
+            allocations += 1
+        cv = clu[vi]
+        if cv == -1:
+            cv = next_raw
+            next_raw += 1
+            vol[cv] = 0
+            clu[vi] = cv
+            allocations += 1
+        deg[ui] += 1
+        deg[vi] += 1
+        vol[cu] += 1
+        vol[cv] += 1
+        # --- splitting ---
+        if splitting and ui != vi:
+            du = deg[ui]
+            if vol[cu] >= vmax and 1 < du < vmax and not divided[ui]:
+                c_new = next_raw
+                next_raw += 1
+                divided[ui] = 1
+                mirror_v[n_mirrors] = ui
+                mirror_c[n_mirrors] = cu
+                n_mirrors += 1
+                vol[cu] -= du
+                vol[c_new] = du
+                clu[ui] = c_new
+                splits += 1
+            cv = clu[vi]  # u's split may have lowered vol[cv] when cv == cu
+            dv = deg[vi]
+            if vol[cv] >= vmax and 1 < dv < vmax and not divided[vi]:
+                c_new = next_raw
+                next_raw += 1
+                divided[vi] = 1
+                mirror_v[n_mirrors] = vi
+                mirror_c[n_mirrors] = cv
+                n_mirrors += 1
+                vol[cv] -= dv
+                vol[c_new] = dv
+                clu[vi] = c_new
+                splits += 1
+        # --- migration ---
+        cu = clu[ui]
+        cv = clu[vi]
+        if cu != cv and vol[cu] < vmax and vol[cv] < vmax:
+            if vol[cu] <= vol[cv]:
+                vol[cu] -= deg[ui]
+                vol[cv] += deg[ui]
+                clu[ui] = cv
+            else:
+                vol[cv] -= deg[vi]
+                vol[cu] += deg[vi]
+                clu[vi] = cu
+            migrations += 1
+    counters[0] = next_raw
+    counters[1] = n_mirrors
+    counters[2] = splits
+    counters[3] = migrations
+    counters[4] = allocations
+
+
+def transform_chunk(u, v, k, vp, divided, deg, loads, caps, counters, check_mapped, out):
+    """Pass-3 cap/agreement/mirror/degree replay over one chunk.
+
+    ``counters``: ``[spill_ptr, agreement, mirror_reuse, degree_cut,
+    balance_spill]``.  Returns 0 on success, 1 when no underfull
+    partition exists (unreachable once caps were validated to hold the
+    stream), 2 when ``check_mapped`` is set and an endpoint maps to -1
+    (checked up front, before any state mutation).
+    """
+    m = u.shape[0]
+    if check_mapped:
+        for i in range(m):
+            if vp[u[i]] < 0 or vp[v[i]] < 0:
+                return 2
+    sp = counters[0]
+    agreement = counters[1]
+    mirror_reuse = counters[2]
+    degree_cut = counters[3]
+    balance_spill = counters[4]
+    for i in range(m):
+        ui = u[i]
+        vi = v[i]
+        pu = vp[ui]
+        pv = vp[vi]
+        if loads[pu] >= caps[pu] or loads[pv] >= caps[pv]:
+            if loads[pu] < caps[pu]:
+                target = pu
+            elif loads[pv] < caps[pv]:
+                target = pv
+            else:
+                while loads[sp] >= caps[sp]:
+                    sp += 1
+                    if sp == k:
+                        counters[0] = sp
+                        return 1
+                target = sp
+            balance_spill += 1
+        elif pu == pv:
+            target = pu
+            agreement += 1
+        elif divided[ui] and not divided[vi]:
+            target = pv  # u already has mirrors: cut u again
+            mirror_reuse += 1
+        elif divided[vi] and not divided[ui]:
+            target = pu
+            mirror_reuse += 1
+        else:
+            # both or neither divided: cut the higher-degree endpoint
+            target = pu if deg[vi] > deg[ui] else pv
+            degree_cut += 1
+        out[i] = target
+        loads[target] += 1
+    counters[0] = sp
+    counters[1] = agreement
+    counters[2] = mirror_reuse
+    counters[3] = degree_cut
+    counters[4] = balance_spill
+    return 0

@@ -1,0 +1,293 @@
+/* Scalar decision cores for the chunked streaming partitioners.
+ *
+ * Each function is a line-for-line transliteration of the corresponding
+ * per-edge Python reference loop (see DESIGN.md section 8 for the
+ * bit-identity argument):
+ *
+ *   hdrf_chunk        <- repro.partitioners.hdrf.HDRFPartitioner._assign
+ *   greedy_chunk      <- repro.partitioners.greedy.GreedyPartitioner._assign
+ *   clustering_chunk  <- repro.core.clustering.streaming_clustering
+ *   transform_chunk   <- repro.core.transform.transform_partitions
+ *                        (generalized to per-partition caps, matching
+ *                        TransformState._scalar_tail)
+ *
+ * All state crosses the boundary as flat C-contiguous arrays; vertex
+ * partition sets are multiword uint64 bitmask rows (nw = ceil(k / 64)
+ * words per vertex).  Integer kernels are bit-identical by construction;
+ * hdrf_chunk keeps every floating-point expression in the reference's
+ * evaluation order and must be compiled WITHOUT -ffast-math and with
+ * -ffp-contract=off so IEEE double semantics match CPython's exactly.
+ *
+ * The same algorithms exist in numba-compilable Python form in
+ * _pykernels.py; the two must be kept in lockstep.
+ */
+
+#include <stdint.h>
+
+/* ------------------------------------------------------------------ */
+/* HDRF: score all k partitions, first-maximum argmax (Petroni 2015)  */
+/* ------------------------------------------------------------------ */
+
+void hdrf_chunk(
+    const int64_t *u, const int64_t *v, int64_t m,
+    int64_t k, int64_t nw,
+    double lam, double eps,
+    double *loads, int64_t *degree, uint64_t *words,
+    int64_t *out)
+{
+    for (int64_t i = 0; i < m; i++) {
+        int64_t ui = u[i];
+        int64_t vi = v[i];
+        degree[ui] += 1;
+        degree[vi] += 1;
+        double du = (double)degree[ui];
+        double dv = (double)degree[vi];
+        double theta_u = du / (du + dv);
+        double gu = 1.0 + (1.0 - theta_u);
+        double gv = 1.0 + theta_u;
+        double max_load = loads[0];
+        double min_load = loads[0];
+        for (int64_t p = 1; p < k; p++) {
+            if (loads[p] > max_load) max_load = loads[p];
+            if (loads[p] < min_load) min_load = loads[p];
+        }
+        double scale = lam / (eps + (max_load - min_load));
+        const uint64_t *wu = words + ui * nw;
+        const uint64_t *wv = words + vi * nw;
+        int64_t best_p = 0;
+        double best_score = -1e300;
+        for (int64_t p = 0; p < k; p++) {
+            double score = scale * (max_load - loads[p]);
+            uint64_t bit = 1ULL << (p & 63);
+            if (wu[p >> 6] & bit) score += gu;
+            if (wv[p >> 6] & bit) score += gv;
+            if (score > best_score) {
+                best_score = score;
+                best_p = p;
+            }
+        }
+        out[i] = best_p;
+        loads[best_p] += 1.0;
+        uint64_t bit = 1ULL << (best_p & 63);
+        words[ui * nw + (best_p >> 6)] |= bit;
+        words[vi * nw + (best_p >> 6)] |= bit;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Greedy: PowerGraph coordinated placement (Gonzalez 2012)           */
+/* ------------------------------------------------------------------ */
+
+void greedy_chunk(
+    const int64_t *u, const int64_t *v, int64_t m,
+    int64_t k, int64_t nw,
+    int64_t *loads, uint64_t *words,
+    int64_t *out)
+{
+    for (int64_t i = 0; i < m; i++) {
+        int64_t ui = u[i];
+        int64_t vi = v[i];
+        uint64_t *wu = words + ui * nw;
+        uint64_t *wv = words + vi * nw;
+        /* cases 1-3: candidates = A(u) & A(v), else A(u) | A(v) (either
+         * side may be empty); argmin over candidate bits with the
+         * (load, id) lexicographic tie-break = ascending p, strict < */
+        int64_t best_p = -1;
+        int64_t best_l = 0;
+        int64_t any_common = 0;
+        for (int64_t w = 0; w < nw; w++) {
+            if (wu[w] & wv[w]) { any_common = 1; break; }
+        }
+        for (int64_t w = 0; w < nw; w++) {
+            uint64_t cand = any_common ? (wu[w] & wv[w]) : (wu[w] | wv[w]);
+            while (cand) {
+                uint64_t bit = cand & (~cand + 1);
+                int64_t p = w * 64 + __builtin_ctzll(cand);
+                cand ^= bit;
+                int64_t lp = loads[p];
+                if (best_p < 0 || lp < best_l) {
+                    best_l = lp;
+                    best_p = p;
+                }
+            }
+        }
+        if (best_p < 0) {
+            /* case 4: first least-loaded partition overall */
+            best_p = 0;
+            best_l = loads[0];
+            for (int64_t p = 1; p < k; p++) {
+                if (loads[p] < best_l) {
+                    best_l = loads[p];
+                    best_p = p;
+                }
+            }
+        }
+        out[i] = best_p;
+        loads[best_p] += 1;
+        uint64_t bit = 1ULL << (best_p & 63);
+        wu[best_p >> 6] |= bit;
+        wv[best_p >> 6] |= bit;
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Pass 1: allocation / splitting / migration (Algorithm 2)           */
+/* ------------------------------------------------------------------ */
+
+/* counters: [num_raw, num_mirrors, splits, migrations, allocations].
+ * num_mirrors indexes mirror_v / mirror_c (per-chunk buffers of
+ * capacity >= 2 * m); vol must have capacity >= num_raw + 4 * m. */
+void clustering_chunk(
+    const int64_t *u, const int64_t *v, int64_t m,
+    int64_t vmax, int64_t splitting,
+    int64_t *clu, int64_t *deg, uint8_t *divided,
+    int64_t *vol, int64_t *mirror_v, int64_t *mirror_c,
+    int64_t *counters)
+{
+    int64_t next_raw = counters[0];
+    int64_t n_mirrors = counters[1];
+    int64_t splits = counters[2];
+    int64_t migrations = counters[3];
+    int64_t allocations = counters[4];
+    for (int64_t i = 0; i < m; i++) {
+        int64_t ui = u[i];
+        int64_t vi = v[i];
+        /* --- allocation --- */
+        int64_t cu = clu[ui];
+        if (cu == -1) {
+            cu = next_raw++;
+            vol[cu] = 0;
+            clu[ui] = cu;
+            allocations++;
+        }
+        int64_t cv = clu[vi];
+        if (cv == -1) {
+            cv = next_raw++;
+            vol[cv] = 0;
+            clu[vi] = cv;
+            allocations++;
+        }
+        deg[ui] += 1;
+        deg[vi] += 1;
+        vol[cu] += 1;
+        vol[cv] += 1;
+        /* --- splitting --- */
+        if (splitting && ui != vi) {
+            int64_t du = deg[ui];
+            if (vol[cu] >= vmax && 1 < du && du < vmax && !divided[ui]) {
+                int64_t c_new = next_raw++;
+                divided[ui] = 1;
+                mirror_v[n_mirrors] = ui;
+                mirror_c[n_mirrors] = cu;
+                n_mirrors++;
+                vol[cu] -= du;
+                vol[c_new] = du;
+                clu[ui] = c_new;
+                splits++;
+            }
+            cv = clu[vi]; /* u's split may have lowered vol[cv] when cv == cu */
+            int64_t dv = deg[vi];
+            if (vol[cv] >= vmax && 1 < dv && dv < vmax && !divided[vi]) {
+                int64_t c_new = next_raw++;
+                divided[vi] = 1;
+                mirror_v[n_mirrors] = vi;
+                mirror_c[n_mirrors] = cv;
+                n_mirrors++;
+                vol[cv] -= dv;
+                vol[c_new] = dv;
+                clu[vi] = c_new;
+                splits++;
+            }
+        }
+        /* --- migration --- */
+        cu = clu[ui];
+        cv = clu[vi];
+        if (cu != cv && vol[cu] < vmax && vol[cv] < vmax) {
+            if (vol[cu] <= vol[cv]) {
+                vol[cu] -= deg[ui];
+                vol[cv] += deg[ui];
+                clu[ui] = cv;
+            } else {
+                vol[cv] -= deg[vi];
+                vol[cu] += deg[vi];
+                clu[vi] = cu;
+            }
+            migrations++;
+        }
+    }
+    counters[0] = next_raw;
+    counters[1] = n_mirrors;
+    counters[2] = splits;
+    counters[3] = migrations;
+    counters[4] = allocations;
+}
+
+/* ------------------------------------------------------------------ */
+/* Pass 3: hard load cap + agreement / mirror / degree (Algorithm 1)  */
+/* ------------------------------------------------------------------ */
+
+/* counters: [spill_ptr, agreement, mirror_reuse, degree_cut,
+ * balance_spill].  Returns 0 on success, 1 if no underfull partition
+ * exists (unreachable when caps were validated to hold the stream),
+ * 2 if check_mapped is set and some endpoint's vp entry is -1 (checked
+ * up front, before any state mutation). */
+int64_t transform_chunk(
+    const int64_t *u, const int64_t *v, int64_t m, int64_t k,
+    const int64_t *vp, const uint8_t *divided, const int64_t *deg,
+    int64_t *loads, const int64_t *caps, int64_t *counters,
+    int64_t check_mapped,
+    int64_t *out)
+{
+    if (check_mapped) {
+        for (int64_t i = 0; i < m; i++) {
+            if (vp[u[i]] < 0 || vp[v[i]] < 0) return 2;
+        }
+    }
+    int64_t sp = counters[0];
+    int64_t agreement = counters[1];
+    int64_t mirror_reuse = counters[2];
+    int64_t degree_cut = counters[3];
+    int64_t balance_spill = counters[4];
+    for (int64_t i = 0; i < m; i++) {
+        int64_t ui = u[i];
+        int64_t vi = v[i];
+        int64_t pu = vp[ui];
+        int64_t pv = vp[vi];
+        int64_t target;
+        if (loads[pu] >= caps[pu] || loads[pv] >= caps[pv]) {
+            if (loads[pu] < caps[pu]) {
+                target = pu;
+            } else if (loads[pv] < caps[pv]) {
+                target = pv;
+            } else {
+                while (loads[sp] >= caps[sp]) {
+                    sp++;
+                    if (sp == k) return 1;
+                }
+                target = sp;
+            }
+            balance_spill++;
+        } else if (pu == pv) {
+            target = pu;
+            agreement++;
+        } else if (divided[ui] && !divided[vi]) {
+            target = pv; /* u already has mirrors: cut u again */
+            mirror_reuse++;
+        } else if (divided[vi] && !divided[ui]) {
+            target = pu;
+            mirror_reuse++;
+        } else {
+            /* both or neither divided: cut the higher-degree endpoint */
+            target = deg[vi] > deg[ui] ? pu : pv;
+            degree_cut++;
+        }
+        out[i] = target;
+        loads[target] += 1;
+    }
+    counters[0] = sp;
+    counters[1] = agreement;
+    counters[2] = mirror_reuse;
+    counters[3] = degree_cut;
+    counters[4] = balance_spill;
+    return 0;
+}

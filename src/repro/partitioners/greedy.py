@@ -27,12 +27,19 @@ followed by a set-bit argmin, and only case 4 touches all k loads (via the
 C-speed ``list.index``/``min`` builtins).  Bit-identical to
 :meth:`_assign`; the previous numpy-per-edge chunk loop is retained as
 ``chunk_impl="reference"`` (correctness oracle and benchmark baseline).
+
+``chunk_impl="jit"`` (PR 7) dispatches each chunk into a compiled kernel
+(:mod:`repro.kernels`) running the same candidate-set argmin over flat
+load/bitmask-word arrays — integer-only state, so bit-identity is by
+construction (DESIGN.md §8).  When no kernel backend is available the
+run silently degrades to the ``"fast"`` path.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from .._util import BitsetRows
 from ..graph.stream import EdgeStream
 from .base import EdgePartitioner
@@ -47,8 +54,13 @@ class GreedyPartitioner(EdgePartitioner):
     ----------
     chunk_impl:
         ``"fast"`` (default) runs the lean int-bitmask core;
-        ``"reference"`` runs the retained numpy-per-edge chunk loop.
-        Both are bit-identical to the per-edge reference.
+        ``"reference"`` runs the retained numpy-per-edge chunk loop;
+        ``"jit"`` runs the compiled kernel (falling back to ``"fast"``
+        when no backend is available).  All are bit-identical to the
+        per-edge reference.
+    kernel_backend:
+        Which :mod:`repro.kernels` backend ``"jit"`` resolves
+        (``"auto"``/``"numba"``/``"cc"``/``"python"``/``"none"``).
     """
 
     name = "greedy"
@@ -59,11 +71,15 @@ class GreedyPartitioner(EdgePartitioner):
         num_partitions: int,
         seed: int = 0,
         chunk_impl: str = "fast",
+        kernel_backend: str = "auto",
     ) -> None:
         super().__init__(num_partitions, seed)
-        if chunk_impl not in ("fast", "reference"):
-            raise ValueError(f"chunk_impl must be 'fast' or 'reference', got {chunk_impl!r}")
+        if chunk_impl not in ("fast", "reference", "jit"):
+            raise ValueError(
+                f"chunk_impl must be 'fast', 'reference' or 'jit', got {chunk_impl!r}"
+            )
         self.chunk_impl = chunk_impl
+        self.kernel_backend = kernel_backend
 
     def _assign(self, stream: EdgeStream) -> np.ndarray:
         k = self.num_partitions
@@ -98,11 +114,25 @@ class GreedyPartitioner(EdgePartitioner):
 
     def begin_chunks(self, stream: EdgeStream) -> None:
         k = self.num_partitions
-        if self.chunk_impl == "reference":
+        self._run_impl = self.chunk_impl
+        if self._run_impl == "jit":
+            self._backend = kernels.get_backend(self.kernel_backend)
+            if self._backend is None:
+                self._run_impl = "fast"  # graceful degradation, same results
+        if self._run_impl == "reference":
             self._loads = np.zeros(k, dtype=np.int64)
             # vertex -> partition set as packed uint64 bitset rows, 8x
             # smaller than a (n, k) boolean table
             self._placed = BitsetRows(stream.num_vertices, k)
+            return
+        if self._run_impl == "jit":
+            self._nw = (k + 63) // 64
+            self._loads = np.zeros(k, dtype=np.int64)
+            # vertex -> partition set as flat multiword uint64 bitmask
+            # rows, the layout the kernels consume directly
+            self._kwords = np.zeros(
+                stream.num_vertices * self._nw, dtype=np.uint64
+            )
             return
         self._loads_list = [0] * k
         # vertex -> partition set as one Python int bitmask per vertex:
@@ -110,8 +140,10 @@ class GreedyPartitioner(EdgePartitioner):
         self._words = [0] * stream.num_vertices
 
     def partition_chunk(self, edges: np.ndarray) -> np.ndarray:
-        if self.chunk_impl == "reference":
+        if self._run_impl == "reference":
             return self._partition_chunk_reference(edges)
+        if self._run_impl == "jit":
+            return self._partition_chunk_jit(edges)
         m = edges.shape[0]
         if m == 0:
             return np.empty(0, dtype=np.int64)
@@ -151,6 +183,23 @@ class GreedyPartitioner(EdgePartitioner):
             words[u] = wu | bit
             words[v] = wv | bit
         return np.asarray(out, dtype=np.int64)
+
+    def _partition_chunk_jit(self, edges: np.ndarray) -> np.ndarray:
+        """Compiled-kernel chunk path: the candidate argmin in machine code."""
+        m = edges.shape[0]
+        out = np.empty(m, dtype=np.int64)
+        if m == 0:
+            return out
+        self._backend.greedy_chunk(
+            np.ascontiguousarray(edges[:, 0]),
+            np.ascontiguousarray(edges[:, 1]),
+            self.num_partitions,
+            self._nw,
+            self._loads,
+            self._kwords,
+            out,
+        )
+        return out
 
     def _partition_chunk_reference(self, edges: np.ndarray) -> np.ndarray:
         """Retained numpy-per-edge chunk loop (PR 1).
@@ -194,8 +243,10 @@ class GreedyPartitioner(EdgePartitioner):
         return out
 
     def finish_chunks(self) -> np.ndarray:
-        if self.chunk_impl == "reference":
+        if self._run_impl == "reference":
             self._replica_entries = self._placed.count()
+        elif self._run_impl == "jit":
+            self._replica_entries = kernels.popcount(self._kwords)
         else:
             self._loads = np.asarray(self._loads_list, dtype=np.int64)
             self._replica_entries = sum(w.bit_count() for w in self._words)

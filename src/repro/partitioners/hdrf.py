@@ -37,12 +37,20 @@ decision-dependent parts:
 Both paths are bit-identical to :meth:`_assign`; the previous
 numpy-per-edge chunk loop is retained as ``chunk_impl="reference"`` (the
 correctness oracle and the benchmark baseline the fast core replaces).
+
+``chunk_impl="jit"`` (PR 7) dispatches each chunk into a compiled kernel
+(:mod:`repro.kernels`): the full-k-scan reference loop runs in machine
+code over flat load/degree/bitmask-word arrays, bit-identical to
+:meth:`_assign` by construction (same IEEE double evaluation order; see
+DESIGN.md §8).  When no kernel backend is available the run silently
+degrades to the ``"fast"`` path.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from .._util import BitsetRows, occurrence_ranks
 from ..graph.stream import EdgeStream
 from .base import EdgePartitioner
@@ -61,8 +69,13 @@ class HDRFPartitioner(EdgePartitioner):
         Tie-break constant in the balance term.
     chunk_impl:
         ``"fast"`` (default) runs the vectorized-precompute + lean scalar
-        core; ``"reference"`` runs the retained numpy-per-edge chunk loop.
-        Both are bit-identical to the per-edge reference.
+        core; ``"reference"`` runs the retained numpy-per-edge chunk
+        loop; ``"jit"`` runs the compiled kernel (falling back to
+        ``"fast"`` when no backend is available).  All are bit-identical
+        to the per-edge reference.
+    kernel_backend:
+        Which :mod:`repro.kernels` backend ``"jit"`` resolves
+        (``"auto"``/``"numba"``/``"cc"``/``"python"``/``"none"``).
     """
 
     name = "hdrf"
@@ -75,6 +88,7 @@ class HDRFPartitioner(EdgePartitioner):
         lambda_bal: float = 1.0,
         epsilon: float = 1.0,
         chunk_impl: str = "fast",
+        kernel_backend: str = "auto",
     ) -> None:
         super().__init__(num_partitions, seed)
         if lambda_bal < 0:
@@ -84,11 +98,14 @@ class HDRFPartitioner(EdgePartitioner):
             # (e.g. the very first edge), so the balance term requires a
             # strictly positive tie-break constant
             raise ValueError(f"epsilon must be > 0, got {epsilon}")
-        if chunk_impl not in ("fast", "reference"):
-            raise ValueError(f"chunk_impl must be 'fast' or 'reference', got {chunk_impl!r}")
+        if chunk_impl not in ("fast", "reference", "jit"):
+            raise ValueError(
+                f"chunk_impl must be 'fast', 'reference' or 'jit', got {chunk_impl!r}"
+            )
         self.lambda_bal = float(lambda_bal)
         self.epsilon = float(epsilon)
         self.chunk_impl = chunk_impl
+        self.kernel_backend = kernel_backend
 
     def _assign(self, stream: EdgeStream) -> np.ndarray:
         k = self.num_partitions
@@ -139,12 +156,27 @@ class HDRFPartitioner(EdgePartitioner):
     def begin_chunks(self, stream: EdgeStream) -> None:
         k = self.num_partitions
         self._num_vertices = stream.num_vertices
-        if self.chunk_impl == "reference":
+        self._run_impl = self.chunk_impl
+        if self._run_impl == "jit":
+            self._backend = kernels.get_backend(self.kernel_backend)
+            if self._backend is None:
+                self._run_impl = "fast"  # graceful degradation, same results
+        if self._run_impl == "reference":
             self._loads = np.zeros(k, dtype=np.float64)
             self._degree = np.zeros(stream.num_vertices, dtype=np.int64)
             # vertex -> partition set as packed uint64 bitset rows, 8x
             # smaller than a (n, k) boolean table
             self._placed = BitsetRows(stream.num_vertices, k)
+            return
+        if self._run_impl == "jit":
+            self._nw = (k + 63) // 64
+            self._loads = np.zeros(k, dtype=np.float64)
+            self._degree = np.zeros(stream.num_vertices, dtype=np.int64)
+            # vertex -> partition set as flat multiword uint64 bitmask
+            # rows, the layout the kernels consume directly
+            self._kwords = np.zeros(
+                stream.num_vertices * self._nw, dtype=np.uint64
+            )
             return
         self._loads_list = [0.0] * k
         self._degree = np.zeros(stream.num_vertices, dtype=np.int64)
@@ -154,8 +186,10 @@ class HDRFPartitioner(EdgePartitioner):
         self._max_load = 0.0
 
     def partition_chunk(self, edges: np.ndarray) -> np.ndarray:
-        if self.chunk_impl == "reference":
+        if self._run_impl == "reference":
             return self._partition_chunk_reference(edges)
+        if self._run_impl == "jit":
+            return self._partition_chunk_jit(edges)
         m = edges.shape[0]
         if m == 0:
             return np.empty(0, dtype=np.int64)
@@ -247,6 +281,26 @@ class HDRFPartitioner(EdgePartitioner):
         degree += np.bincount(edges.ravel(), minlength=self._num_vertices)
         return np.asarray(out, dtype=np.int64)
 
+    def _partition_chunk_jit(self, edges: np.ndarray) -> np.ndarray:
+        """Compiled-kernel chunk path: the reference k-scan in machine code."""
+        m = edges.shape[0]
+        out = np.empty(m, dtype=np.int64)
+        if m == 0:
+            return out
+        self._backend.hdrf_chunk(
+            np.ascontiguousarray(edges[:, 0]),
+            np.ascontiguousarray(edges[:, 1]),
+            self.num_partitions,
+            self._nw,
+            self.lambda_bal,
+            self.epsilon,
+            self._loads,
+            self._degree,
+            self._kwords,
+            out,
+        )
+        return out
+
     def _partition_chunk_reference(self, edges: np.ndarray) -> np.ndarray:
         """Retained numpy-per-edge chunk loop (PR 1).
 
@@ -281,8 +335,10 @@ class HDRFPartitioner(EdgePartitioner):
         return out
 
     def finish_chunks(self) -> np.ndarray:
-        if self.chunk_impl == "reference":
+        if self._run_impl == "reference":
             self._replica_entries = self._placed.count()
+        elif self._run_impl == "jit":
+            self._replica_entries = kernels.popcount(self._kwords)
         else:
             self._loads = np.asarray(self._loads_list, dtype=np.float64)
             self._replica_entries = sum(w.bit_count() for w in self._words)

@@ -272,7 +272,11 @@ class PartitionService:
                 self.expected_edges if self.expected_edges else m_batch
             )
             self._state = ClusteringState(
-                n, vmax, enable_splitting=cfg.enable_splitting
+                n,
+                vmax,
+                enable_splitting=cfg.enable_splitting,
+                chunk_impl=cfg.chunk_impl,
+                kernel_backend=cfg.kernel_backend,
             )
         state = self._state
 
@@ -356,6 +360,8 @@ class PartitionService:
             vertex_partition=self._vp,
             load_caps=caps,
             initial_loads=loads,
+            chunk_impl=cfg.chunk_impl,
+            kernel_backend=cfg.kernel_backend,
         )
         churn = 0
         if affected.size:

@@ -207,3 +207,61 @@ class TestServe:
         args = build_parser().parse_args(["serve"])
         assert args.num_batches == 50
         assert args.migration_cap is None
+
+
+class TestChunkImplFlags:
+    """--chunk-impl / --kernel-backend on partition, serve, distribute."""
+
+    def test_defaults(self):
+        for command in ("partition", "serve", "distribute"):
+            args = build_parser().parse_args([command])
+            assert args.chunk_impl == "fast"
+            assert args.kernel_backend == "auto"
+
+    def test_rejects_unknown_impl(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "--chunk-impl", "bogus"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--kernel-backend", "bogus"])
+
+    @pytest.mark.parametrize("algorithm", ["hdrf", "greedy", "clugp"])
+    def test_partition_jit_matches_fast(self, capsys, algorithm):
+        base_args = [
+            "partition", "--scale", "0.03", "-k", "4",
+            "--algorithm", algorithm, "--chunk-size", "512",
+        ]
+        assert main(base_args) == 0
+        fast_out = capsys.readouterr().out
+        assert main(base_args + ["--chunk-impl", "jit"]) == 0
+        jit_out = capsys.readouterr().out
+        # identical quality metrics (all but the timing): bit-identical path
+        strip = lambda out: out.split(" time=")[0]
+        assert strip(fast_out) == strip(jit_out)
+
+    def test_partition_reference_impl(self, capsys):
+        assert main([
+            "partition", "--scale", "0.02", "-k", "4", "--algorithm", "hdrf",
+            "--chunk-size", "256", "--chunk-impl", "reference",
+        ]) == 0
+        assert "replication_factor=" in capsys.readouterr().out
+
+    def test_partition_unsupported_algorithm_friendly_error(self):
+        with pytest.raises(SystemExit, match="not supported"):
+            main([
+                "partition", "--scale", "0.02", "--algorithm", "hashing",
+                "--chunk-impl", "jit",
+            ])
+
+    def test_serve_accepts_jit(self, capsys):
+        assert main([
+            "serve", "--dataset", "uk", "--scale", "0.05", "-k", "4",
+            "--num-batches", "3", "--chunk-impl", "jit",
+        ]) == 0
+        assert "served" in capsys.readouterr().out
+
+    def test_distribute_accepts_jit(self, capsys):
+        assert main([
+            "distribute", "--scale", "0.03", "-k", "4", "--num-nodes", "2",
+            "--merge-mode", "merged", "--chunk-impl", "jit",
+        ]) == 0
+        assert "RF=" in capsys.readouterr().out

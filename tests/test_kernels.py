@@ -1,0 +1,378 @@
+"""``chunk_impl="jit"`` must be bit-identical to the numpy oracles.
+
+The :mod:`repro.kernels` backends re-implement the three scalar decision
+cores (HDRF, greedy, CLUGP pass-1 replay + pass-3 transform tail) in
+compiled code.  DESIGN.md §8 argues bit-identity holds by construction:
+the kernels transliterate the per-edge reference semantics — same
+operation order, same IEEE doubles for HDRF, integer-only state
+everywhere else.  This module is the enforcement: three-way identity
+(jit == fast == reference) at awkward chunk sizes, a k=100 multiword
+bitmask corner, collision-heavy hypothesis streams, the spill-heavy
+tau=1.0 transform, and the graceful-degradation contract when no
+backend resolves.
+
+The plain-Python backend tests always run (no compiler needed), so the
+kernel glue is exercised even on machines where :func:`kernels.available`
+is False; everything touching a compiled backend is skip-marked cleanly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.config import ClugpConfig
+from repro.core.clustering import (
+    streaming_clustering,
+    streaming_clustering_chunked,
+)
+from repro.core.partitioner import ClugpPartitioner
+from repro.core.transform import (
+    TransformState,
+    transform_partitions,
+    transform_partitions_chunked,
+)
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+from repro.partitioners.registry import make_partitioner
+
+needs_compiled = pytest.mark.skipif(
+    not kernels.available(), reason="no compiled kernel backend (numba or cc)"
+)
+
+CHUNK_SIZES = [1, 7, 1024, 10**9]  # 10**9 > |E|: one whole-stream chunk
+
+
+@pytest.fixture(scope="module")
+def stream():
+    graph = web_crawl_graph(
+        400, avg_out_degree=6.0, host_size=16, intra_host_prob=0.85, seed=11
+    )
+    return EdgeStream.from_graph(graph, order="random", seed=3)
+
+
+def _parts(name, stream, k, chunk_size, **kwargs):
+    p = make_partitioner(name, k, seed=1, **kwargs)
+    return p.partition_chunked(stream, chunk_size=chunk_size).edge_partition
+
+
+# --------------------------------------------------------------------- #
+# probe / resolution API
+# --------------------------------------------------------------------- #
+
+
+def test_backend_names_and_probe_never_raise():
+    # import-safe contract: probing must work on any machine
+    assert kernels.available() in (True, False)
+    for name in kernels.BACKEND_NAMES:
+        backend = kernels.get_backend(name)
+        assert backend is None or hasattr(backend, "hdrf_chunk")
+
+
+def test_get_backend_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.get_backend("fortran")
+
+
+def test_none_backend_resolves_to_none():
+    assert kernels.get_backend("none") is None
+    assert kernels.backend_name("none") is None
+
+
+def test_python_backend_always_available():
+    backend = kernels.get_backend("python")
+    assert backend is not None and backend.name == "python"
+
+
+def test_env_override_respected(monkeypatch):
+    monkeypatch.setenv("CLUGP_KERNEL_BACKEND", "none")
+    assert kernels.get_backend("auto") is None
+    monkeypatch.setenv("CLUGP_KERNEL_BACKEND", "python")
+    assert kernels.backend_name() == "python"
+    monkeypatch.setenv("CLUGP_KERNEL_BACKEND", "cobol")
+    with pytest.raises(ValueError, match="CLUGP_KERNEL_BACKEND"):
+        kernels.get_backend("auto")
+
+
+def test_warmup_is_idempotent():
+    first = kernels.warmup("python")
+    second = kernels.warmup("python")
+    assert first == second == "python"
+
+
+@needs_compiled
+def test_warmup_resolves_compiled_backend(monkeypatch):
+    monkeypatch.delenv("CLUGP_KERNEL_BACKEND", raising=False)
+    assert kernels.warmup() in ("numba", "cc")
+
+
+def test_popcount_matches_python_bit_count():
+    rng = np.random.default_rng(0)
+    words = rng.integers(0, 2**63, size=37, dtype=np.int64).view(np.uint64)
+    assert kernels.popcount(words) == sum(int(w).bit_count() for w in words)
+
+
+def test_config_validates_kernel_fields():
+    with pytest.raises(ValueError, match="chunk_impl"):
+        ClugpConfig(chunk_impl="vectorized")
+    with pytest.raises(ValueError, match="kernel_backend"):
+        ClugpConfig(kernel_backend="fortran")
+    cfg = ClugpConfig(chunk_impl="jit", kernel_backend="cc")
+    assert cfg.chunk_impl == "jit"
+
+
+# --------------------------------------------------------------------- #
+# graceful degradation (always runs)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", ["hdrf", "greedy"])
+def test_jit_with_no_backend_degrades_to_fast(name, stream):
+    fast = _parts(name, stream, 8, 997)
+    degraded = _parts(
+        name, stream, 8, 997, chunk_impl="jit", kernel_backend="none"
+    )
+    assert np.array_equal(fast, degraded)
+
+
+def test_clugp_jit_with_no_backend_degrades_to_fast(stream):
+    fast = _parts("clugp", stream, 8, 997)
+    degraded = _parts(
+        "clugp", stream, 8, 997, chunk_impl="jit", kernel_backend="none"
+    )
+    assert np.array_equal(fast, degraded)
+
+
+# --------------------------------------------------------------------- #
+# three-way bit-identity: jit == fast == reference
+# --------------------------------------------------------------------- #
+
+
+def _identity_backend_params():
+    params = [pytest.param("python", id="python")]
+    params.append(
+        pytest.param("auto", id="compiled", marks=needs_compiled)
+    )
+    return params
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+@pytest.mark.parametrize("name", ["hdrf", "greedy"])
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_streaming_three_way_identity(name, chunk_size, backend, stream):
+    reference = _parts(name, stream, 8, chunk_size, chunk_impl="reference")
+    fast = _parts(name, stream, 8, chunk_size)
+    jit = _parts(
+        name, stream, 8, chunk_size, chunk_impl="jit", kernel_backend=backend
+    )
+    assert np.array_equal(reference, fast)
+    assert np.array_equal(fast, jit)
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_clugp_end_to_end_identity(chunk_size, backend, stream):
+    fast = _parts("clugp", stream, 8, chunk_size)
+    jit = _parts(
+        "clugp", stream, 8, chunk_size, chunk_impl="jit", kernel_backend=backend
+    )
+    assert np.array_equal(fast, jit)
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+@pytest.mark.parametrize("name", ["hdrf", "greedy"])
+def test_multiword_bitmask_k100(name, backend, stream):
+    # k=100 needs two uint64 words per vertex row — the multiword corner
+    reference = _parts(name, stream, 100, 1024, chunk_impl="reference")
+    jit = _parts(
+        name, stream, 100, 1024, chunk_impl="jit", kernel_backend=backend
+    )
+    assert np.array_equal(reference, jit)
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_replica_accounting_matches(backend, stream):
+    # finish_chunks must report the same replica table size in every mode
+    for name in ("hdrf", "greedy"):
+        fast = make_partitioner(name, 8, seed=1)
+        fast.partition_chunked(stream, chunk_size=1024)
+        jit = make_partitioner(
+            name, 8, seed=1, chunk_impl="jit", kernel_backend=backend
+        )
+        jit.partition_chunked(stream, chunk_size=1024)
+        assert fast._replica_entries == jit._replica_entries
+
+
+# --------------------------------------------------------------------- #
+# clustering replay (pass 1)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+@pytest.mark.parametrize("enable_splitting", [True, False])
+def test_clustering_state_identity(backend, enable_splitting, stream):
+    vmax = max(1, stream.num_edges // 8)
+    oracle = streaming_clustering(
+        stream, vmax, enable_splitting=enable_splitting
+    )
+    jit = streaming_clustering_chunked(
+        stream,
+        vmax,
+        enable_splitting=enable_splitting,
+        chunk_size=611,
+        chunk_impl="jit",
+        kernel_backend=backend,
+    )
+    assert np.array_equal(oracle.cluster_of, jit.cluster_of)
+    assert np.array_equal(oracle.volume, jit.volume)
+    assert oracle.mirror_clusters == jit.mirror_clusters
+    assert (oracle.splits, oracle.migrations, oracle.allocations) == (
+        jit.splits, jit.migrations, jit.allocations,
+    )
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_clustering_tiny_vmax_splitting_storm(backend, stream):
+    # vmax=5 forces constant splitting/migration — the worst-case replay
+    oracle = streaming_clustering(stream, 5)
+    jit = streaming_clustering_chunked(
+        stream, 5, chunk_size=13, chunk_impl="jit", kernel_backend=backend
+    )
+    assert np.array_equal(oracle.cluster_of, jit.cluster_of)
+    assert oracle.splits == jit.splits
+
+
+# --------------------------------------------------------------------- #
+# transform tail (pass 3)
+# --------------------------------------------------------------------- #
+
+
+def _clustered(stream, k):
+    vmax = max(1, stream.num_edges // k)
+    clustering = streaming_clustering(stream, vmax)
+    rng = np.random.default_rng(7)
+    cluster_partition = rng.integers(0, k, size=clustering.num_clusters)
+    return clustering, cluster_partition.astype(np.int64)
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+@pytest.mark.parametrize("tau", [1.0, 1.05])
+def test_transform_identity_including_spills(backend, tau, stream):
+    # tau=1.0 binds the cap tightly -> heavy balance-spill traffic
+    k = 8
+    clustering, cluster_partition = _clustered(stream, k)
+    oracle, stats_fast = transform_partitions_chunked(
+        stream, clustering, cluster_partition, k,
+        imbalance_factor=tau, chunk_size=389,
+    )
+    jit, stats_jit = transform_partitions_chunked(
+        stream, clustering, cluster_partition, k,
+        imbalance_factor=tau, chunk_size=389,
+        chunk_impl="jit", kernel_backend=backend,
+    )
+    assert np.array_equal(oracle, jit)
+    for field in ("agreement", "mirror_reuse", "degree_cut", "balance_spill"):
+        assert getattr(stats_fast, field) == getattr(stats_jit, field)
+    reference, _ = transform_partitions(
+        stream, clustering, cluster_partition, k, imbalance_factor=tau
+    )
+    assert np.array_equal(reference, jit)
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_transform_rejects_unmapped_vertex(backend, stream):
+    # a -1 vertex_partition entry must raise in jit mode exactly as in fast
+    k = 4
+    clustering, cluster_partition = _clustered(stream, k)
+    vp = cluster_partition[clustering.cluster_of]
+    vp[int(stream.src[0])] = -1
+    state = TransformState(
+        clustering, None, k,
+        num_edges=stream.num_edges,
+        num_vertices=stream.num_vertices,
+        vertex_partition=vp,
+        chunk_impl="jit",
+        kernel_backend=backend,
+    )
+    with pytest.raises(ValueError, match="does not cover"):
+        state.ingest_pair(stream.src, stream.dst)
+
+
+# --------------------------------------------------------------------- #
+# full pipeline + config threading
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_clugp_partitioner_config_threads_jit(backend, stream):
+    cfg = ClugpConfig(
+        num_partitions=8, chunk_impl="jit", kernel_backend=backend
+    )
+    base = ClugpPartitioner(8, seed=1).partition_chunked(
+        stream, chunk_size=1024
+    )
+    jit = ClugpPartitioner(8, seed=1, config=cfg).partition_chunked(
+        stream, chunk_size=1024
+    )
+    assert np.array_equal(base.edge_partition, jit.edge_partition)
+
+
+def test_clugp_partitioner_ctor_overrides():
+    p = ClugpPartitioner(8, chunk_impl="jit", kernel_backend="none")
+    assert p.config.chunk_impl == "jit"
+    assert p.config.kernel_backend == "none"
+
+
+# --------------------------------------------------------------------- #
+# collision-heavy property streams
+# --------------------------------------------------------------------- #
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _tiny_stream(pairs):
+    src = np.array([u for u, _ in pairs], dtype=np.int64)
+    dst = np.array([v for _, v in pairs], dtype=np.int64)
+    return EdgeStream(src, dst, 5)
+
+
+@given(pairs=edge_lists, chunk_size=st.sampled_from([1, 3, 64]))
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_streaming_identity_python_backend(pairs, chunk_size):
+    # 5 vertices x up to 120 edges: every edge collides with prior state
+    tiny = _tiny_stream(pairs)
+    for name in ("hdrf", "greedy"):
+        fast = _parts(name, tiny, 3, chunk_size)
+        jit = _parts(
+            name, tiny, 3, chunk_size,
+            chunk_impl="jit", kernel_backend="python",
+        )
+        assert np.array_equal(fast, jit)
+
+
+@given(pairs=edge_lists, chunk_size=st.sampled_from([1, 3, 64]))
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_clustering_identity_python_backend(pairs, chunk_size):
+    tiny = _tiny_stream(pairs)
+    oracle = streaming_clustering(tiny, 3)
+    jit = streaming_clustering_chunked(
+        tiny, 3, chunk_size=chunk_size,
+        chunk_impl="jit", kernel_backend="python",
+    )
+    assert np.array_equal(oracle.cluster_of, jit.cluster_of)
+    assert oracle.mirror_clusters == jit.mirror_clusters
+
+
+@needs_compiled
+@given(pairs=edge_lists, chunk_size=st.sampled_from([1, 3, 64]))
+@settings(max_examples=40, deadline=None)
+def test_hypothesis_streaming_identity_compiled_backend(pairs, chunk_size):
+    tiny = _tiny_stream(pairs)
+    for name in ("hdrf", "greedy"):
+        fast = _parts(name, tiny, 3, chunk_size)
+        jit = _parts(name, tiny, 3, chunk_size, chunk_impl="jit")
+        assert np.array_equal(fast, jit)
