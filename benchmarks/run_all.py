@@ -2,7 +2,7 @@
 """Run the engineering benchmarks and write one consolidated JSON report.
 
 This is the perf-trajectory entry point: each PR that touches a hot path
-runs ``python benchmarks/run_all.py --json BENCH_pr7.json`` and CI runs
+runs ``python benchmarks/run_all.py --json BENCH_pr8.json`` and CI runs
 the ``--quick`` variant on every push, so regressions in any of the
 enforced floors fail loudly and the JSON artifacts accumulate a
 machine-readable history of the repo's throughput claims.
@@ -44,10 +44,16 @@ Sections (each with its own floors; exit status is non-zero if any fails):
   ``2*sum(|P(v)|-1)`` replication formula) plus both engines'
   ``RunCost.to_dict()`` profiles, so app runtime enters the perf
   trajectory.
+* ``reliability`` — bench_reliability: the fault-tolerance runtime —
+  checkpoint+journal and summary-validation overhead on fault-free runs
+  under the <= 5% ceiling (relaxed in --quick), resume-from-checkpoint
+  beating a full recompute, and the chaos bit-identity gates
+  (deterministic crash/hang/corrupt/slow injection leaves the partition
+  bit-identical on the thread and process backends).
 
 Usage::
 
-    python benchmarks/run_all.py --json BENCH_pr7.json     # full run
+    python benchmarks/run_all.py --json BENCH_pr8.json     # full run
     python benchmarks/run_all.py --quick --json out.json   # CI smoke
 """
 
@@ -76,6 +82,7 @@ import bench_clugp_stages
 import bench_fig8_pagerank
 import bench_incremental_service
 import bench_kernels
+import bench_reliability
 from repro._util import Timer
 from repro.config import ClugpConfig, GameConfig
 from repro.core.cluster_graph import build_cluster_graph
@@ -332,6 +339,11 @@ def main(argv=None) -> int:
     print("\n=== fig8 pagerank: local-runtime parity ===")
     report, fails = _run_sub_bench(bench_fig8_pagerank, "fig8_pagerank", args.quick)
     consolidated["fig8_pagerank"] = report
+    failures += fails
+
+    print("\n=== reliability: overhead, recovery, chaos ===")
+    report, fails = _run_sub_bench(bench_reliability, "reliability", args.quick)
+    consolidated["reliability"] = report
     failures += fails
 
     if args.json:

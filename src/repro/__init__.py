@@ -27,6 +27,10 @@ Subpackages
     Quality metrics and comparison reports.
 ``repro.service``
     Online incremental partition maintenance (:class:`PartitionService`).
+``repro.reliability``
+    Fault-tolerant runtime: checkpoints + write-ahead journal, worker
+    retry with deadlines, deterministic fault injection, hardened
+    ingestion (docs/reliability.md).
 ``repro.system``
     PowerGraph-style GAS distributed-execution simulator + graph apps.
 ``repro.bench``
@@ -34,7 +38,14 @@ Subpackages
 """
 
 from ._util import Timer
-from .config import ClugpConfig, GameConfig
+from .config import ClugpConfig, GameConfig, ReliabilityConfig
+from .reliability import (
+    BatchJournal,
+    CheckpointManager,
+    DropReport,
+    FaultInjector,
+    sanitize_edges,
+)
 from .graph import (
     DiGraph,
     EdgeStream,
@@ -78,6 +89,12 @@ __all__ = [
     "Timer",
     "ClugpConfig",
     "GameConfig",
+    "ReliabilityConfig",
+    "FaultInjector",
+    "CheckpointManager",
+    "BatchJournal",
+    "DropReport",
+    "sanitize_edges",
     "DiGraph",
     "EdgeStream",
     "StreamOrder",

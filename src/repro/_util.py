@@ -273,10 +273,13 @@ class StageTimes:
     critical path of concurrent workers); they are kept separate so a
     deployment's "slowest node" measurement never inflates the summed
     work total that single-machine comparisons rely on.
+    ``counters`` holds integer event counts (retries, requeues, timeouts
+    — the reliability layer's cost accounting) alongside the timings.
     """
 
     stages: dict = field(default_factory=dict)
     walls: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
 
     def add(self, name: str, seconds: float) -> None:
         self.stages[name] = self.stages.get(name, 0.0) + seconds
@@ -284,6 +287,11 @@ class StageTimes:
     def add_wall(self, name: str, seconds: float) -> None:
         """Record a wall-clock reading; repeated adds keep the maximum."""
         self.walls[name] = max(self.walls.get(name, 0.0), seconds)
+
+    def bump(self, name: str, count: int = 1) -> None:
+        """Accumulate an integer event counter (no-op when ``count`` is 0)."""
+        if count:
+            self.counters[name] = self.counters.get(name, 0) + int(count)
 
     @property
     def total(self) -> float:

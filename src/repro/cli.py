@@ -32,6 +32,7 @@ from .analysis.metrics import quality_report
 from .graph.datasets import DATASETS, load_dataset
 from .graph.io import read_edgelist
 from .graph.stream import EdgeStream
+from .reliability.ingest import DropReport, IngestError
 from .partitioners.registry import PARTITIONERS, make_partitioner
 from .system import make_engine
 from .system.network import NetworkModel
@@ -56,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--scale", type=float, default=0.2, help="dataset scale factor")
     common.add_argument("--seed", type=int, default=0, help="random seed")
     common.add_argument("-k", "--partitions", type=int, default=32, help="number of partitions")
+    common.add_argument(
+        "--ingest-mode",
+        default="strict",
+        choices=["strict", "lenient"],
+        help="strict: abort on the first malformed edge-list row; "
+        "lenient: drop bad rows and report the counts",
+    )
 
     # chunked-ingestion machinery knobs, shared by the subcommands that
     # drive a chunk-capable pipeline (partition / distribute / serve)
@@ -176,6 +184,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-modes", action="store_true",
         help="run both merge modes and print the comparison table",
     )
+    p_dist.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard-task deadline; a task past it is killed and retried",
+    )
+    p_dist.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="max retries per failed/timed-out shard task (default 2)",
+    )
+    p_dist.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. 'crash,hang,seed=7' "
+        "(kinds: crash, hang, slow, corrupt; chaos testing only)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -202,12 +223,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the per-batch stats and summary as JSON",
     )
+    p_serve.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint the service into DIR (plus a write-ahead batch "
+        "journal); enables crash recovery via --resume",
+    )
+    p_serve.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest checkpoint in --checkpoint-dir "
+        "(replays the journal, then continues the feed where it stopped)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint every N batches (default from config: 1); "
+        "batches in between are journaled",
+    )
     return parser
 
 
 def _load_stream(args) -> EdgeStream:
     if args.edgelist:
-        graph = read_edgelist(args.edgelist)
+        mode = getattr(args, "ingest_mode", "strict")
+        report = DropReport()
+        try:
+            graph = read_edgelist(args.edgelist, mode=mode, report=report)
+        except FileNotFoundError:
+            raise SystemExit(
+                f"clugp: edge-list file not found: {args.edgelist!r}"
+            ) from None
+        except IsADirectoryError:
+            raise SystemExit(
+                f"clugp: --edgelist expects a file, got a directory: "
+                f"{args.edgelist!r}"
+            ) from None
+        except IngestError as exc:
+            raise SystemExit(
+                f"clugp: cannot read {args.edgelist!r}: {exc}\n"
+                f"(--ingest-mode lenient drops malformed rows instead of "
+                f"aborting)"
+            ) from None
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise SystemExit(
+                f"clugp: {args.edgelist!r} is not a readable edge list: {exc}"
+            ) from None
+        if report.total_dropped:
+            print(
+                f"warning: dropped {report.total_dropped} malformed rows "
+                f"from {args.edgelist}: {dict(report.dropped)}",
+                file=sys.stderr,
+            )
     else:
         graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     return EdgeStream.from_graph(graph, order="natural")
@@ -353,6 +417,31 @@ def _cmd_run_app(args) -> int:
     return 0
 
 
+def _reliability_config(args):
+    """Fold the distribute reliability flags into a ReliabilityConfig."""
+    from .config import ReliabilityConfig
+    from .reliability.faults import FaultInjector, FaultSpecError
+
+    kwargs = {}
+    if args.task_timeout is not None:
+        if args.task_timeout <= 0:
+            raise SystemExit(
+                f"clugp: --task-timeout must be positive, got {args.task_timeout}"
+            )
+        kwargs["task_timeout"] = args.task_timeout
+    if args.retries is not None:
+        if args.retries < 0:
+            raise SystemExit(f"clugp: --retries must be >= 0, got {args.retries}")
+        kwargs["max_retries"] = args.retries
+    if args.inject_faults:
+        try:
+            FaultInjector.from_spec(args.inject_faults, honor_env=False)
+        except FaultSpecError as exc:
+            raise SystemExit(f"clugp: bad --inject-faults spec: {exc}") from None
+        kwargs["inject_faults"] = args.inject_faults
+    return ReliabilityConfig(**kwargs)
+
+
 def _cmd_distribute(args) -> int:
     from .analysis.report import distributed_modes_table
     from .config import ClugpConfig, GameConfig
@@ -364,6 +453,7 @@ def _cmd_distribute(args) -> int:
         game=GameConfig(seed=args.seed),
         chunk_impl=args.chunk_impl,
         kernel_backend=args.kernel_backend,
+        reliability=_reliability_config(args),
     )
     if args.compare_modes:
         rows = []
@@ -410,25 +500,52 @@ def _cmd_distribute(args) -> int:
 def _cmd_serve(args) -> int:
     import json as _json
 
-    from .config import ClugpConfig, GameConfig
+    from .config import ClugpConfig, GameConfig, ReliabilityConfig
+    from .reliability.checkpoint import CheckpointError
     from .service import PartitionService
 
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("clugp: --resume requires --checkpoint-dir")
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        raise SystemExit(
+            f"clugp: --checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
     stream = _load_stream(args)
+    rel = ReliabilityConfig()
+    if args.checkpoint_every is not None:
+        rel = rel.with_(checkpoint_every=args.checkpoint_every)
     cfg = ClugpConfig(
         num_partitions=args.partitions,
         game=GameConfig(seed=args.seed),
         chunk_impl=args.chunk_impl,
         kernel_backend=args.kernel_backend,
+        reliability=rel,
     )
-    svc = PartitionService(
-        stream.num_vertices,
-        cfg,
-        migration_cap=args.migration_cap,
-        expected_edges=stream.num_edges,
-        quality_every=max(1, args.quality_every),
-    )
+    if args.resume:
+        try:
+            svc = PartitionService.resume(args.checkpoint_dir)
+        except CheckpointError as exc:
+            raise SystemExit(
+                f"clugp: cannot resume from {args.checkpoint_dir!r}: {exc}"
+            ) from None
+        print(
+            f"resumed at batch {svc.batch_index} "
+            f"({svc.num_edges} edges already served)",
+            file=sys.stderr,
+        )
+    else:
+        svc = PartitionService(
+            stream.num_vertices,
+            cfg,
+            migration_cap=args.migration_cap,
+            expected_edges=stream.num_edges,
+            quality_every=max(1, args.quality_every),
+            checkpoint_dir=args.checkpoint_dir,
+        )
     batch_size = max(1, stream.num_edges // max(1, args.num_batches))
-    for src, dst in stream.batches(batch_size):
+    for batch_no, (src, dst) in enumerate(stream.batches(batch_size)):
+        if batch_no < svc.batch_index:
+            continue  # already served before the resume point
         stats = svc.ingest_pair(src, dst)
         if not args.json:
             rf = (

@@ -10,11 +10,84 @@ normalization factor ``lambda`` at its Theorem-5 maximum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from ._util import check_positive_int
 
-__all__ = ["ClugpConfig", "GameConfig"]
+__all__ = ["ClugpConfig", "GameConfig", "ReliabilityConfig"]
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Fault-tolerance knobs of the distributed and service runtimes.
+
+    Attributes
+    ----------
+    max_retries:
+        Additional attempts per failed/timed-out/invalid stage task
+        (0 = fail fast on the first fault).
+    task_timeout:
+        Per-attempt deadline in seconds for each stage task on the
+        pooled backends (``None`` = no deadline).
+    backoff_base, backoff_factor, backoff_max:
+        Exponential backoff before each retry attempt:
+        ``min(base * factor**(n-1), max)`` seconds.
+    validate_summaries:
+        Coordinator-side schema + checksum validation of every shipped
+        :class:`~repro.core.partitioner.ClusterSummary`; corrupt ones
+        are quarantined and their shard re-run.
+    checkpoint_every:
+        Service checkpoint cadence in batches (1 = every batch); the
+        batches in between are covered by the write-ahead journal.
+    checkpoint_keep:
+        Rotated checkpoint files retained on disk.
+    journal_sync:
+        Write-ahead journal fsync policy — ``"commit"`` (default)
+        flushes every append (durable against process crashes) and
+        fsyncs only at checkpoint commit points; ``"always"`` fsyncs
+        every append, surviving power loss at ~1ms/batch.
+    inject_faults:
+        Deterministic chaos spec (see :meth:`~repro.reliability.faults.
+        FaultInjector.from_spec`), e.g. ``"crash,hang,seed=7"``; empty
+        = no injection.  ``CLUGP_INJECT_FAULTS`` overrides it.
+    ingest_mode:
+        ``"strict"`` (typed errors on malformed edges) or ``"lenient"``
+        (counted drops) for hardened ingestion paths.
+    """
+
+    max_retries: int = 2
+    task_timeout: float | None = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    validate_summaries: bool = True
+    checkpoint_every: int = 1
+    checkpoint_keep: int = 2
+    journal_sync: str = "commit"
+    inject_faults: str = ""
+    ingest_mode: str = "strict"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive or None, got {self.task_timeout!r}"
+            )
+        check_positive_int(self.checkpoint_every, "checkpoint_every")
+        check_positive_int(self.checkpoint_keep, "checkpoint_keep")
+        if self.journal_sync not in ("commit", "always"):
+            raise ValueError(
+                f"journal_sync must be 'commit' or 'always', got {self.journal_sync!r}"
+            )
+        if self.ingest_mode not in ("strict", "lenient"):
+            raise ValueError(
+                f"ingest_mode must be 'strict' or 'lenient', got {self.ingest_mode!r}"
+            )
+
+    def with_(self, **kwargs) -> "ReliabilityConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -105,6 +178,9 @@ class ClugpConfig:
     kernel_backend:
         Which kernel backend ``chunk_impl="jit"`` resolves — one of
         ``"auto"``, ``"numba"``, ``"cc"``, ``"python"``, ``"none"``.
+    reliability:
+        The nested :class:`ReliabilityConfig` (retries, deadlines,
+        checkpoint cadence, fault injection, ingest hardening).
     """
 
     num_partitions: int = 32
@@ -116,11 +192,16 @@ class ClugpConfig:
     game: GameConfig = GameConfig()
     chunk_impl: str = "fast"
     kernel_backend: str = "auto"
+    reliability: ReliabilityConfig = ReliabilityConfig()
 
     def __post_init__(self) -> None:
         check_positive_int(self.num_partitions, "num_partitions")
         if self.max_cluster_volume is not None:
             check_positive_int(self.max_cluster_volume, "max_cluster_volume")
+        if not isinstance(self.reliability, ReliabilityConfig):
+            raise ValueError(
+                f"reliability must be a ReliabilityConfig, got {self.reliability!r}"
+            )
         if self.imbalance_factor < 1.0:
             raise ValueError(
                 f"imbalance_factor must be >= 1.0, got {self.imbalance_factor!r}"
@@ -151,3 +232,17 @@ class ClugpConfig:
         if self.max_cluster_volume is not None:
             return self.max_cluster_volume
         return max(1, num_edges // self.num_partitions)
+
+    def to_dict(self) -> dict:
+        """JSON-safe nested dict — the checkpoint/metadata round-trip form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClugpConfig":
+        """Rebuild a config from :meth:`to_dict` output (exact round trip)."""
+        data = dict(data)
+        if isinstance(data.get("game"), dict):
+            data["game"] = GameConfig(**data["game"])
+        if isinstance(data.get("reliability"), dict):
+            data["reliability"] = ReliabilityConfig(**data["reliability"])
+        return cls(**data)

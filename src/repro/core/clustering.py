@@ -648,6 +648,85 @@ class ClusteringState:
         self.allocations = allocations
 
     # ------------------------------------------------------------------ #
+    # checkpoint serialization
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> tuple[dict, dict]:
+        """Serialize the live state as ``(arrays, meta)`` for a checkpoint.
+
+        Everything pass 1 needs to continue bit-identically is captured:
+        the vertex tables, raw cluster volumes, the mirror journal, and
+        the operation counters.  Raw ids survive the round trip, so a
+        restored state keeps the snapshot-stability invariant the
+        incremental service leans on.  The ingest-machinery settings
+        (``chunk_impl``/``kernel_backend``) are *not* state — all
+        implementations are bit-identical, so :meth:`from_state` may
+        restore onto a different backend than the one that saved.
+        """
+        self._to_arrays()
+        arrays = {
+            "clu": self._clu,
+            "deg": self._deg,
+            "div": self._div,
+            "vol": self._vol[: self.num_raw],
+            "mirror_v": np.asarray(self._mirror_v, dtype=np.int64),
+            "mirror_c": np.asarray(self._mirror_c, dtype=np.int64),
+        }
+        meta = {
+            "num_vertices": self.num_vertices,
+            "max_volume": self.max_volume,
+            "enable_splitting": self.enable_splitting,
+            "splits": self.splits,
+            "migrations": self.migrations,
+            "allocations": self.allocations,
+            "edges_ingested": self.edges_ingested,
+            "edges_suspect": self.edges_suspect,
+            "chunk_index": self._chunk_index,
+            "scalar_bias": self._scalar_bias,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(
+        cls,
+        arrays: dict,
+        meta: dict,
+        chunk_impl: str = "fast",
+        kernel_backend: str = "auto",
+    ) -> "ClusteringState":
+        """Rebuild a live state from :meth:`state_dict` output.
+
+        The restored state continues ingestion exactly where the saved
+        one stopped — same clusters, same raw ids, same counters — which
+        is the pass-1 half of the bit-identical-resume invariant
+        (DESIGN.md §9).
+        """
+        state = cls(
+            int(meta["num_vertices"]),
+            int(meta["max_volume"]),
+            enable_splitting=bool(meta["enable_splitting"]),
+            chunk_impl=chunk_impl,
+            kernel_backend=kernel_backend,
+        )
+        state._clu = np.ascontiguousarray(arrays["clu"], dtype=np.int64).copy()
+        state._deg = np.ascontiguousarray(arrays["deg"], dtype=np.int64).copy()
+        state._div = np.ascontiguousarray(arrays["div"], dtype=bool).copy()
+        vol = np.ascontiguousarray(arrays["vol"], dtype=np.int64)
+        state.num_raw = int(vol.size)
+        state._vol = np.zeros(max(16, vol.size), dtype=np.int64)
+        state._vol[: vol.size] = vol
+        state._mirror_v = np.asarray(arrays["mirror_v"], dtype=np.int64).tolist()
+        state._mirror_c = np.asarray(arrays["mirror_c"], dtype=np.int64).tolist()
+        state.splits = int(meta["splits"])
+        state.migrations = int(meta["migrations"])
+        state.allocations = int(meta["allocations"])
+        state.edges_ingested = int(meta["edges_ingested"])
+        state.edges_suspect = int(meta["edges_suspect"])
+        state._chunk_index = int(meta["chunk_index"])
+        state._scalar_bias = bool(meta["scalar_bias"])
+        return state
+
+    # ------------------------------------------------------------------ #
 
     def raw_clusters(self, vertices: np.ndarray) -> np.ndarray:
         """Current *raw* (pre-compaction) cluster id of each given vertex.

@@ -51,7 +51,6 @@ and shard arrays cross a real process boundary), and
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -59,6 +58,8 @@ import numpy as np
 from .._util import StageTimes, Timer, check_positive_int, human_bytes
 from ..config import ClugpConfig
 from ..graph.stream import EdgeStream
+from ..reliability.faults import FaultInjector
+from ..reliability.retry import RetryPolicy, RetryStats, run_reliable
 from ..partitioners.base import EdgePartitioner, PartitionAssignment
 from .cluster_graph import ClusterGraph, cluster_graph_from_labels
 from .clustering import ClusteringResult
@@ -175,6 +176,7 @@ class DistributedResult:
             "relative_balance": self.assignment.relative_balance(),
             "stage_seconds": dict(times.stages),
             "stage_walls": dict(times.walls),
+            "reliability": dict(times.counters),
             "total_seconds": times.total,
             "wall_seconds": self.assignment.wall_time(),
             "merge": self.merge.to_dict() if self.merge else None,
@@ -208,6 +210,12 @@ class DistributedResult:
             )
         else:
             lines.append(f"  critical path (slowest node)={self.max_node_seconds():.3f}s")
+        counters = a.stage_times.counters
+        if counters.get("retries"):
+            detail = ", ".join(
+                f"{name}={count}" for name, count in sorted(counters.items())
+            )
+            lines.append(f"  reliability: {detail}")
         return "\n".join(lines)
 
 
@@ -536,13 +544,49 @@ def _global_game(
 # --------------------------------------------------------------------- #
 
 
-def _run_stage(tasks, worker, parallel: bool, backend: str):
-    """Map ``worker`` over ``tasks`` on the configured executor."""
-    if not parallel or len(tasks) <= 1:
-        return [worker(task) for task in tasks]
-    pool_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
-    with pool_cls(max_workers=len(tasks)) as pool:
-        return list(pool.map(worker, tasks))
+def _summary_validator(item, index: int) -> str | None:
+    """Coordinator-side quarantine check of a stage-1 result tuple."""
+    _, summary, _, _ = item
+    return summary.validate()
+
+
+def _run_stage(
+    tasks,
+    worker,
+    parallel: bool,
+    backend: str,
+    stage: str = "stage",
+    policy: RetryPolicy | None = None,
+    inject: FaultInjector | None = None,
+    validate=None,
+    times: StageTimes | None = None,
+):
+    """Map ``worker`` over ``tasks`` on the configured executor.
+
+    All stage execution routes through :func:`~repro.reliability.retry.
+    run_reliable`: failed, timed-out, or quarantined tasks are
+    resubmitted per ``policy`` and the retry cost lands in ``times``'s
+    counters (``<stage>_retries`` etc.) so reliability overhead is
+    measurable per stage.
+    """
+    stats = RetryStats()
+    results = run_reliable(
+        tasks,
+        worker,
+        policy=policy,
+        parallel=parallel,
+        backend=backend,
+        stage=stage,
+        validate=validate,
+        inject=inject,
+        stats=stats,
+    )
+    if times is not None:
+        counters = stats.to_counters()
+        for name in ("retries", "crashes", "timeouts", "raises", "invalid"):
+            times.bump(f"{stage}_{name}", counters[name])
+        times.bump("retries", counters["retries"])
+    return results
 
 
 def distributed_clugp(
@@ -601,21 +645,30 @@ def distributed_clugp(
         config = config.with_(num_partitions=num_partitions)
     ranges = _shard_ranges(stream.num_edges, num_nodes)
     size = chunk_size if chunk_size is not None else ClugpPartitioner.default_chunk_size
+    rel = config.reliability
+    policy = RetryPolicy(
+        max_retries=rel.max_retries,
+        task_timeout=rel.task_timeout,
+        backoff_base=rel.backoff_base,
+        backoff_factor=rel.backoff_factor,
+        backoff_max=rel.backoff_max,
+    )
+    inject = FaultInjector.from_spec(rel.inject_faults)
 
     if merge_mode == "independent":
         return _run_independent(
             stream, num_partitions, num_nodes, config, seed, parallel_nodes,
-            chunk_size, ranges, backend,
+            chunk_size, ranges, backend, policy, inject,
         )
     return _run_merged(
         stream, num_partitions, num_nodes, config, seed, parallel_nodes,
-        size, ranges, backend,
+        size, ranges, backend, policy, inject,
     )
 
 
 def _run_independent(
     stream, num_partitions, num_nodes, config, seed, parallel_nodes,
-    chunk_size, ranges, backend,
+    chunk_size, ranges, backend, policy, inject,
 ) -> DistributedResult:
     tasks = [
         (
@@ -630,7 +683,11 @@ def _run_independent(
         )
         for node, (start, stop) in enumerate(ranges)
     ]
-    results = _run_stage(tasks, _independent_node_worker, parallel_nodes, backend)
+    times = StageTimes()
+    results = _run_stage(
+        tasks, _independent_node_worker, parallel_nodes, backend,
+        stage="independent", policy=policy, inject=inject, times=times,
+    )
     results.sort(key=lambda item: item[0])
 
     edge_partition = np.empty(stream.num_edges, dtype=np.int64)
@@ -639,7 +696,6 @@ def _run_independent(
         start, stop = ranges[node]
         edge_partition[start:stop] = partial
         reports.append(report)
-    times = StageTimes()
     # "total" is the summed node work (what a single machine would spend);
     # the deployment's wall-clock is the slowest node — nodes run
     # concurrently, so the critical path is a max, not a sum, and is
@@ -657,9 +713,10 @@ def _run_independent(
 
 def _run_merged(
     stream, num_partitions, num_nodes, config, seed, parallel_nodes,
-    chunk_size, ranges, backend,
+    chunk_size, ranges, backend, policy, inject,
 ) -> DistributedResult:
     n = stream.num_vertices
+    times = StageTimes()
     boundary = (
         _boundary_mask(stream, ranges)
         if num_nodes > 1
@@ -681,7 +738,11 @@ def _run_merged(
         )
         for node, (start, stop) in enumerate(ranges)
     ]
-    stage1 = _run_stage(cluster_tasks, _cluster_stage_worker, parallel_nodes, backend)
+    stage1 = _run_stage(
+        cluster_tasks, _cluster_stage_worker, parallel_nodes, backend,
+        stage="shard", policy=policy, inject=inject, times=times,
+        validate=_summary_validator if config.reliability.validate_summaries else None,
+    )
     stage1.sort(key=lambda item: item[0])
     summaries = [item[1] for item in stage1]
     clusterings = [item[2] for item in stage1]
@@ -722,7 +783,10 @@ def _run_merged(
         task + (chunk_size, config.chunk_impl, config.kernel_backend)
         for task in common
     ]
-    stage4a = _run_stage(probe_tasks, _transform_probe_worker, parallel_nodes, backend)
+    stage4a = _run_stage(
+        probe_tasks, _transform_probe_worker, parallel_nodes, backend,
+        stage="probe", policy=policy, inject=inject, times=times,
+    )
     stage4a.sort(key=lambda item: item[0])
     node_loads = np.stack([item[1] for item in stage4a])
     probe_seconds = [item[2] for item in stage4a]
@@ -744,7 +808,10 @@ def _run_merged(
         )
         for node, task in enumerate(common)
     ]
-    stage4c = _run_stage(commit_tasks, _transform_commit_worker, parallel_nodes, backend)
+    stage4c = _run_stage(
+        commit_tasks, _transform_commit_worker, parallel_nodes, backend,
+        stage="commit", policy=policy, inject=inject, times=times,
+    )
     stage4c.sort(key=lambda item: item[0])
 
     edge_partition = np.empty(stream.num_edges, dtype=np.int64)
@@ -768,7 +835,6 @@ def _run_merged(
             )
         )
 
-    times = StageTimes()
     times.add("shard", sum(cluster_seconds))
     times.add("merge", t_merge.elapsed)
     times.add("game", t_game.elapsed)

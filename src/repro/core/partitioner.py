@@ -35,6 +35,7 @@ three paths produce bit-identical assignments.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -107,10 +108,11 @@ class ClusterSummary:
     local_assignment: np.ndarray
     local_game_rounds: int
     splits: int
+    checksum: int = 0
 
-    def wire_bytes(self) -> int:
-        """Measured serialized size: every array that crosses the wire."""
-        arrays = (
+    def _wire_arrays(self) -> tuple[np.ndarray, ...]:
+        """Every array that crosses the wire, in a fixed canonical order."""
+        return (
             self.volume,
             self.resolved.internal,
             self.resolved.indptr,
@@ -125,7 +127,78 @@ class ClusterSummary:
             self.unresolved_dst_cluster,
             self.local_assignment,
         )
-        return int(sum(a.nbytes for a in arrays))
+
+    def wire_bytes(self) -> int:
+        """Measured serialized size: every array that crosses the wire."""
+        return int(sum(a.nbytes for a in self._wire_arrays()))
+
+    def compute_checksum(self) -> int:
+        """CRC-32 chained over the wire arrays plus the scalar header.
+
+        Cheap enough to run on every summary (a few MB/ms) and exactly
+        what the coordinator recomputes to detect payload corruption in
+        transit — see :meth:`validate`.
+        """
+        crc = zlib.crc32(
+            np.asarray(
+                [self.node, self.num_vertices, self.num_edges, self.num_clusters,
+                 self.local_game_rounds, self.splits],
+                dtype=np.int64,
+            ).tobytes()
+        )
+        for array in self._wire_arrays():
+            crc = zlib.crc32(np.ascontiguousarray(array).tobytes(), crc)
+        return crc
+
+    def seal(self) -> "ClusterSummary":
+        """Stamp :attr:`checksum` (the node's last act before shipping)."""
+        self.checksum = self.compute_checksum()
+        return self
+
+    def validate(self) -> str | None:
+        """Coordinator-side schema + checksum check; None means healthy.
+
+        Returns a short problem description for anything a corrupt or
+        truncated wire transfer could produce: inconsistent array
+        lengths, a CSR whose ``indptr`` disagrees with its graph, or a
+        checksum mismatch on byte-flipped payloads.
+        """
+        if self.num_clusters < 0 or self.num_edges < 0:
+            return f"negative sizes (clusters={self.num_clusters}, edges={self.num_edges})"
+        if self.volume.shape != (self.num_clusters,):
+            return (
+                f"volume length {self.volume.shape} != num_clusters {self.num_clusters}"
+            )
+        if self.local_assignment.shape != (self.num_clusters,):
+            return (
+                f"local_assignment length {self.local_assignment.shape} "
+                f"!= num_clusters {self.num_clusters}"
+            )
+        if self.resolved.indptr.size != self.num_clusters + 1:
+            return (
+                f"resolved indptr size {self.resolved.indptr.size} "
+                f"!= num_clusters + 1 = {self.num_clusters + 1}"
+            )
+        if not (
+            self.boundary_vertices.shape
+            == self.boundary_clusters.shape
+            == self.boundary_degrees.shape
+        ):
+            return "boundary arrays have mismatched lengths"
+        if not (
+            self.unresolved_src.shape
+            == self.unresolved_dst.shape
+            == self.unresolved_src_cluster.shape
+            == self.unresolved_dst_cluster.shape
+        ):
+            return "unresolved-edge arrays have mismatched lengths"
+        for name in ("volume", "boundary_vertices", "local_assignment",
+                     "unresolved_src"):
+            if getattr(self, name).dtype != np.int64:
+                return f"{name} has dtype {getattr(self, name).dtype}, expected int64"
+        if self.checksum and self.compute_checksum() != self.checksum:
+            return "checksum mismatch (payload corrupted in transit)"
+        return None
 
 
 def greedy_cluster_assignment(cluster_graph: ClusterGraph, num_partitions: int) -> np.ndarray:
@@ -450,7 +523,7 @@ class ClugpPartitioner(EdgePartitioner):
             local_assignment=game_result.assignment,
             local_game_rounds=game_result.rounds,
             splits=clustering.splits,
-        )
+        ).seal()
 
     def transform_with_mapping(
         self,

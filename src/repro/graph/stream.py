@@ -17,6 +17,7 @@ from enum import Enum
 import numpy as np
 
 from .._util import as_rng
+from ..reliability.ingest import DropReport, VertexRangeError, sanitize_edges
 from .digraph import DiGraph
 
 __all__ = ["StreamOrder", "EdgeStream"]
@@ -58,13 +59,32 @@ class EdgeStream:
         if self.src.size:
             top = int(max(self.src.max(), self.dst.max()))
             if top >= self.num_vertices:
-                raise ValueError(
+                raise VertexRangeError(
                     f"vertex id {top} out of range for num_vertices={num_vertices}"
                 )
             if int(min(self.src.min(), self.dst.min())) < 0:
-                raise ValueError("vertex ids must be non-negative")
+                raise VertexRangeError("vertex ids must be non-negative")
 
     # ------------------------------------------------------------------ #
+
+    @classmethod
+    def sanitized(
+        cls,
+        src,
+        dst,
+        num_vertices: int,
+        mode: str = "lenient",
+    ) -> tuple["EdgeStream", DropReport]:
+        """Build a stream from untrusted columns; returns it + drop counts.
+
+        Routes through :func:`~repro.reliability.ingest.sanitize_edges`:
+        ``strict`` raises the typed error of the first bad row, ``lenient``
+        (the default here — this constructor exists for untrusted feeds)
+        drops bad rows and counts them per reason in the
+        :class:`~repro.reliability.ingest.DropReport`.
+        """
+        u, v, report = sanitize_edges(src, dst, num_vertices=num_vertices, mode=mode)
+        return cls(u, v, num_vertices), report
 
     @classmethod
     def from_graph(

@@ -34,6 +34,7 @@ so benchmark timing regions never include compiler time.
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import Any
 
@@ -43,12 +44,23 @@ from . import _pykernels
 
 __all__ = [
     "BACKEND_NAMES",
+    "ENV_REQUIRE",
+    "KernelUnavailableError",
     "available",
     "backend_name",
     "get_backend",
     "popcount",
     "warmup",
 ]
+
+logger = logging.getLogger("repro.kernels")
+
+#: set to ``1``/``true`` to make silent kernel degradation a hard error
+ENV_REQUIRE = "CLUGP_KERNEL_REQUIRE"
+
+
+class KernelUnavailableError(RuntimeError):
+    """Raised in strict mode when no compiled kernel backend resolves."""
 
 
 def popcount(words: np.ndarray) -> int:
@@ -74,6 +86,8 @@ class PythonBackend:
 
 
 _cache: dict[str, Any] = {}
+_failures: dict[str, str] = {}
+_warned_degraded = False
 
 
 def _load(name: str) -> Any:
@@ -85,25 +99,62 @@ def _load(name: str) -> Any:
         from . import _numba_backend
 
         backend = _numba_backend.load()
+        if backend is None:
+            _failures[name] = "numba not importable (or broken install)"
     elif name == "cc":
         from . import _cc_backend
 
         backend = _cc_backend.load()
+        if backend is None:
+            _failures[name] = "no working C compiler, or compile/bind failed"
     elif name == "python":
         backend = PythonBackend()
     _cache[name] = backend
     return backend
 
 
-def get_backend(name: str | None = None) -> Any:
+def _require_enabled() -> bool:
+    """True when the environment demands a compiled backend."""
+    return os.environ.get(ENV_REQUIRE, "").strip().lower() in {"1", "true", "yes"}
+
+
+def _degraded(requested: str, strict: bool):
+    """Handle a failed resolution: warn once, raise when strict."""
+    global _warned_degraded
+    detail = "; ".join(
+        f"{cand}: {_failures.get(cand, 'not attempted')}" for cand in _AUTO_ORDER
+    )
+    if strict or _require_enabled():
+        raise KernelUnavailableError(
+            f"kernel backend {requested!r} is unavailable ({detail}) and a "
+            f"compiled backend was required (strict=True or {ENV_REQUIRE}=1)"
+        )
+    if not _warned_degraded:
+        _warned_degraded = True
+        logger.warning(
+            "no compiled kernel backend available (%s); "
+            "chunk_impl='jit' degrades to the numpy fast path",
+            detail,
+        )
+    return None
+
+
+def get_backend(name: str | None = None, strict: bool = False) -> Any:
     """Resolve a kernel backend; None means "use the numpy fallback".
 
     ``name`` is one of :data:`BACKEND_NAMES` (None means ``"auto"``).
     ``"auto"`` honours the ``CLUGP_KERNEL_BACKEND`` environment variable,
     then tries numba and the C backend in order; ``"python"`` and
-    ``"none"`` are explicit-only.  Asking for a concrete backend that is
-    unavailable returns None rather than raising — jit mode always
-    degrades gracefully.
+    ``"none"`` are explicit-only.
+
+    Asking for a backend that is unavailable normally returns None —
+    jit mode degrades gracefully to the numpy path, with a one-time
+    warning naming each backend that failed and why.  With
+    ``strict=True`` (or ``CLUGP_KERNEL_REQUIRE=1`` in the environment)
+    the degradation becomes a :class:`KernelUnavailableError` instead —
+    for deployments where silently losing the compiled kernels would
+    invalidate a benchmark.  An explicit ``"none"`` is an intentional
+    resolution of nothing and never raises.
     """
     if name is None:
         name = "auto"
@@ -118,15 +169,18 @@ def get_backend(name: str | None = None) -> Any:
                 raise ValueError(
                     f"CLUGP_KERNEL_BACKEND={env!r} is not one of {BACKEND_NAMES}"
                 )
-            return get_backend(env)
+            return get_backend(env, strict=strict)
         for candidate in _AUTO_ORDER:
             backend = _load(candidate)
             if backend is not None:
                 return backend
-        return None
+        return _degraded(name, strict)
     if name == "none":
         return None
-    return _load(name)
+    backend = _load(name)
+    if backend is None:
+        return _degraded(name, strict)
+    return backend
 
 
 def available() -> bool:

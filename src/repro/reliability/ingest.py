@@ -1,0 +1,224 @@
+"""Hardened edge ingestion: typed errors, strict/lenient sanitization.
+
+A service ingesting crawler output meets garbage as a matter of course:
+negative ids from sign bugs, floats and NaN rows from a CSV detour,
+counters past ``int64``, and binary files cut short by a full disk.  The
+pre-PR-8 behavior was a mix of raw ``ValueError``/``OverflowError``
+tracebacks and — worse — silent wraparound on unchecked casts.  This
+module makes every malformed input either a **typed error** (``strict``
+mode, the default for one-shot CLI runs) or a **counted drop**
+(``lenient`` mode, for long-lived feeds that must not die on one bad
+row), never silent garbage.
+
+All error types subclass :class:`IngestError`, which subclasses
+``ValueError`` — existing callers catching ``ValueError`` keep working.
+
+:func:`sanitize_edges` is the single validation kernel; ``EdgeStream``
+and the io readers route through it.  :class:`DropReport` carries the
+per-reason drop counts so operators can alert on feed quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "IngestError",
+    "MalformedEdgeError",
+    "VertexRangeError",
+    "EdgeOverflowError",
+    "TruncatedPayloadError",
+    "DropReport",
+    "sanitize_edges",
+    "INGEST_MODES",
+]
+
+INGEST_MODES = ("strict", "lenient")
+
+
+class IngestError(ValueError):
+    """Base of every typed ingestion failure (a ``ValueError`` subclass)."""
+
+
+class MalformedEdgeError(IngestError):
+    """A row is not a pair of integers (NaN, inf, fractional, non-numeric)."""
+
+
+class VertexRangeError(IngestError):
+    """An endpoint id is negative or outside the declared vertex space."""
+
+
+class EdgeOverflowError(IngestError):
+    """An endpoint id does not fit in int64 (would wrap on a silent cast)."""
+
+
+class TruncatedPayloadError(IngestError):
+    """A binary payload ends mid-record (short file, torn write)."""
+
+
+@dataclass
+class DropReport:
+    """Per-reason counts of rows dropped by lenient sanitization."""
+
+    kept: int = 0
+    dropped: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_dropped(self) -> int:
+        """Rows dropped across all reasons."""
+        return sum(self.dropped.values())
+
+    def bump(self, reason: str, count: int) -> None:
+        """Count ``count`` drops under ``reason`` (no-op when zero)."""
+        if count:
+            self.dropped[reason] = self.dropped.get(reason, 0) + int(count)
+
+    def merge(self, other: "DropReport") -> None:
+        """Fold another report's counts into this one."""
+        self.kept += other.kept
+        for reason, count in other.dropped.items():
+            self.bump(reason, count)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (service summaries, CLI reporting)."""
+        return {"kept": self.kept, "dropped": dict(self.dropped),
+                "total_dropped": self.total_dropped}
+
+
+_I64_MIN = float(np.iinfo(np.int64).min)
+_I64_MAX = float(np.iinfo(np.int64).max)
+
+
+def _check_mode(mode: str) -> str:
+    """Validate the mode string once, with the canonical message."""
+    if mode not in INGEST_MODES:
+        raise ValueError(f"mode must be one of {INGEST_MODES}, got {mode!r}")
+    return mode
+
+
+def _to_int64_column(values, name: str, mode: str, report: DropReport):
+    """Coerce one endpoint column to int64, flagging rows that cannot be.
+
+    Returns ``(int64 array, bad row mask)``.  In strict mode the first
+    uncoercible row raises the matching typed error instead.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == np.int64:
+        return arr, np.zeros(arr.size, dtype=bool)
+    if np.issubdtype(arr.dtype, np.integer):
+        if arr.dtype == np.uint64:
+            over = arr > np.uint64(np.iinfo(np.int64).max)
+            if over.any() and mode == "strict":
+                raise EdgeOverflowError(
+                    f"{name}: id {arr[over][0]} exceeds int64 range"
+                )
+            report.bump("overflow", int(over.sum()))
+            out = np.where(over, np.uint64(0), arr).astype(np.int64)
+            return out, over
+        return arr.astype(np.int64), np.zeros(arr.size, dtype=bool)
+    if np.issubdtype(arr.dtype, np.floating):
+        finite = np.isfinite(arr)
+        if not finite.all() and mode == "strict":
+            i = int(np.flatnonzero(~finite)[0])
+            raise MalformedEdgeError(f"{name}: non-finite id {arr[i]!r} at row {i}")
+        report.bump("non_finite", int((~finite).sum()))
+        in_range = finite & (arr >= _I64_MIN) & (arr <= _I64_MAX)
+        over = finite & ~in_range
+        if over.any() and mode == "strict":
+            i = int(np.flatnonzero(over)[0])
+            raise EdgeOverflowError(f"{name}: id {arr[i]!r} exceeds int64 range")
+        report.bump("overflow", int(over.sum()))
+        safe = np.where(in_range, arr, 0.0)
+        fractional = in_range & (np.floor(safe) != safe)
+        if fractional.any() and mode == "strict":
+            i = int(np.flatnonzero(fractional)[0])
+            raise MalformedEdgeError(f"{name}: non-integral id {arr[i]!r} at row {i}")
+        report.bump("non_integral", int(fractional.sum()))
+        bad = ~in_range | fractional
+        return safe.astype(np.int64), bad
+    # object/str columns: per-element python coercion, the slow cold path
+    out = np.zeros(arr.size, dtype=np.int64)
+    bad = np.zeros(arr.size, dtype=bool)
+    for i, value in enumerate(arr.tolist()):
+        try:
+            as_int = int(value)
+        except (TypeError, ValueError, OverflowError):
+            # OverflowError: int(float('inf')) — non-finite, not merely big
+            if mode == "strict":
+                raise MalformedEdgeError(
+                    f"{name}: non-integer id {value!r} at row {i}"
+                ) from None
+            bad[i] = True
+            continue
+        if isinstance(value, float) and value != as_int:
+            if mode == "strict":
+                raise MalformedEdgeError(
+                    f"{name}: non-integral id {value!r} at row {i}"
+                ) from None
+            bad[i] = True
+            continue
+        if not np.iinfo(np.int64).min <= as_int <= np.iinfo(np.int64).max:
+            if mode == "strict":
+                raise EdgeOverflowError(f"{name}: id {value!r} exceeds int64 range")
+            bad[i] = True
+            continue
+        out[i] = as_int
+    report.bump("malformed", int(bad.sum()))
+    return out, bad
+
+
+def sanitize_edges(
+    src,
+    dst,
+    num_vertices: int | None = None,
+    mode: str = "strict",
+) -> tuple[np.ndarray, np.ndarray, DropReport]:
+    """Validate endpoint arrays; returns clean int64 columns + a report.
+
+    Checks, in order: coercibility to int64 (NaN/inf/fractional rows,
+    int64 overflow), non-negative ids, and — when ``num_vertices`` is
+    given — the upper range bound.  ``strict`` raises the typed error of
+    the *first* offense; ``lenient`` drops each offending row (an edge
+    is dropped when **either** endpoint is bad — half an edge is
+    meaningless) and counts it in the :class:`DropReport`.
+    """
+    _check_mode(mode)
+    report = DropReport()
+    u = np.asarray(src)
+    v = np.asarray(dst)
+    if u.shape != v.shape or u.ndim != 1:
+        raise MalformedEdgeError(
+            f"src/dst must be 1-D arrays of equal length, "
+            f"got shapes {u.shape} and {v.shape}"
+        )
+    u, bad_u = _to_int64_column(u, "src", mode, report)
+    v, bad_v = _to_int64_column(v, "dst", mode, report)
+    bad = bad_u | bad_v
+    negative = ~bad & ((u < 0) | (v < 0))
+    if negative.any():
+        if mode == "strict":
+            i = int(np.flatnonzero(negative)[0])
+            raise VertexRangeError(
+                f"negative vertex id in edge ({u[i]}, {v[i]}) at row {i}"
+            )
+        report.bump("negative", int(negative.sum()))
+        bad |= negative
+    if num_vertices is not None:
+        out_of_range = ~bad & ((u >= num_vertices) | (v >= num_vertices))
+        if out_of_range.any():
+            if mode == "strict":
+                i = int(np.flatnonzero(out_of_range)[0])
+                raise VertexRangeError(
+                    f"vertex id {max(int(u[i]), int(v[i]))} out of range for "
+                    f"num_vertices={num_vertices} at row {i}"
+                )
+            report.bump("out_of_range", int(out_of_range.sum()))
+            bad |= out_of_range
+    if bad.any():
+        keep = ~bad
+        u = np.ascontiguousarray(u[keep])
+        v = np.ascontiguousarray(v[keep])
+    report.kept = int(u.size)
+    return u, v, report

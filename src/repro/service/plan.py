@@ -140,6 +140,28 @@ class BatchStats:
             **self.extras,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchStats":
+        """Rebuild a row from :meth:`to_dict` output (checkpoint restore).
+
+        Derived fields (``edges_per_second``, ``rf_drift``) are dropped —
+        they recompute from the stored fields; unknown keys land back in
+        ``extras`` so custom annotations survive the round trip.
+        """
+        data = dict(data)
+        data.pop("edges_per_second", None)
+        data.pop("rf_drift", None)
+        known = {
+            "batch", "num_edges", "total_edges", "seconds", "clusters",
+            "frontier_clusters", "game_rounds", "game_moves",
+            "candidate_moves", "applied_moves", "deferred_moves",
+            "reassigned_edges", "churn_edges", "replication_factor",
+            "relative_balance", "rf_oracle",
+        }
+        extras = {k: v for k, v in data.items() if k not in known}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        return cls(extras=extras, **kwargs)
+
 
 def plan_migrations(
     served: np.ndarray,

@@ -38,6 +38,7 @@ the measured drift/churn tradeoff.
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 
@@ -51,9 +52,24 @@ from ..core.partitioner import ClugpPartitioner
 from ..core.transform import TransformState
 from ..graph.stream import EdgeStream
 from ..partitioners.base import PartitionAssignment
+from ..reliability.checkpoint import BatchJournal, CheckpointError, CheckpointManager
 from .plan import BatchStats, MigrationPlan, plan_migrations
 
 __all__ = ["PartitionService"]
+
+#: checkpoint payload format version (bumped on incompatible layout changes)
+_CKPT_FORMAT = 1
+
+
+def _jsonable(obj):
+    """Recursively convert numpy scalars so ``meta`` survives ``json.dumps``."""
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {key: _jsonable(val) for key, val in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(val) for val in obj]
+    return obj
 
 
 def _grow(buf: np.ndarray, used: int, extra: int, fill: int | None = None) -> np.ndarray:
@@ -115,6 +131,7 @@ class PartitionService:
         migration_cap: int | None = None,
         expected_edges: int | None = None,
         quality_every: int = 1,
+        checkpoint_dir: str | None = None,
     ) -> None:
         self.config = config or ClugpConfig()
         self.num_vertices = int(num_vertices)
@@ -138,6 +155,23 @@ class PartitionService:
         self.batch_index = 0
         self.history: list[BatchStats] = []
         self.last_plan: MigrationPlan | None = None
+        # -- durability (checkpoint + write-ahead journal); see
+        #    docs/reliability.md and DESIGN.md §9
+        self.checkpoint_dir = checkpoint_dir
+        self._ckpt: CheckpointManager | None = None
+        self._journal: BatchJournal | None = None
+        self._durability_paused = False  # True while replaying the journal
+        if checkpoint_dir is not None:
+            self._ckpt = CheckpointManager(
+                checkpoint_dir, keep=self.config.reliability.checkpoint_keep
+            )
+            self._journal = BatchJournal(
+                os.path.join(checkpoint_dir, "journal.wal"),
+                sync=self.config.reliability.journal_sync,
+            )
+            # anchor checkpoint: recovery always has a base to replay onto,
+            # even if the process dies before the first cadence checkpoint
+            self.checkpoint()
 
     # ------------------------------------------------------------------ #
     # read-side API
@@ -212,6 +246,146 @@ class PartitionService:
         }
 
     # ------------------------------------------------------------------ #
+    # durability: checkpoint / restore / write-ahead journal
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self) -> str:
+        """Write a checkpoint of the full service state now; returns its path.
+
+        Also truncates the write-ahead journal — every journaled batch is
+        contained in the checkpoint, so replaying it would double-count.
+        Called automatically every ``config.reliability.checkpoint_every``
+        batches when the service was built with a ``checkpoint_dir``.
+        """
+        if self._ckpt is None:
+            raise RuntimeError("service was constructed without checkpoint_dir")
+        m = self._num_edges
+        arrays = {
+            "src": self._src[:m],
+            "dst": self._dst[:m],
+            "edge_part": self._edge_part[:m],
+            "vp": self._vp,
+            "raw_assign": self._raw_assign,
+            "loads": self._loads,
+        }
+        state_meta = None
+        if self._state is not None:
+            state_arrays, state_meta = self._state.state_dict()
+            arrays.update({f"state__{k}": a for k, a in state_arrays.items()})
+        meta = _jsonable({
+            "format": _CKPT_FORMAT,
+            "num_vertices": self.num_vertices,
+            "k": self.k,
+            "migration_cap": self.migration_cap,
+            "expected_edges": self.expected_edges,
+            "quality_every": self.quality_every,
+            "batch_index": self.batch_index,
+            "num_edges": m,
+            "config": self.config.to_dict(),
+            "history": [s.to_dict() for s in self.history],
+            "has_state": self._state is not None,
+            "state_meta": state_meta,
+        })
+        path = self._ckpt.save(self.batch_index, arrays, meta)
+        if self._journal is not None:
+            self._journal.reset()
+        return path
+
+    def _maybe_checkpoint(self) -> None:
+        """Cadence hook: checkpoint when the batch counter hits the period."""
+        if self._ckpt is None or self._durability_paused:
+            return
+        if self.batch_index % self.config.reliability.checkpoint_every == 0:
+            self.checkpoint()
+
+    def _restore(self, arrays: dict, meta: dict) -> None:
+        """Load checkpoint payload into this (freshly constructed) service."""
+        m = int(meta["num_edges"])
+        self._num_edges = m
+        self._src = np.ascontiguousarray(arrays["src"], dtype=np.int64)
+        self._dst = np.ascontiguousarray(arrays["dst"], dtype=np.int64)
+        self._edge_part = np.ascontiguousarray(arrays["edge_part"], dtype=np.int64)
+        self._vp = np.ascontiguousarray(arrays["vp"], dtype=np.int64)
+        self._raw_assign = np.ascontiguousarray(arrays["raw_assign"], dtype=np.int64)
+        self._loads = np.ascontiguousarray(arrays["loads"], dtype=np.int64)
+        self.batch_index = int(meta["batch_index"])
+        self.history = [BatchStats.from_dict(d) for d in meta["history"]]
+        if meta["has_state"]:
+            prefix = "state__"
+            state_arrays = {
+                key[len(prefix):]: a
+                for key, a in arrays.items()
+                if key.startswith(prefix)
+            }
+            self._state = ClusteringState.from_state(
+                state_arrays,
+                meta["state_meta"],
+                chunk_impl=self.config.chunk_impl,
+                kernel_backend=self.config.kernel_backend,
+            )
+
+    @classmethod
+    def resume(cls, checkpoint_dir: str) -> "PartitionService":
+        """Rebuild a service from ``checkpoint_dir`` and replay its journal.
+
+        Recovery protocol (DESIGN.md §9): load the newest checkpoint that
+        verifies (corrupt files are skipped), restore every buffer and the
+        live clustering state bit-for-bit, then re-ingest every journaled
+        batch whose index is at or past the checkpoint's — the journal is
+        written *ahead* of ingestion, so batches the dead process had
+        acknowledged but not yet checkpointed are recovered, and batch
+        indices make the replay idempotent.  A fresh checkpoint is written
+        at the end, so a crash *during* resume just resumes again from the
+        same inputs.  Raises :class:`CheckpointError` when no checkpoint
+        in the directory verifies.
+        """
+        mgr = CheckpointManager(checkpoint_dir, keep=2)
+        found = mgr.latest()
+        if found is None:
+            raise CheckpointError(f"no loadable checkpoint in {checkpoint_dir}")
+        _, arrays, meta = found
+        if meta.get("format") != _CKPT_FORMAT:
+            raise CheckpointError(
+                f"{checkpoint_dir}: unsupported service checkpoint format "
+                f"{meta.get('format')!r}"
+            )
+        cfg = ClugpConfig.from_dict(meta["config"])
+        svc = cls(
+            int(meta["num_vertices"]),
+            config=cfg,
+            migration_cap=meta["migration_cap"],
+            expected_edges=meta["expected_edges"],
+            quality_every=int(meta["quality_every"]),
+        )
+        svc._restore(arrays, meta)
+        # attach durability only after the restore: constructing with
+        # checkpoint_dir would write an empty anchor checkpoint over the
+        # directory we are recovering from
+        mgr.keep = cfg.reliability.checkpoint_keep
+        svc.checkpoint_dir = checkpoint_dir
+        svc._ckpt = mgr
+        svc._journal = BatchJournal(
+            os.path.join(checkpoint_dir, "journal.wal"),
+            sync=cfg.reliability.journal_sync,
+        )
+        records = svc._journal.replay()
+        svc._durability_paused = True
+        try:
+            for batch, u, v in records:
+                if batch >= svc.batch_index:
+                    svc.ingest_pair(u, v)
+        finally:
+            svc._durability_paused = False
+        svc.checkpoint()
+        return svc
+
+    def close(self) -> None:
+        """Release the journal file handle (idempotent)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    # ------------------------------------------------------------------ #
     # ingest
     # ------------------------------------------------------------------ #
 
@@ -239,6 +413,10 @@ class PartitionService:
             or max(int(u.max()), int(v.max())) >= self.num_vertices
         ):
             raise ValueError("vertex ids out of range")
+        # write-ahead: the batch hits the journal before any state mutates,
+        # so a crash mid-maintenance replays it instead of losing it
+        if self._journal is not None and not self._durability_paused:
+            self._journal.append(self.batch_index, u, v)
         if m_batch == 0:
             stats = BatchStats(
                 batch=self.batch_index, num_edges=0, total_edges=self._num_edges,
@@ -248,6 +426,7 @@ class PartitionService:
             )
             self.batch_index += 1
             self.history.append(stats)
+            self._maybe_checkpoint()
             return stats
 
         with Timer() as t:
@@ -259,6 +438,7 @@ class PartitionService:
             stats.relative_balance = a.relative_balance()
         self.batch_index += 1
         self.history.append(stats)
+        self._maybe_checkpoint()
         return stats
 
     def _maintain(self, u: np.ndarray, v: np.ndarray, m_batch: int) -> BatchStats:

@@ -1,9 +1,24 @@
-"""Shared fixtures: small deterministic graphs and streams."""
+"""Shared fixtures: small deterministic graphs and streams.
+
+Also pins a deterministic hypothesis profile (fixed derandomized seed,
+no deadline) so property tests never flake on a loaded CI worker and a
+failure reproduces bit-identically from the printed example.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile(
+        "deterministic", derandomize=True, deadline=None, print_blob=True
+    )
+    settings.load_profile("deterministic")
+except ImportError:  # pragma: no cover - hypothesis not installed
+    pass
 
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import (

@@ -265,3 +265,77 @@ class TestChunkImplFlags:
             "--merge-mode", "merged", "--chunk-impl", "jit",
         ]) == 0
         assert "RF=" in capsys.readouterr().out
+
+
+class TestReliabilityFlags:
+    """PR-8 flags: friendly errors, checkpoint/resume, fault injection."""
+
+    def test_missing_edgelist_friendly_error(self):
+        with pytest.raises(SystemExit, match="file not found"):
+            main(["partition", "--edgelist", "/definitely/not/here.txt"])
+
+    def test_edgelist_directory_friendly_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="directory"):
+            main(["partition", "--edgelist", str(tmp_path)])
+
+    def test_corrupt_edgelist_strict_friendly_error(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\nnot an edge\n")
+        with pytest.raises(SystemExit, match="lenient"):
+            main(["partition", "--edgelist", str(path)])
+
+    def test_corrupt_edgelist_lenient_recovers(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n1 2\n2 0\nnot an edge\n")
+        rc = main([
+            "partition", "--edgelist", str(path), "--ingest-mode", "lenient",
+            "-k", "2", "--algorithm", "hashing",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "dropped 1 malformed" in err
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit, match="--resume requires --checkpoint-dir"):
+            main(["serve", "--resume"])
+
+    def test_resume_empty_dir_friendly_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot resume"):
+            main([
+                "serve", "--scale", "0.02", "--checkpoint-dir", str(tmp_path),
+                "--resume",
+            ])
+
+    def test_bad_task_timeout(self):
+        with pytest.raises(SystemExit, match="task-timeout must be positive"):
+            main(["distribute", "--task-timeout", "0"])
+
+    def test_bad_retries(self):
+        with pytest.raises(SystemExit, match="retries must be"):
+            main(["distribute", "--retries", "-2"])
+
+    def test_bad_inject_spec(self):
+        with pytest.raises(SystemExit, match="inject-faults"):
+            main(["distribute", "--inject-faults", "meteor"])
+
+    def test_bad_checkpoint_every(self):
+        with pytest.raises(SystemExit, match="checkpoint-every"):
+            main(["serve", "--checkpoint-every", "0"])
+
+    def test_serve_checkpoint_then_resume_matches(self, tmp_path, capsys):
+        args = ["serve", "--dataset", "uk", "--scale", "0.03", "-k", "4",
+                "--num-batches", "5", "--checkpoint-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        # the resumed run re-serves nothing and reports the same final state
+        assert first.splitlines()[-1] == second.splitlines()[-1]
+
+    def test_distribute_with_injected_crash_still_partitions(self, capsys):
+        rc = main([
+            "distribute", "--scale", "0.03", "-k", "4", "--num-nodes", "3",
+            "--merge-mode", "merged", "--inject-faults", "crash,seed=1",
+        ])
+        assert rc == 0
+        assert "RF=" in capsys.readouterr().out

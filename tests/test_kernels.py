@@ -16,6 +16,8 @@ kernel glue is exercised even on machines where :func:`kernels.available`
 is False; everything touching a compiled backend is skip-marked cleanly.
 """
 
+import logging
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -376,3 +378,61 @@ def test_hypothesis_streaming_identity_compiled_backend(pairs, chunk_size):
         fast = _parts(name, tiny, 3, chunk_size)
         jit = _parts(name, tiny, 3, chunk_size, chunk_impl="jit")
         assert np.array_equal(fast, jit)
+
+
+class TestDegradationReporting:
+    """PR-8: failed backend resolution warns once, or raises in strict mode."""
+
+    @pytest.fixture
+    def broken_kernels(self, monkeypatch):
+        """Force both compiled backends to look unavailable."""
+        monkeypatch.setattr(kernels, "_cache", {"numba": None, "cc": None})
+        monkeypatch.setattr(
+            kernels, "_failures",
+            {"numba": "numba not importable (or broken install)",
+             "cc": "no working C compiler, or compile/bind failed"},
+        )
+        monkeypatch.setattr(kernels, "_warned_degraded", False)
+        monkeypatch.delenv("CLUGP_KERNEL_BACKEND", raising=False)
+        monkeypatch.delenv(kernels.ENV_REQUIRE, raising=False)
+        return kernels
+
+    def test_auto_failure_warns_once_naming_backends(self, broken_kernels, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            assert broken_kernels.get_backend("auto") is None
+            assert broken_kernels.get_backend("auto") is None
+        warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+        assert len(warnings) == 1
+        message = warnings[0].getMessage()
+        assert "numba" in message and "cc" in message
+        assert "numpy fast path" in message
+
+    def test_strict_raises_kernel_unavailable(self, broken_kernels):
+        with pytest.raises(kernels.KernelUnavailableError, match="numba"):
+            broken_kernels.get_backend("auto", strict=True)
+
+    def test_env_require_raises(self, broken_kernels, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_REQUIRE, "1")
+        with pytest.raises(kernels.KernelUnavailableError):
+            broken_kernels.get_backend("auto")
+
+    def test_concrete_backend_failure_raises_in_strict(self, broken_kernels):
+        with pytest.raises(kernels.KernelUnavailableError):
+            broken_kernels.get_backend("numba", strict=True)
+
+    def test_explicit_none_never_raises(self, broken_kernels, monkeypatch):
+        assert broken_kernels.get_backend("none", strict=True) is None
+        monkeypatch.setenv(kernels.ENV_REQUIRE, "1")
+        assert broken_kernels.get_backend("none") is None
+
+    def test_python_backend_unaffected_by_strict(self, broken_kernels):
+        backend = broken_kernels.get_backend("python", strict=True)
+        assert backend is not None and backend.name == "python"
+
+    def test_available_backend_short_circuits_warning(self, monkeypatch, caplog):
+        monkeypatch.setattr(kernels, "_warned_degraded", False)
+        if not kernels.available():
+            pytest.skip("no compiled backend on this machine")
+        with caplog.at_level(logging.WARNING, logger="repro.kernels"):
+            assert kernels.get_backend("auto") is not None
+        assert not caplog.records

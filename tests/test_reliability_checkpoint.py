@@ -1,0 +1,270 @@
+"""Checkpoint container, journal, and service crash/resume bit-identity."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import ClugpConfig, GameConfig, ReliabilityConfig
+from repro.reliability.checkpoint import (
+    BatchJournal,
+    CheckpointError,
+    CheckpointManager,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.service import PartitionService
+
+
+def _arrays():
+    return {
+        "a": np.arange(10, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 5),
+    }
+
+
+class TestCheckpointFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, _arrays(), {"batch": 3, "note": "x"})
+        arrays, meta = read_checkpoint(path)
+        assert np.array_equal(arrays["a"], np.arange(10, dtype=np.int64))
+        assert np.allclose(arrays["b"], np.linspace(0.0, 1.0, 5))
+        assert meta == {"batch": 3, "note": "x"}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, _arrays(), {})
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_checkpoint(path)
+
+    def test_corrupt_payload_fails_digest(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, _arrays(), {})
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="SHA-256"):
+            read_checkpoint(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, _arrays(), {})
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])
+        with pytest.raises(CheckpointError, match="payload length"):
+            read_checkpoint(path)
+
+    def test_trailing_garbage_detected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, _arrays(), {})
+        with open(path, "ab") as f:
+            f.write(b"junk")
+        with pytest.raises(CheckpointError, match="payload length"):
+            read_checkpoint(path)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        write_checkpoint(path, _arrays(), {})
+        write_checkpoint(path, _arrays(), {"v": 2})
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["c.ckpt"]
+
+
+class TestCheckpointManager:
+    def test_save_prunes_to_keep(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=2)
+        for batch in (1, 2, 3, 4):
+            mgr.save(batch, _arrays(), {"batch": batch})
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["checkpoint-00000003.ckpt", "checkpoint-00000004.ckpt"]
+
+    def test_latest_returns_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=3)
+        for batch in (1, 5, 9):
+            mgr.save(batch, _arrays(), {"batch": batch})
+        batch, _, meta = mgr.latest()
+        assert batch == 9 and meta["batch"] == 9
+
+    def test_latest_skips_corrupt_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=3)
+        mgr.save(1, _arrays(), {"batch": 1})
+        mgr.save(2, _arrays(), {"batch": 2})
+        newest = tmp_path / "checkpoint-00000002.ckpt"
+        raw = bytearray(newest.read_bytes())
+        raw[-1] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        batch, _, meta = mgr.latest()
+        assert batch == 1 and meta["batch"] == 1
+
+    def test_latest_none_when_empty(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+
+class TestBatchJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with BatchJournal(path) as journal:
+            journal.append(0, np.array([1, 2], dtype=np.int64),
+                           np.array([3, 4], dtype=np.int64))
+            journal.append(1, np.array([5], dtype=np.int64),
+                           np.array([6], dtype=np.int64))
+            records = journal.replay()
+        assert [b for b, _, _ in records] == [0, 1]
+        assert np.array_equal(records[0][1], [1, 2])
+        assert np.array_equal(records[1][2], [6])
+
+    def test_empty_batch_record(self, tmp_path):
+        with BatchJournal(tmp_path / "j.wal") as journal:
+            empty = np.empty(0, dtype=np.int64)
+            journal.append(7, empty, empty)
+            records = journal.replay()
+        assert len(records) == 1 and records[0][0] == 7
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with BatchJournal(path) as journal:
+            journal.append(0, np.array([1], dtype=np.int64),
+                           np.array([2], dtype=np.int64))
+            journal.append(1, np.array([3], dtype=np.int64),
+                           np.array([4], dtype=np.int64))
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 5])  # cut into the second record
+        with BatchJournal(path) as journal:
+            records = journal.replay()
+        assert [b for b, _, _ in records] == [0]
+
+    def test_crc_corruption_drops_tail(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with BatchJournal(path) as journal:
+            journal.append(0, np.array([1], dtype=np.int64),
+                           np.array([2], dtype=np.int64))
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a body byte
+        path.write_bytes(bytes(raw))
+        with BatchJournal(path) as journal:
+            assert journal.replay() == []
+
+    def test_reset_truncates(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with BatchJournal(path) as journal:
+            journal.append(0, np.array([1], dtype=np.int64),
+                           np.array([2], dtype=np.int64))
+            journal.reset()
+            assert journal.replay() == []
+        assert os.path.getsize(path) == 0
+
+
+def _feed(num_edges=3000, n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(num_edges, 2), dtype=np.int64)
+    return n, np.array_split(edges, 6)
+
+
+def _config(checkpoint_every=1):
+    return ClugpConfig(
+        num_partitions=4,
+        game=GameConfig(seed=0),
+        reliability=ReliabilityConfig(checkpoint_every=checkpoint_every),
+    )
+
+
+class TestServiceResume:
+    """The PR-8 acceptance gate: killed mid-feed, a resumed service is
+    bit-identical to one that was never interrupted."""
+
+    def test_resume_bit_identical_after_abandonment(self, tmp_path):
+        n, batches = _feed()
+        ref = PartitionService(n, _config(), migration_cap=64)
+        for batch in batches:
+            ref.ingest(batch)
+
+        svc = PartitionService(n, _config(checkpoint_every=3),
+                               migration_cap=64, checkpoint_dir=str(tmp_path))
+        for batch in batches[:4]:  # dies with batch 3 only in the journal
+            svc.ingest(batch)
+        del svc  # no close(): the crash leaves the journal as-is on disk
+
+        resumed = PartitionService.resume(str(tmp_path))
+        assert resumed.batch_index == 4
+        for batch in batches[4:]:
+            resumed.ingest(batch)
+        assert np.array_equal(resumed.edge_partition, ref.edge_partition)
+        assert np.array_equal(resumed.vertex_partition, ref.vertex_partition)
+        assert np.array_equal(resumed.loads, ref.loads)
+        assert len(resumed.history) == len(ref.history)
+        resumed.close()
+
+    def test_resume_replays_unacknowledged_journal_only(self, tmp_path):
+        n, batches = _feed()
+        svc = PartitionService(n, _config(checkpoint_every=2),
+                               migration_cap=64, checkpoint_dir=str(tmp_path))
+        for batch in batches[:3]:
+            svc.ingest(batch)
+        edges_before = svc.num_edges
+        del svc
+        resumed = PartitionService.resume(str(tmp_path))
+        assert resumed.num_edges == edges_before
+        assert resumed.batch_index == 3
+        resumed.close()
+
+    def test_resume_from_corrupt_newest_falls_back(self, tmp_path):
+        n, batches = _feed()
+        svc = PartitionService(n, _config(), migration_cap=64,
+                               checkpoint_dir=str(tmp_path))
+        for batch in batches[:3]:
+            svc.ingest(batch)
+        svc.close()
+        newest = max(tmp_path.glob("checkpoint-*.ckpt"))
+        raw = bytearray(newest.read_bytes())
+        raw[-1] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        resumed = PartitionService.resume(str(tmp_path))
+        # older checkpoint + journal replay still recovers a valid service
+        assert resumed.batch_index >= 2
+        resumed.close()
+
+    def test_resume_without_checkpoints_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            PartitionService.resume(str(tmp_path))
+
+    def test_checkpoint_restores_config_and_history(self, tmp_path):
+        n, batches = _feed()
+        svc = PartitionService(n, _config(), migration_cap=7,
+                               quality_every=2, checkpoint_dir=str(tmp_path))
+        for batch in batches[:2]:
+            svc.ingest(batch)
+        svc.close()
+        resumed = PartitionService.resume(str(tmp_path))
+        assert resumed.migration_cap == 7
+        assert resumed.quality_every == 2
+        assert resumed.config.num_partitions == 4
+        assert [s.batch for s in resumed.history] == [0, 1]
+        assert resumed.history[0].num_edges == svc.history[0].num_edges
+        resumed.close()
+
+    def test_resumed_service_keeps_checkpointing(self, tmp_path):
+        n, batches = _feed()
+        svc = PartitionService(n, _config(), checkpoint_dir=str(tmp_path))
+        svc.ingest(batches[0])
+        svc.close()
+        resumed = PartitionService.resume(str(tmp_path))
+        resumed.ingest(batches[1])
+        batch, _, meta = CheckpointManager(tmp_path).latest()
+        assert batch == 2 and meta["batch_index"] == 2
+        resumed.close()
+
+    def test_service_without_checkpoint_dir_rejects_checkpoint(self):
+        svc = PartitionService(100, _config())
+        with pytest.raises(RuntimeError, match="checkpoint_dir"):
+            svc.checkpoint()

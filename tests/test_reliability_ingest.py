@@ -1,0 +1,273 @@
+"""Hardened ingestion: typed errors in strict mode, counted drops in lenient."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.io import (
+    read_edgelist,
+    read_edges_binary,
+    read_npz,
+    write_edgelist,
+    write_edges_binary,
+    write_npz,
+)
+from repro.graph.stream import EdgeStream
+from repro.reliability.ingest import (
+    DropReport,
+    EdgeOverflowError,
+    IngestError,
+    MalformedEdgeError,
+    TruncatedPayloadError,
+    VertexRangeError,
+    sanitize_edges,
+)
+
+
+class TestSanitizeStrict:
+    def test_clean_int64_passthrough(self):
+        u = np.array([0, 1, 2], dtype=np.int64)
+        v = np.array([1, 2, 0], dtype=np.int64)
+        su, sv, report = sanitize_edges(u, v, num_vertices=3)
+        assert su is u and sv is v  # fast path: no copy
+        assert report.kept == 3 and report.total_dropped == 0
+
+    def test_negative_id(self):
+        with pytest.raises(VertexRangeError, match="negative"):
+            sanitize_edges([0, -1], [1, 1])
+
+    def test_out_of_range_id(self):
+        with pytest.raises(VertexRangeError, match="out of range"):
+            sanitize_edges([0, 5], [1, 1], num_vertices=3)
+
+    def test_nan_row(self):
+        with pytest.raises(MalformedEdgeError, match="non-finite"):
+            sanitize_edges([0.0, float("nan")], [1.0, 1.0])
+
+    def test_inf_row(self):
+        with pytest.raises(MalformedEdgeError, match="non-finite"):
+            sanitize_edges([0.0, float("inf")], [1.0, 1.0])
+
+    def test_fractional_float(self):
+        with pytest.raises(MalformedEdgeError, match="non-integral"):
+            sanitize_edges([0.0, 1.5], [1.0, 1.0])
+
+    def test_float_past_int64(self):
+        with pytest.raises(EdgeOverflowError, match="int64"):
+            sanitize_edges([0.0, 1e30], [1.0, 1.0])
+
+    def test_uint64_overflow(self):
+        huge = np.array([0, 2**63], dtype=np.uint64)
+        with pytest.raises(EdgeOverflowError, match="int64"):
+            sanitize_edges(huge, np.zeros(2, dtype=np.uint64))
+
+    def test_python_int_overflow(self):
+        with pytest.raises(EdgeOverflowError, match="int64"):
+            sanitize_edges(np.array([0, 2**70], dtype=object), [1, 1])
+
+    def test_non_numeric_object(self):
+        with pytest.raises(MalformedEdgeError, match="non-integer"):
+            sanitize_edges(np.array(["a", "1"], dtype=object), [1, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(MalformedEdgeError, match="equal length"):
+            sanitize_edges([0, 1], [1])
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be"):
+            sanitize_edges([0], [1], mode="casual")
+
+    def test_typed_errors_are_value_errors(self):
+        # existing callers catching ValueError keep working
+        assert issubclass(IngestError, ValueError)
+        for exc in (MalformedEdgeError, VertexRangeError, EdgeOverflowError,
+                    TruncatedPayloadError):
+            assert issubclass(exc, IngestError)
+
+
+class TestSanitizeLenient:
+    def test_drops_are_counted_per_reason(self):
+        u = [0.0, float("nan"), 2.0, -1.0, 9.0]
+        v = [1.0, 1.0, 1.5, 1.0, 1.0]
+        su, sv, report = sanitize_edges(u, v, num_vertices=5, mode="lenient")
+        assert np.array_equal(su, [0]) and np.array_equal(sv, [1])
+        assert report.kept == 1
+        assert report.dropped["non_finite"] == 1
+        assert report.dropped["non_integral"] == 1
+        assert report.dropped["negative"] == 1
+        assert report.dropped["out_of_range"] == 1
+
+    def test_edge_dropped_when_either_endpoint_bad(self):
+        su, sv, report = sanitize_edges([0, 1], [float("nan"), 1.0],
+                                        mode="lenient")
+        assert report.kept == 1
+        assert np.array_equal(su, [1])
+
+    def test_report_merge(self):
+        a = DropReport(kept=2, dropped={"negative": 1})
+        b = DropReport(kept=3, dropped={"negative": 2, "overflow": 1})
+        a.merge(b)
+        assert a.kept == 5
+        assert a.dropped == {"negative": 3, "overflow": 1}
+        assert a.to_dict()["total_dropped"] == 4
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=-5, max_value=30),
+                st.floats(allow_nan=True, allow_infinity=True, width=32),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_lenient_never_raises_and_accounts_every_row(self, raw):
+        u = np.array(raw, dtype=object)
+        v = np.array(raw[::-1], dtype=object)
+        su, sv, report = sanitize_edges(u, v, num_vertices=20, mode="lenient")
+        assert su.size == sv.size == report.kept
+        assert report.kept <= len(raw)
+        assert su.dtype == np.int64
+        if su.size:
+            assert su.min() >= 0 and su.max() < 20
+            assert sv.min() >= 0 and sv.max() < 20
+
+
+class TestEdgeStreamHardening:
+    def test_out_of_range_is_typed(self):
+        with pytest.raises(VertexRangeError):
+            EdgeStream([0, 9], [1, 1], 5)
+
+    def test_negative_is_typed(self):
+        with pytest.raises(VertexRangeError):
+            EdgeStream([0, -2], [1, 1], 5)
+
+    def test_typed_error_still_catchable_as_value_error(self):
+        with pytest.raises(ValueError):
+            EdgeStream([0, 9], [1, 1], 5)
+
+    def test_sanitized_constructor(self):
+        stream, report = EdgeStream.sanitized(
+            [0.0, float("nan"), 2.0], [1, 1, 3], 5
+        )
+        assert stream.num_edges == 2
+        assert report.dropped == {"non_finite": 1}
+
+
+@pytest.fixture
+def graph():
+    return DiGraph(
+        np.array([0, 1, 2, 3], dtype=np.int64),
+        np.array([1, 2, 3, 0], dtype=np.int64),
+        5,
+    )
+
+
+class TestEdgelistHardening:
+    def test_strict_names_file_and_line(self, tmp_path, graph):
+        path = tmp_path / "g.txt"
+        write_edgelist(graph, path)
+        with open(path, "a") as f:
+            f.write("not numbers\n")
+        with pytest.raises(MalformedEdgeError, match=r"g\.txt:6"):
+            read_edgelist(path)
+
+    def test_lenient_drops_and_counts(self, tmp_path, graph):
+        path = tmp_path / "g.txt"
+        write_edgelist(graph, path)
+        with open(path, "a") as f:
+            f.write("garbage\n7\n-3 2\n")
+        report = DropReport()
+        loaded = read_edgelist(path, mode="lenient", report=report)
+        assert loaded.num_edges == 4
+        assert report.dropped == {"malformed": 2, "negative": 1}
+
+    def test_huge_textual_id_is_typed_not_traceback(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text(f"0 1\n2 {2**70}\n")
+        with pytest.raises(EdgeOverflowError):
+            read_edgelist(path)
+        loaded = read_edgelist(path, mode="lenient")
+        assert loaded.num_edges == 1
+
+    def test_binary_junk_does_not_crash(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_bytes(bytes(range(256)))
+        with pytest.raises((MalformedEdgeError, ValueError)):
+            read_edgelist(path)
+
+
+class TestBinaryEdges:
+    def test_round_trip(self, tmp_path, graph):
+        path = tmp_path / "g.bin"
+        write_edges_binary(graph, path)
+        loaded = read_edges_binary(path)
+        assert np.array_equal(loaded.src, graph.src)
+        assert np.array_equal(loaded.dst, graph.dst)
+        assert loaded.num_vertices == graph.num_vertices
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        empty = DiGraph(np.empty(0, dtype=np.int64),
+                        np.empty(0, dtype=np.int64), 3)
+        path = tmp_path / "e.bin"
+        write_edges_binary(empty, path)
+        loaded = read_edges_binary(path)
+        assert loaded.num_edges == 0 and loaded.num_vertices == 3
+
+    def test_truncation_strict(self, tmp_path, graph):
+        path = tmp_path / "g.bin"
+        write_edges_binary(graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 20])
+        with pytest.raises(TruncatedPayloadError, match="declares"):
+            read_edges_binary(path)
+
+    def test_truncation_lenient_keeps_prefix(self, tmp_path, graph):
+        path = tmp_path / "g.bin"
+        write_edges_binary(graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 20])
+        report = DropReport()
+        loaded = read_edges_binary(path, mode="lenient", report=report)
+        assert loaded.num_edges == 3  # the torn 4th edge is gone
+        assert np.array_equal(loaded.src, graph.src[:3])
+        assert report.dropped == {"truncated": 1}
+
+    def test_crc_corruption_strict(self, tmp_path, graph):
+        path = tmp_path / "g.bin"
+        write_edges_binary(graph, path)
+        raw = bytearray(path.read_bytes())
+        raw[30] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TruncatedPayloadError, match="CRC"):
+            read_edges_binary(path)
+
+    def test_bad_magic(self, tmp_path, graph):
+        path = tmp_path / "g.bin"
+        write_edges_binary(graph, path)
+        raw = bytearray(path.read_bytes())
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(MalformedEdgeError, match="magic"):
+            read_edges_binary(path)
+
+
+class TestNpzHardening:
+    def test_truncated_archive_is_typed(self, tmp_path, graph):
+        path = tmp_path / "g.npz"
+        write_npz(graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(TruncatedPayloadError, match="npz"):
+            read_npz(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_npz(tmp_path / "nope.npz")
+
+    def test_intact_archive_unaffected(self, tmp_path, graph):
+        path = tmp_path / "g.npz"
+        write_npz(graph, path)
+        loaded = read_npz(path)
+        assert np.array_equal(loaded.src, graph.src)
