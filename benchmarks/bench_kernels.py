@@ -7,11 +7,16 @@ engineering claims for the :mod:`repro.kernels` backends —
 * the hdrf/greedy jit chunk path is >= 5x faster than the ``"fast"``
   scalar core it bypasses and >= 10x faster than per-edge streaming on
   the 100k-edge bench graph,
+* the pass-2 game stage with ``game_impl="jit"`` (PR 9: fused
+  best-response rounds, incremental delta-scoring, O(1) potential)
+  is >= 5x faster than the numpy adjacency-table engine,
 * CLUGP end-to-end (pass 1 + game + pass 3) with ``chunk_impl="jit"``
-  is >= 10x faster than the per-edge reference pipeline (up from ~4x
-  for the numpy chunk engines alone), and
+  + ``game_impl="jit"`` is >= 20x faster than the per-edge reference
+  pipeline (up from ~13x with the chunk kernels alone), and
 * every jit assignment is **bit-identical** to the fast and per-edge
-  paths (``identity_mismatches`` must be empty in the JSON artifact).
+  paths (``identity_mismatches`` must be empty in the JSON artifact,
+  both top-level and in the ``game`` section — the game identity also
+  covers move sequences and full potential traces).
 
 Kernel compilation (numba nopython build or the one-off ``cc`` call) is
 excluded from every timing region via :func:`repro.kernels.warmup`.
@@ -53,7 +58,8 @@ from repro.partitioners.registry import make_partitioner
 JIT_ALGORITHMS = ("hdrf", "greedy")
 JIT_VS_FAST_FLOOR = 5.0
 JIT_VS_PER_EDGE_FLOOR = 10.0
-CLUGP_E2E_FLOOR = 10.0
+CLUGP_E2E_FLOOR = 20.0
+GAME_VS_FAST_FLOOR = 5.0
 
 #: jit assignments that must match the fast path bit for bit
 IDENTITY_ALGORITHMS = ("hdrf", "greedy", "clugp", "clugp-s", "clugp-g")
@@ -100,9 +106,12 @@ def measure_jit(stream: EdgeStream, k: int, chunk_size: int, repeats: int) -> di
 
 
 def measure_clugp(stream: EdgeStream, k: int, repeats: int) -> dict:
-    """End-to-end CLUGP per-pass timings, fast vs jit chunk engines."""
+    """End-to-end CLUGP per-pass timings: fast engines vs jit chunk
+    kernels + the fused jit game."""
     fast = clugp_stage_times(stream, k, repeats=repeats)
-    jit = clugp_stage_times(stream, k, repeats=repeats, chunk_impl="jit")
+    jit = clugp_stage_times(
+        stream, k, repeats=repeats, chunk_impl="jit", game_impl="jit"
+    )
     per_edge = fast["per-edge"]["total"]
     return {
         "per_edge": fast["per-edge"],
@@ -113,13 +122,88 @@ def measure_clugp(stream: EdgeStream, k: int, repeats: int) -> dict:
     }
 
 
+def measure_game(stream: EdgeStream, k: int, repeats: int) -> dict:
+    """Pass-2 game engine timings + three-way identity on one cluster graph.
+
+    Isolates the game from the pipeline: pass 1 runs once, then each
+    engine (per-neighbor ``reference``, numpy adjacency-table ``fast``,
+    fused-kernel ``jit``) replays the identical potential-game descent
+    from the same random initial assignment.  Identity covers the final
+    assignment, the committed move sequence ``(cluster, from, to)``,
+    round/move counts, and the full per-round potential trace — the
+    jit trace comes from the kernel's O(1) maintained potential, so
+    trace equality also certifies the incremental (S, C) bookkeeping.
+    """
+    from repro.config import GameConfig
+    from repro.core.cluster_graph import build_cluster_graph
+    from repro.core.clustering import streaming_clustering
+    from repro.core.game import ClusterPartitioningGame
+
+    cfg = make_partitioner("clugp", k, seed=0).config
+    clustering = streaming_clustering(
+        stream, cfg.resolve_vmax(stream.num_edges),
+        enable_splitting=cfg.enable_splitting,
+    )
+    cluster_graph = build_cluster_graph(stream, clustering)
+
+    def run(impl):
+        game = ClusterPartitioningGame(
+            cluster_graph, k, GameConfig(seed=0, game_impl=impl)
+        )
+        with Timer() as t:
+            result = game.run(record_moves=True)
+        return game, result, t.elapsed
+
+    timings = {}
+    results = {}
+    for impl in ("reference", "fast", "jit"):
+        best = float("inf")
+        for _ in range(repeats):
+            game, result, elapsed = run(impl)
+            best = min(best, elapsed)
+        timings[impl] = max(best, 1e-9)
+        results[impl] = (game, result)
+
+    mismatches = []
+    _, fast_res = results["fast"]
+    for impl in ("reference", "jit"):
+        _, res = results[impl]
+        same = (
+            np.array_equal(res.assignment, fast_res.assignment)
+            and res.move_log == fast_res.move_log
+            and res.rounds == fast_res.rounds
+            and res.potential_trace == fast_res.potential_trace
+        )
+        if not same:
+            mismatches.append(f"game[{impl}]")
+    jit_game, jit_res = results["jit"]
+    # the O(1) maintained potential must equal the from-scratch recompute
+    if jit_res.potential_trace[-1] != jit_game.potential():
+        mismatches.append("game[jit-potential]")
+
+    return {
+        "clusters": cluster_graph.num_clusters,
+        "rounds": fast_res.rounds,
+        "moves": fast_res.moves,
+        "reference_ms": timings["reference"] * 1000,
+        "fast_ms": timings["fast"] * 1000,
+        "jit_ms": timings["jit"] * 1000,
+        "speedup_jit_vs_fast": timings["fast"] / timings["jit"],
+        "speedup_jit_vs_reference": timings["reference"] / timings["jit"],
+        "identity_mismatches": mismatches,
+    }
+
+
 def check_bit_identical(num_edges: int, k: int, chunk_size: int) -> list[str]:
     """Names whose jit assignment differs from fast/per-edge (want: none)."""
     stream = build_stream(num_edges, seed=11)
     mismatches = []
     for name in IDENTITY_ALGORITHMS:
+        kwargs = {"chunk_impl": "jit"}
+        if name.startswith("clugp"):
+            kwargs["game_impl"] = "jit"  # both compiled seams at once
         per_edge = make_partitioner(name, k, seed=1).partition_per_edge(stream)
-        jit = make_partitioner(name, k, seed=1, chunk_impl="jit").partition_chunked(
+        jit = make_partitioner(name, k, seed=1, **kwargs).partition_chunked(
             stream, chunk_size=chunk_size
         )
         if not np.array_equal(per_edge.edge_partition, jit.edge_partition):
@@ -172,6 +256,7 @@ def main(argv=None) -> int:
     vs_fast_floor = 2.0 if args.quick else JIT_VS_FAST_FLOOR
     vs_pe_floor = 3.0 if args.quick else JIT_VS_PER_EDGE_FLOOR
     e2e_floor = 3.0 if args.quick else CLUGP_E2E_FLOOR
+    game_floor = 1.5 if args.quick else GAME_VS_FAST_FLOOR
 
     stream = build_stream(args.edges)
     print(
@@ -223,6 +308,31 @@ def main(argv=None) -> int:
             f"vs per-edge, below the {e2e_floor:.0f}x floor"
         )
 
+    game = measure_game(stream, args.partitions, args.repeats)
+    print(
+        f"\ngame stage ({game['clusters']} clusters, {game['rounds']} rounds, "
+        f"{game['moves']} moves): reference {game['reference_ms']:.1f}ms, "
+        f"fast {game['fast_ms']:.1f}ms, jit {game['jit_ms']:.1f}ms "
+        f"({game['speedup_jit_vs_fast']:.1f}x vs fast, floor {game_floor:.1f}x; "
+        f"{game['speedup_jit_vs_reference']:.1f}x vs reference)"
+    )
+    if game["speedup_jit_vs_fast"] < game_floor:
+        failures.append(
+            f"game: jit {game['speedup_jit_vs_fast']:.1f}x vs the numpy "
+            f"adjacency-table engine, below the {game_floor:.1f}x floor"
+        )
+    if game["identity_mismatches"]:
+        failures.append(
+            "game: engines diverged for: "
+            + ", ".join(game["identity_mismatches"])
+        )
+    else:
+        print(
+            "  game identity: reference == fast == jit on assignment, "
+            "move sequence, rounds, and full potential trace "
+            "(incl. maintained == recomputed potential)"
+        )
+
     identity_edges = min(args.edges, 20_000)
     mismatches = check_bit_identical(identity_edges, args.partitions, chunk_size=1013)
     if mismatches:
@@ -247,9 +357,11 @@ def main(argv=None) -> int:
                         "jit_vs_fast": vs_fast_floor,
                         "jit_vs_per_edge": vs_pe_floor,
                         "clugp_e2e_vs_per_edge": e2e_floor,
+                        "game_jit_vs_fast": game_floor,
                     },
                     "jit": rows,
                     "clugp": clugp,
+                    "game": game,
                     "identity_mismatches": mismatches,
                 },
                 fh,

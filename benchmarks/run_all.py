@@ -2,7 +2,7 @@
 """Run the engineering benchmarks and write one consolidated JSON report.
 
 This is the perf-trajectory entry point: each PR that touches a hot path
-runs ``python benchmarks/run_all.py --json BENCH_pr8.json`` and CI runs
+runs ``python benchmarks/run_all.py --json BENCH_pr9.json`` and CI runs
 the ``--quick`` variant on every push, so regressions in any of the
 enforced floors fail loudly and the JSON artifacts accumulate a
 machine-readable history of the repo's throughput claims.
@@ -13,12 +13,14 @@ Sections (each with its own floors; exit status is non-zero if any fails):
   chunked-vs-per-edge floors, hdrf/greedy >= 5x vs their retained
   reference chunk loop plus a vs-per-edge floor, full-registry
   bit-identity sweep.
-* ``kernels`` — bench_kernels: the compiled ``chunk_impl="jit"``
-  backends — hdrf/greedy >= 5x vs the fast scalar core and >= 10x vs
-  per-edge, CLUGP end-to-end >= 10x vs per-edge, jit-vs-per-edge
-  bit-identity incl. the k=100 multiword corner; warm-up (numba/cc
-  compile) excluded from every timing region.  Skipped (not failed)
-  when no compiled backend resolves.
+* ``kernels`` — bench_kernels: the compiled ``chunk_impl="jit"`` /
+  ``game_impl="jit"`` backends — hdrf/greedy >= 5x vs the fast scalar
+  core and >= 10x vs per-edge, the fused pass-2 game kernel >= 5x vs
+  the numpy adjacency-table engine (with three-way identity on move
+  sequences and potential traces), CLUGP end-to-end >= 20x vs
+  per-edge, jit-vs-per-edge bit-identity incl. the k=100 multiword
+  corner; warm-up (numba/cc compile) excluded from every timing
+  region.  Skipped (not failed) when no compiled backend resolves.
 * ``clugp_stages`` — bench_clugp_stages: per-pass timings and the >= 4x
   end-to-end CLUGP chunked floor.
 * ``parallel_game`` — batched vs sequential-reference best response:

@@ -121,6 +121,7 @@ def clugp_stage_times(
     repeats: int = 3,
     chunk_impl: str = "fast",
     kernel_backend: str = "auto",
+    game_impl: str = "fast",
 ) -> dict[str, dict[str, float]]:
     """Best-of-``repeats`` per-pass wall-clock of one CLUGP variant.
 
@@ -131,7 +132,8 @@ def clugp_stage_times(
     per-neighbor game scorer,
     :func:`repro.core.transform.transform_partitions`); the chunked side
     times the vectorized chunk engines (:class:`ClusteringState`, the
-    CSR/adjacency-table game, :class:`TransformState`) running
+    CSR/adjacency-table game — or, with ``game_impl="jit"``, the fused
+    compiled rounds — and :class:`TransformState`) running
     ``chunk_impl`` (``"fast"``/``"reference"``/``"jit"``).  Both paths
     are asserted bit-identical before timings are returned.
     """
@@ -142,7 +144,10 @@ def clugp_stage_times(
     from ..core.cluster_graph import build_cluster_graph
     from ..core.transform import TransformState, transform_partitions
 
-    partitioner = make_partitioner(variant, num_partitions, seed=seed)
+    partitioner = make_partitioner(
+        variant, num_partitions, seed=seed,
+        kernel_backend=kernel_backend, game_impl=game_impl,
+    )
     cfg = partitioner.config
     vmax = cfg.resolve_vmax(stream.num_edges)
     baseline = None
@@ -150,7 +155,10 @@ def clugp_stage_times(
     for ingest in ("per-edge", "chunked"):
         stages: dict[str, float] = {}
         for _ in range(repeats):
-            partitioner = make_partitioner(variant, num_partitions, seed=seed)
+            partitioner = make_partitioner(
+                variant, num_partitions, seed=seed,
+                kernel_backend=kernel_backend, game_impl=game_impl,
+            )
             if ingest == "per-edge":
                 with Timer() as t1:
                     clustering = streaming_clustering(

@@ -83,7 +83,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel-backend",
         default="auto",
         choices=["auto", "numba", "cc", "python", "none"],
-        help="kernel backend --chunk-impl=jit resolves (default: auto)",
+        help="kernel backend --chunk-impl=jit / --game-impl=jit resolve "
+        "(default: auto)",
+    )
+    impl_common.add_argument(
+        "--game-impl",
+        default="fast",
+        choices=["fast", "reference", "jit"],
+        help=(
+            "pass-2 game engine: 'fast' (numpy adjacency-table rounds, "
+            "default), 'reference' (per-neighbor oracle) or 'jit' (fused "
+            "compiled rounds, degrading to 'fast' when unavailable); all "
+            "three are bit-identical"
+        ),
     )
 
     p_part = sub.add_parser(
@@ -278,7 +290,8 @@ def _load_stream(args) -> EdgeStream:
 
 
 def _impl_kwargs(args) -> dict:
-    """Non-default --chunk-impl/--kernel-backend values as ctor kwargs.
+    """Non-default --chunk-impl/--kernel-backend/--game-impl values as
+    ctor kwargs.
 
     Only non-defaults are forwarded so algorithms without the knobs keep
     working untouched; passing a non-default to one of those raises a
@@ -289,6 +302,8 @@ def _impl_kwargs(args) -> dict:
         kwargs["chunk_impl"] = args.chunk_impl
     if args.kernel_backend != "auto":
         kwargs["kernel_backend"] = args.kernel_backend
+    if getattr(args, "game_impl", "fast") != "fast":
+        kwargs["game_impl"] = args.game_impl
     return kwargs
 
 
@@ -301,9 +316,10 @@ def _cmd_partition(args) -> int:
         )
     except TypeError:
         raise SystemExit(
-            f"--chunk-impl/--kernel-backend are not supported by "
-            f"{args.algorithm!r} (chunk-capable algorithms: hdrf, greedy, "
-            f"clugp and its ablations)"
+            f"--chunk-impl/--kernel-backend/--game-impl are not supported "
+            f"by {args.algorithm!r} (chunk-capable algorithms: hdrf, "
+            f"greedy, clugp and its ablations; --game-impl: clugp family "
+            f"only)"
         )
     if partitioner.preferred_order != "natural":
         stream = stream.reordered(partitioner.preferred_order, seed=args.seed)
@@ -450,7 +466,7 @@ def _cmd_distribute(args) -> int:
     stream = _load_stream(args)
     cfg = ClugpConfig(
         num_partitions=args.partitions,
-        game=GameConfig(seed=args.seed),
+        game=GameConfig(seed=args.seed, game_impl=args.game_impl),
         chunk_impl=args.chunk_impl,
         kernel_backend=args.kernel_backend,
         reliability=_reliability_config(args),
@@ -516,7 +532,7 @@ def _cmd_serve(args) -> int:
         rel = rel.with_(checkpoint_every=args.checkpoint_every)
     cfg = ClugpConfig(
         num_partitions=args.partitions,
-        game=GameConfig(seed=args.seed),
+        game=GameConfig(seed=args.seed, game_impl=args.game_impl),
         chunk_impl=args.chunk_impl,
         kernel_backend=args.kernel_backend,
         reliability=rel,

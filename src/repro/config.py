@@ -117,6 +117,19 @@ class GameConfig:
         Thread-pool width for the batched game (paper default 32).
     seed:
         Seed for the random initial cluster->partition assignment.
+    game_impl:
+        Pass-2 engine: ``"fast"`` (default, the numpy adjacency-table
+        rounds), ``"reference"`` (the per-neighbor oracle loop) or
+        ``"jit"`` (the fused-round :mod:`repro.kernels` kernel,
+        degrading to ``"fast"`` when no backend is available).  All
+        three are bit-identical — same move sequences, rounds, and
+        potential traces.
+    kernel_backend:
+        Which kernel backend ``game_impl="jit"`` resolves — one of
+        ``"auto"``, ``"numba"``, ``"cc"``, ``"python"``, ``"none"``.
+        :class:`ClugpConfig` syncs its own ``kernel_backend`` into this
+        field when it is left at ``"auto"``, so one outer knob steers
+        both the chunked ingestion and the game.
     """
 
     lambda_mode: str = "max"
@@ -126,6 +139,8 @@ class GameConfig:
     batch_size: int = 6400
     num_threads: int = 4
     seed: int = 0
+    game_impl: str = "fast"
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.lambda_mode not in ("max", "balanced", "fixed"):
@@ -139,6 +154,16 @@ class GameConfig:
         check_positive_int(self.max_rounds, "max_rounds")
         check_positive_int(self.batch_size, "batch_size")
         check_positive_int(self.num_threads, "num_threads")
+        if self.game_impl not in ("fast", "reference", "jit"):
+            raise ValueError(
+                f"game_impl must be 'fast', 'reference' or 'jit', "
+                f"got {self.game_impl!r}"
+            )
+        if self.kernel_backend not in ("auto", "numba", "cc", "python", "none"):
+            raise ValueError(
+                f"kernel_backend must be one of 'auto', 'numba', 'cc', "
+                f"'python', 'none', got {self.kernel_backend!r}"
+            )
 
     def with_(self, **kwargs) -> "GameConfig":
         """Return a copy with the given fields replaced."""
@@ -178,6 +203,9 @@ class ClugpConfig:
     kernel_backend:
         Which kernel backend ``chunk_impl="jit"`` resolves — one of
         ``"auto"``, ``"numba"``, ``"cc"``, ``"python"``, ``"none"``.
+        A non-default value also flows into ``game.kernel_backend``
+        (unless the nested game config pinned its own), so one knob
+        steers every compiled seam in the pipeline.
     reliability:
         The nested :class:`ReliabilityConfig` (retries, deadlines,
         checkpoint cadence, fault injection, ingest hardening).
@@ -215,6 +243,16 @@ class ClugpConfig:
             raise ValueError(
                 f"kernel_backend must be one of 'auto', 'numba', 'cc', "
                 f"'python', 'none', got {self.kernel_backend!r}"
+            )
+        # one outer knob steers both seams: a non-default pipeline
+        # kernel_backend flows into the nested game config unless the
+        # game config pinned its own backend explicitly
+        if (
+            self.kernel_backend != "auto"
+            and self.game.kernel_backend == "auto"
+        ):
+            object.__setattr__(
+                self, "game", self.game.with_(kernel_backend=self.kernel_backend)
             )
 
     def with_(self, **kwargs) -> "ClugpConfig":

@@ -363,18 +363,38 @@ def cluster_graph_from_labels(
     cu = np.asarray(cu, dtype=np.int64)
     cv = np.asarray(cv, dtype=np.int64)
     internal = np.zeros(m, dtype=np.int64)
-    same = cu == cv
-    if m and cu.size:
+    rows = cols = counts = np.empty(0, dtype=np.int64)
+    cells = m * m
+    if m and cu.size and cells <= max(1 << 20, 2 * cu.size):
+        # dense group-by: one bincount over the whole (u, v) key space
+        # beats sorting the keys when the space is small relative to the
+        # edge count.  Diagonal cells are the same-cluster (internal)
+        # counts; flatnonzero of the rest yields the unique inter keys
+        # ascending — exactly the radix path's sorted ukeys — and the
+        # counts are integers, so both paths build identical CSR triples.
+        key_counts = np.bincount(cu * np.int64(m) + cv, minlength=cells)
+        diag = np.arange(m, dtype=np.int64) * np.int64(m + 1)
+        internal += key_counts[diag]
+        key_counts[diag] = 0
+        ukeys = np.flatnonzero(key_counts)
+        if ukeys.size:
+            counts = key_counts[ukeys]
+            rows = ukeys // m
+            cols = ukeys % m
+    elif m and cu.size:
+        same = cu == cv
         internal += np.bincount(cu[same], minlength=m)
-    inter_u = cu[~same]
-    inter_v = cv[~same]
-    if inter_u.size:
-        _, ukeys, starts = _radix_group(inter_u * np.int64(m) + inter_v, m * m)
-        counts = np.diff(np.concatenate([starts, [inter_u.size]])).astype(np.int64)
-        rows = ukeys // m
-        cols = ukeys % m
-    else:
-        rows = cols = counts = np.empty(0, dtype=np.int64)
+        inter_u = cu[~same]
+        inter_v = cv[~same]
+        if inter_u.size:
+            _, ukeys, starts = _radix_group(
+                inter_u * np.int64(m) + inter_v, cells
+            )
+            counts = np.diff(
+                np.concatenate([starts, [inter_u.size]])
+            ).astype(np.int64)
+            rows = ukeys // m
+            cols = ukeys % m
     indptr, indices, weights = _csr_from_pairs(rows, cols, counts, m)
     in_indptr, in_indices, in_weights = _csr_from_pairs(cols, rows, counts, m)
     return ClusterGraph(

@@ -93,7 +93,10 @@ class ClusteringResult:
         Boolean mask — vertices that triggered at least one split.
     mirror_clusters:
         For each divided vertex, the list of cluster ids (compact) that
-        retain a mirror of it; used by Algorithm 1 line 18.
+        retain a mirror of it; used by Algorithm 1 line 18.  Materialized
+        lazily from ``mirror_source`` on first access — nothing on the
+        pipeline hot path reads it, so ``finalize`` only has to store the
+        compacted journal arrays.
     num_clusters:
         ``m`` — number of non-empty clusters.
     max_volume:
@@ -114,7 +117,9 @@ class ClusteringResult:
     degree: np.ndarray
     volume: np.ndarray
     divided: np.ndarray
-    mirror_clusters: dict[int, list[int]]
+    mirror_source: (
+        dict[int, list[int]] | tuple[np.ndarray, np.ndarray, int]
+    ) = field(repr=False)
     num_clusters: int
     max_volume: int
     splits: int = 0
@@ -122,6 +127,39 @@ class ClusteringResult:
     allocations: int = 0
     raw_ids: np.ndarray | None = field(default=None, repr=False)
     _members: dict[int, list[int]] | None = field(default=None, repr=False)
+    _mirror_dict: dict[int, list[int]] | None = field(default=None, repr=False)
+
+    @property
+    def mirror_clusters(self) -> dict[int, list[int]]:
+        """Divided vertex -> sorted compact mirror cluster ids (lazy).
+
+        ``mirror_source`` is either the finished dict (per-edge loop) or
+        the compacted ``(vertices, compact_ids, num_clusters)`` journal
+        arrays; the dict-of-lists — ~9k tiny Python lists on the bench
+        fixture — is only paid for by consumers that actually read it.
+        """
+        if self._mirror_dict is None:
+            src = self.mirror_source
+            if isinstance(src, dict):
+                self._mirror_dict = src
+            else:
+                mv, mc, num_used = src
+                mirrors: dict[int, list[int]] = {}
+                if mv.size:
+                    # sorted unique (vertex, compact id) pairs via one
+                    # scalar key; consecutive runs of the vertex
+                    # component are the dict groups
+                    keys = np.unique(mv * num_used + mc)
+                    vs = keys // num_used
+                    cs = (keys % num_used).tolist()
+                    vs_list = vs.tolist()
+                    starts = np.flatnonzero(
+                        np.r_[True, np.diff(vs) != 0]
+                    ).tolist()
+                    for a, b in zip(starts, starts[1:] + [len(cs)]):
+                        mirrors[vs_list[a]] = cs[a:b]
+                self._mirror_dict = mirrors
+        return self._mirror_dict
 
     def active_mask(self) -> np.ndarray:
         """Boolean mask of vertices seen by the stream (``cluster_of >= 0``).
@@ -828,8 +866,9 @@ def _compact(
     ``mirror_clusters`` is either the ``{vertex: [raw ids]}`` dict the
     per-edge loop accumulates, or a ``(vertices, raw_ids)`` pair of
     parallel sequences (the chunked state's journal) — the latter is
-    compacted vectorized, which keeps ``finalize`` off the hot-path
-    profile.  Both forms produce the same dict: sorted unique compact ids
+    compacted vectorized and handed to the result as arrays, deferring
+    the dict-of-lists to :attr:`ClusteringResult.mirror_clusters`'s first
+    reader.  Both forms produce the same dict: sorted unique compact ids
     per vertex, vertices with no surviving mirror dropped.
 
     The surviving raw ids are recorded on the result (``raw_ids``) so
@@ -846,12 +885,14 @@ def _compact(
     compact_of = cluster_of.copy()
     compact_of[active] = remap[cluster_of[active]]
     compact_volumes = np.asarray(volumes, dtype=np.int64)[used]
-    compact_mirrors: dict[int, list[int]] = {}
+    mirror_source: dict[int, list[int]] | tuple[np.ndarray, np.ndarray, int]
     if isinstance(mirror_clusters, dict):
+        compact_mirrors: dict[int, list[int]] = {}
         for v, raw_ids in mirror_clusters.items():
             kept = sorted({int(remap[c]) for c in raw_ids if used[c]})
             if kept:
                 compact_mirrors[v] = kept
+        mirror_source = compact_mirrors
     else:
         mv, mc = mirror_clusters
         mv = np.asarray(mv, dtype=np.int64)
@@ -859,22 +900,13 @@ def _compact(
         if mv.size:
             kept = used[mc]
             mv, mc = mv[kept], remap[mc[kept]]
-        if mv.size:
-            # sorted unique (vertex, compact id) pairs via one scalar key;
-            # consecutive runs of the vertex component are the dict groups
-            keys = np.unique(mv * num_used + mc)
-            vs = keys // num_used
-            cs = (keys % num_used).tolist()
-            vs_list = vs.tolist()
-            starts = np.flatnonzero(np.r_[True, np.diff(vs) != 0]).tolist()
-            for a, b in zip(starts, starts[1:] + [len(cs)]):
-                compact_mirrors[vs_list[a]] = cs[a:b]
+        mirror_source = (mv, mc, num_used)
     return ClusteringResult(
         cluster_of=compact_of,
         degree=degree,
         volume=compact_volumes,
         divided=divided,
-        mirror_clusters=compact_mirrors,
+        mirror_source=mirror_source,
         num_clusters=int(used.sum()),
         max_volume=max_volume,
         splits=splits,

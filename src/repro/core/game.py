@@ -20,8 +20,8 @@ equilibrium quality is bounded by PoA <= k+1 / PoS <= 2 (Theorems 7-8).
 experimental setting); Figure 11(b)'s *relative weight* knob scales the
 load term by ``w / (1 - w)`` on top.
 
-Vectorization
--------------
+Vectorization and compilation
+-----------------------------
 Best response evaluates all ``k`` candidate costs of a cluster as one
 vectorized delta against the CSR neighbor slice of the symmetrized
 cluster graph (:meth:`ClusterGraph.sym`).  :meth:`run` additionally keeps
@@ -32,6 +32,15 @@ O(m) small numpy calls instead of O(sum deg) Python iterations.  All
 adjacency weights are integers, so the table path, the on-demand bincount
 path, and the retained per-neighbor reference loop (``vectorized=False``)
 produce bit-identical float costs and therefore identical move sequences.
+
+``GameConfig.game_impl`` selects the engine: ``"fast"`` (the numpy
+rounds above), ``"reference"`` (per-neighbor oracle), or ``"jit"``,
+which fuses each round into one :mod:`repro.kernels` call — the kernel
+owns the flat adjacency table, loads and assignment, adds the
+decision-preserving epoch skip rule, and maintains the potential in
+O(1) per move instead of recomputing it per round (DESIGN.md §10).
+All three engines are bit-identical; ``"jit"`` degrades to ``"fast"``
+when no backend resolves, exactly like ``chunk_impl``.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from itertools import product
 
 import numpy as np
 
+from .. import kernels
 from .._util import as_rng, check_positive_int
 from ..config import GameConfig
 from .cluster_graph import ClusterGraph
@@ -110,6 +120,9 @@ class GameResult:
     lambda_value: float
     potential_trace: list[float] = field(default_factory=list)
     converged: bool = True
+    #: committed moves as ``(cluster, from, to)`` in commit order; only
+    #: populated by ``run(record_moves=True)`` (identity testing hook)
+    move_log: list[tuple[int, int, int]] | None = None
 
 
 class ClusterPartitioningGame:
@@ -126,7 +139,8 @@ class ClusterPartitioningGame:
     vectorized:
         ``True`` (default) scores best responses against CSR neighbor
         slices; ``False`` keeps the faithful per-neighbor Python loop as
-        the reference scorer.  Both produce bit-identical assignments
+        the reference scorer (overriding ``config.game_impl`` to
+        ``"reference"``).  All engines produce bit-identical assignments
         (integer adjacency sums are exact in either order).
     initial_assignment:
         Optional warm start: a length-``m`` cluster->partition array that
@@ -150,7 +164,16 @@ class ClusterPartitioningGame:
         self.graph = cluster_graph
         self.k = check_positive_int(num_partitions, "num_partitions")
         self.config = config or GameConfig()
-        self.vectorized = bool(vectorized)
+        impl = self.config.game_impl
+        if not vectorized:
+            impl = "reference"  # legacy ctor knob forces the oracle loop
+        self._backend = None
+        if impl == "jit":
+            self._backend = kernels.get_backend(self.config.kernel_backend)
+            if self._backend is None:
+                impl = "fast"  # graceful degradation (one-time warning)
+        self.game_impl = impl
+        self.vectorized = impl != "reference"
         m = cluster_graph.num_clusters
         if initial_assignment is None:
             rng = as_rng(self.config.seed)
@@ -178,6 +201,8 @@ class ClusterPartitioningGame:
         self._sym_indptr, self._sym_indices, sym_w = cluster_graph.sym()
         self._sym_weights = sym_w.astype(np.float64)
         self._cut_degree = cluster_graph.cut_degrees().astype(np.float64)
+        self._internal_f = cluster_graph.internal.astype(np.float64)
+        self._lam_over_k = self._lambda_eff / self.k
         self._nbrs_cache: list[list[tuple[int, int]]] | None = None
 
     @property
@@ -247,12 +272,26 @@ class ClusterPartitioningGame:
         sums in float64, hence exact in any accumulation order.
 
         This is the shared kernel behind the batched parallel game
-        (:func:`repro.core.parallel.parallel_game`): one segmented
-        bincount over the batch's CSR slice replaces per-cluster
-        neighbor bincounts.
+        (:func:`repro.core.parallel.parallel_game`) and the vectorized
+        :meth:`is_nash_equilibrium` scan: one segmented bincount over
+        the batch's CSR slice replaces per-cluster neighbor bincounts.
+        With ``game_impl="jit"`` the rows come from the compiled
+        ``game_cost_rows`` primitive instead — same op sequence, so
+        still bit-identical.
         """
         k = self.k
         length = stop - start
+        if self._backend is not None:
+            out = np.empty(length * k, dtype=np.float64)
+            self._backend.game_cost_rows(
+                start, stop, k, self._lam_over_k,
+                self._sym_indptr, self._sym_indices, self._sym_weights,
+                self._internal_f, self._cut_degree,
+                np.ascontiguousarray(assignment, dtype=np.int64),
+                np.ascontiguousarray(loads, dtype=np.float64),
+                out,
+            )
+            return out.reshape(length, k)
         sizes = self.graph.internal[start:stop].astype(np.float64)
         cur = assignment[start:stop]
         rows = np.arange(length)
@@ -333,15 +372,22 @@ class ClusterPartitioningGame:
             )
         return adj
 
-    def run(self, active: np.ndarray | None = None) -> GameResult:
+    def run(
+        self, active: np.ndarray | None = None, record_moves: bool = False
+    ) -> GameResult:
         """Iterate best responses until Nash equilibrium (Algorithm 3).
 
         Uses the incremental adjacency table when it fits: each move
         updates only the moved cluster's neighbor rows, so rounds are O(m)
         vectorized cost evaluations plus O(moved degree) table updates.
+        With ``game_impl="jit"`` each round is a single fused kernel call
+        (see :meth:`_run_kernel`); the engines are bit-identical.
 
         Parameters
         ----------
+        record_moves:
+            Collect every committed move as ``(cluster, from, to)`` on
+            ``GameResult.move_log`` — the cross-engine identity hook.
         active:
             Optional boolean mask (length ``m``) restricting the *player
             set*: only clusters with ``active[c]`` may move; the rest are
@@ -361,26 +407,31 @@ class ClusterPartitioningGame:
             warm-started from the previous equilibrium.
         """
         m = self.graph.num_clusters
-        if active is None:
-            players = range(m)
-        else:
+        if active is not None:
             active = np.asarray(active, dtype=bool)
             if active.shape != (m,):
                 raise ValueError(f"active mask must have shape ({m},)")
-            players = np.flatnonzero(active).tolist()
+        if self._backend is not None:
+            players_arr = (
+                np.arange(m, dtype=np.int64)
+                if active is None
+                else np.flatnonzero(active).astype(np.int64)
+            )
+            return self._run_kernel(players_arr, record_moves)
+        players = range(m) if active is None else np.flatnonzero(active).tolist()
         adj = self._build_adj_table()
-        internal = self.graph.internal
         cut_degree = self._cut_degree
-        lam_over_k = self._lambda_eff / self.k
+        lam_over_k = self._lam_over_k
         indptr, indices = self._sym_indptr, self._sym_indices
         sym_w = self._sym_weights
         trace = [self.potential()]
         total_moves = 0
         rounds = 0
         converged = False
-        internal_l = internal.tolist()
+        internal_l = self.graph.internal.tolist()
         loads = self.loads
         assignment = self.assignment
+        move_log: list[tuple[int, int, int]] | None = [] if record_moves else None
         # a cluster re-evaluated with zero moves anywhere since its last
         # evaluation sees the exact same loads and neighbor assignment, so
         # it provably repeats its no-move decision — skip it.  This makes
@@ -394,25 +445,19 @@ class ClusterPartitioningGame:
                 if last_eval[c] == move_counter:
                     continue
                 last_eval[c] = move_counter
-                if adj is None:
-                    if self.best_response(c):
-                        moves += 1
-                        move_counter += 1
-                        # a mover must be re-evaluated: its post-move cost
-                        # involves a float load roundtrip, so the no-move
-                        # proof does not apply to it
-                        last_eval[c] = -1
-                    continue
                 size = internal_l[c] + 0.0
                 cur = int(assignment[c])
-                # exact in-place rewrite of cost_vector(): scalar factors
-                # and elementwise ops match the reference expression
+                # one decision routine for both the table and the
+                # on-demand row (games over the table cell cap): an exact
+                # in-place rewrite of cost_vector() — scalar factors and
+                # elementwise ops match the reference expression
                 # bit-for-bit (IEEE multiplication is commutative and the
                 # addition order is unchanged)
+                row = adj[c] if adj is not None else self._adjacency_row(c)
                 costs = loads + size
                 costs[cur] = (loads[cur] - size) + size
                 costs *= lam_over_k * size
-                cut = cut_degree[c] - adj[c]
+                cut = cut_degree[c] - row
                 cut *= 0.5
                 costs += cut
                 best = int(costs.argmin())
@@ -420,15 +465,21 @@ class ClusterPartitioningGame:
                     loads[cur] -= size
                     loads[best] += size
                     assignment[c] = best
-                    s, e = int(indptr[c]), int(indptr[c + 1])
-                    if s != e:
-                        nbrs = indices[s:e]
-                        w = sym_w[s:e]
-                        adj[nbrs, cur] -= w
-                        adj[nbrs, best] += w
+                    if adj is not None:
+                        s, e = int(indptr[c]), int(indptr[c + 1])
+                        if s != e:
+                            nbrs = indices[s:e]
+                            w = sym_w[s:e]
+                            adj[nbrs, cur] -= w
+                            adj[nbrs, best] += w
+                    if move_log is not None:
+                        move_log.append((c, cur, best))
                     moves += 1
                     move_counter += 1
-                    last_eval[c] = -1  # movers are always re-evaluated
+                    # a mover must be re-evaluated: its post-move cost
+                    # involves a float load roundtrip, so the no-move
+                    # proof does not apply to it
+                    last_eval[c] = -1
             total_moves += moves
             trace.append(self.potential())
             if moves == 0:
@@ -441,7 +492,116 @@ class ClusterPartitioningGame:
             lambda_value=self.lambda_value,
             potential_trace=trace,
             converged=converged,
+            move_log=move_log,
         )
+
+    def _run_kernel(
+        self, players: np.ndarray, record_moves: bool
+    ) -> GameResult:
+        """Compiled rounds: each round is one fused ``game_round`` call.
+
+        The kernel owns the flat ``(m, k)`` adjacency table, the load
+        vector, and the assignment array for the whole round — no Python
+        between clusters.  Two additions over the numpy path, both
+        decision-preserving (DESIGN.md §10):
+
+        * the *epoch skip rule*: a cluster is rescored only when a
+          neighbor moved, its own partition gained load, or any other
+          partition lost load since its last evaluation (tracked by
+          per-cluster ``nbr_epoch`` and per-partition ``inc``/``dec``
+          load epochs) — costs are monotone in loads, so the prior
+          no-move decision provably stands otherwise;
+        * O(1) *potential maintenance*: ``sum(loads^2)`` and the total
+          partition cut are updated by each mover's exact delta, and the
+          per-round trace entry is priced from them with the same IEEE
+          op sequence as :meth:`potential` — bit-identical while all
+          quantities stay integer-valued below ``2**53`` (guarded by an
+          end-of-game recompute parity check).
+        """
+        m = self.graph.num_clusters
+        k = self.k
+        backend = self._backend
+        adj2d = self._build_adj_table()
+        if adj2d is not None:
+            adj = adj2d.reshape(-1)
+            has_adj = 1
+        else:
+            # over the table cap: the kernel rebuilds rows on demand
+            adj = np.zeros(1, dtype=np.float64)
+            has_adj = 0
+        lam_over_k = self._lam_over_k
+        # the epoch rule's monotonicity argument needs a nonnegative load
+        # coefficient; lambda only goes negative via a user-supplied
+        # fixed value, where the strict "no moves anywhere" rule remains
+        relaxed = 1 if lam_over_k >= 0.0 else 0
+        last_eval = np.full(m, -1, dtype=np.int64)
+        nbr_epoch = np.zeros(m, dtype=np.int64)
+        inc_epoch = np.zeros(k, dtype=np.int64)
+        dec_epoch = np.zeros(k, dtype=np.int64)
+        counters = np.zeros(1, dtype=np.int64)
+        phi = np.array(
+            [
+                np.sum(self.loads**2),
+                float(_total_partition_cut(self.graph, self.assignment)),
+            ],
+            dtype=np.float64,
+        )
+        lam_over_2k = self._lambda_eff / (2 * k)
+        trace = [self.potential()]
+        move_buf = np.empty(2 * players.shape[0], dtype=np.int64)
+        cost_buf = np.empty(k, dtype=np.float64)
+        row_buf = np.empty(k, dtype=np.float64)
+        move_log: list[tuple[int, int, int]] | None = None
+        shadow: np.ndarray | None = None
+        if record_moves:
+            move_log = []
+            shadow = self.assignment.copy()
+        total_moves = 0
+        rounds = 0
+        converged = False
+        for rounds in range(1, self.config.max_rounds + 1):
+            moves = int(
+                backend.game_round(
+                    players, k, lam_over_k, _IMPROVEMENT_EPS, relaxed,
+                    self._sym_indptr, self._sym_indices, self._sym_weights,
+                    self._internal_f, self._cut_degree,
+                    self.assignment, self.loads, adj, has_adj,
+                    last_eval, nbr_epoch, inc_epoch, dec_epoch,
+                    counters, phi, move_buf, cost_buf, row_buf,
+                )
+            )
+            total_moves += moves
+            trace.append(float(lam_over_2k * phi[0] + 0.5 * phi[1]))
+            if move_log is not None:
+                for i in range(moves):
+                    c = int(move_buf[2 * i])
+                    best = int(move_buf[2 * i + 1])
+                    move_log.append((c, int(shadow[c]), best))
+                    shadow[c] = best
+            if moves == 0:
+                converged = True
+                break
+        recomputed = self.potential()
+        maintained = trace[-1]
+        if abs(maintained - recomputed) > 1e-9 * max(1.0, abs(recomputed)):
+            raise RuntimeError(
+                f"incremental potential drifted from the recomputed value: "
+                f"{maintained!r} != {recomputed!r} (load mass likely exceeds "
+                f"2**53 — use game_impl='fast' for such instances)"
+            )
+        return GameResult(
+            assignment=self.assignment.copy(),
+            rounds=rounds,
+            moves=total_moves,
+            lambda_value=self.lambda_value,
+            potential_trace=trace,
+            converged=converged,
+            move_log=move_log,
+        )
+
+    #: block width of the vectorized equilibrium scan (bounds the cost
+    #: matrix materialized per step to block * k float64 cells)
+    _NASH_BLOCK = 4096
 
     def is_nash_equilibrium(self, active: np.ndarray | None = None) -> bool:
         """True iff no (active) cluster has a strictly improving move.
@@ -449,15 +609,38 @@ class ClusterPartitioningGame:
         With ``active`` given, only the masked players are checked — the
         equilibrium notion of the frontier-restricted game (see
         :meth:`run`).
+
+        Vectorized engines scan blocks of :meth:`batch_cost_matrix` rows
+        (the incremental service pays this check on every quality-gated
+        batch); the reference engine keeps the per-cluster
+        :meth:`cost_vector` loop.  Identical verdicts: the batch rows
+        are bit-identical to the per-cluster costs, and the per-row
+        ``min < cost[cur] - eps`` test is the same scalar comparison.
         """
-        clusters = (
-            range(self.graph.num_clusters)
-            if active is None
-            else np.flatnonzero(np.asarray(active, dtype=bool)).tolist()
-        )
-        for c in clusters:
-            costs = self.cost_vector(c)
-            if costs.min() < costs[self.assignment[c]] - _IMPROVEMENT_EPS:
+        m = self.graph.num_clusters
+        if not self.vectorized:
+            clusters = (
+                range(m)
+                if active is None
+                else np.flatnonzero(np.asarray(active, dtype=bool)).tolist()
+            )
+            for c in clusters:
+                costs = self.cost_vector(c)
+                if costs.min() < costs[self.assignment[c]] - _IMPROVEMENT_EPS:
+                    return False
+            return True
+        mask = None if active is None else np.asarray(active, dtype=bool)
+        for start in range(0, m, self._NASH_BLOCK):
+            stop = min(start + self._NASH_BLOCK, m)
+            if mask is not None and not mask[start:stop].any():
+                continue
+            costs = self.batch_cost_matrix(start, stop, self.assignment, self.loads)
+            cur = self.assignment[start:stop]
+            staying = costs[np.arange(stop - start), cur]
+            improving = costs.min(axis=1) < staying - _IMPROVEMENT_EPS
+            if mask is not None:
+                improving &= mask[start:stop]
+            if bool(improving.any()):
                 return False
         return True
 

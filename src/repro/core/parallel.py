@@ -10,10 +10,11 @@ barriers, and outer rounds repeat until no cluster moves.
 Batched evaluation (PR 3): a thread no longer loops per cluster — it
 scores its whole remaining batch as one ``(batch, k)`` cost matrix
 (:meth:`ClusterPartitioningGame.batch_cost_matrix`: segmented bincount
-over the batch's CSR slice + one matrix expression), commits every
-cluster before the first mover wholesale (their frozen evaluation *is*
-the sequential one), applies that mover, and re-scores only the
-perturbed suffix.  Mover-dense stretches fall back to the retained
+over the batch's CSR slice + one matrix expression — with
+``game_impl="jit"`` the rows come from the compiled ``game_cost_rows``
+kernel instead, bit-identically), commits every cluster before the
+first mover wholesale (their frozen evaluation *is* the sequential
+one), applies that mover, and re-scores only the perturbed suffix.  Mover-dense stretches fall back to the retained
 sequential loop (:func:`_batch_best_response_reference`); proposed moves
 are identical either way.
 

@@ -230,8 +230,10 @@ class ClugpPartitioner(EdgePartitioner):
         Full :class:`~repro.config.ClugpConfig`; when omitted, a default
         config with this ``k``/``seed`` is built.  Keyword conveniences
         (``imbalance_factor``, ``max_cluster_volume``, ``parallel_game``,
-        ``game``, ``chunk_impl``, ``kernel_backend``) override single
-        fields.
+        ``game``, ``chunk_impl``, ``kernel_backend``, ``game_impl``)
+        override single fields; ``game_impl`` reaches into the nested
+        game config, and a non-default ``kernel_backend`` steers the
+        game's backend too (see :class:`~repro.config.ClugpConfig`).
 
     After :meth:`partition` (or a chunked run) the intermediate products
     of the three passes are exposed as :attr:`last_clustering`,
@@ -258,6 +260,7 @@ class ClugpPartitioner(EdgePartitioner):
         game: GameConfig | None = None,
         chunk_impl: str | None = None,
         kernel_backend: str | None = None,
+        game_impl: str | None = None,
     ) -> None:
         super().__init__(num_partitions, seed)
         if config is None:
@@ -282,6 +285,8 @@ class ClugpPartitioner(EdgePartitioner):
         config = config.with_(**overrides)
         if config.game.seed != seed:
             config = config.with_(game=config.game.with_(seed=seed))
+        if game_impl is not None and config.game.game_impl != game_impl:
+            config = config.with_(game=config.game.with_(game_impl=game_impl))
         self.config = config
         self.last_clustering: ClusteringResult | None = None
         self.last_cluster_graph: ClusterGraph | None = None

@@ -83,6 +83,8 @@ class PythonBackend:
     greedy_chunk = staticmethod(_pykernels.greedy_chunk)
     clustering_chunk = staticmethod(_pykernels.clustering_chunk)
     transform_chunk = staticmethod(_pykernels.transform_chunk)
+    game_round = staticmethod(_pykernels.game_round)
+    game_cost_rows = staticmethod(_pykernels.game_cost_rows)
 
 
 _cache: dict[str, Any] = {}
@@ -235,6 +237,29 @@ def warmup(name: str | None = None) -> str | None:
         np.ones(n, dtype=np.int64), np.zeros(k, dtype=np.int64),
         np.full(k, 8, dtype=np.int64), np.zeros(5, dtype=np.int64),
         1, out,
+    )
+    # tiny 2-cluster game: one undirected inter-cluster edge, k=2
+    g_indptr = np.array([0, 1, 2], dtype=np.int64)
+    g_indices = np.array([1, 0], dtype=np.int64)
+    g_weights = np.ones(2, dtype=np.float64)
+    g_internal = np.ones(2, dtype=np.float64)
+    g_cut = np.ones(2, dtype=np.float64)
+    g_assign = np.array([0, 1], dtype=np.int64)
+    g_loads = np.array([1.0, 1.0])
+    backend.game_round(
+        np.arange(2, dtype=np.int64), k, 0.5, 1e-9, 1,
+        g_indptr, g_indices, g_weights, g_internal, g_cut,
+        g_assign, g_loads, np.zeros(2 * k, dtype=np.float64), 1,
+        np.full(2, -1, dtype=np.int64), np.zeros(2, dtype=np.int64),
+        np.zeros(k, dtype=np.int64), np.zeros(k, dtype=np.int64),
+        np.zeros(1, dtype=np.int64), np.zeros(2, dtype=np.float64),
+        np.zeros(4, dtype=np.int64),
+        np.zeros(k, dtype=np.float64), np.zeros(k, dtype=np.float64),
+    )
+    backend.game_cost_rows(
+        0, 2, k, 0.5,
+        g_indptr, g_indices, g_weights, g_internal, g_cut,
+        g_assign, g_loads, np.zeros(2 * k, dtype=np.float64),
     )
     _warmed.add(backend.name)
     return backend.name

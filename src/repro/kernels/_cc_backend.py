@@ -124,6 +124,20 @@ class CcBackend:
             _I64P, _I64P, ctypes.c_int64, ctypes.c_int64,
             _I64P, _U8P, _I64P, _I64P, _I64P, _I64P, ctypes.c_int64, _I64P,
         ]
+        lib.game_round.restype = ctypes.c_int64
+        lib.game_round.argtypes = [
+            _I64P, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_double, ctypes.c_double, ctypes.c_int64,
+            _I64P, _I64P, _F64P, _F64P, _F64P,
+            _I64P, _F64P, _F64P, ctypes.c_int64,
+            _I64P, _I64P, _I64P, _I64P,
+            _I64P, _F64P, _I64P, _F64P, _F64P,
+        ]
+        lib.game_cost_rows.restype = None
+        lib.game_cost_rows.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_double,
+            _I64P, _I64P, _F64P, _F64P, _F64P, _I64P, _F64P, _F64P,
+        ]
 
     def hdrf_chunk(self, u, v, k, nw, lam, eps, loads, degree, words, out) -> None:
         self._lib.hdrf_chunk(
@@ -151,6 +165,44 @@ class CcBackend:
             _ptr(divided, ctypes.c_uint8), _ptr(vol, ctypes.c_int64),
             _ptr(mirror_v, ctypes.c_int64), _ptr(mirror_c, ctypes.c_int64),
             _ptr(counters, ctypes.c_int64),
+        )
+
+    def game_round(
+        self, players, k, lam_over_k, eps, relaxed,
+        indptr, indices, weights, internal, cut_degree,
+        assignment, loads, adj, has_adj,
+        last_eval, nbr_epoch, inc_epoch, dec_epoch,
+        counters, phi, move_log, cost_buf, row_buf,
+    ) -> int:
+        return int(
+            self._lib.game_round(
+                _ptr(players, ctypes.c_int64), players.shape[0],
+                k, lam_over_k, eps, relaxed,
+                _ptr(indptr, ctypes.c_int64), _ptr(indices, ctypes.c_int64),
+                _ptr(weights, ctypes.c_double), _ptr(internal, ctypes.c_double),
+                _ptr(cut_degree, ctypes.c_double),
+                _ptr(assignment, ctypes.c_int64), _ptr(loads, ctypes.c_double),
+                _ptr(adj, ctypes.c_double), has_adj,
+                _ptr(last_eval, ctypes.c_int64), _ptr(nbr_epoch, ctypes.c_int64),
+                _ptr(inc_epoch, ctypes.c_int64), _ptr(dec_epoch, ctypes.c_int64),
+                _ptr(counters, ctypes.c_int64), _ptr(phi, ctypes.c_double),
+                _ptr(move_log, ctypes.c_int64),
+                _ptr(cost_buf, ctypes.c_double), _ptr(row_buf, ctypes.c_double),
+            )
+        )
+
+    def game_cost_rows(
+        self, start, stop, k, lam_over_k,
+        indptr, indices, weights, internal, cut_degree,
+        assignment, loads, out,
+    ) -> None:
+        self._lib.game_cost_rows(
+            start, stop, k, lam_over_k,
+            _ptr(indptr, ctypes.c_int64), _ptr(indices, ctypes.c_int64),
+            _ptr(weights, ctypes.c_double), _ptr(internal, ctypes.c_double),
+            _ptr(cut_degree, ctypes.c_double),
+            _ptr(assignment, ctypes.c_int64), _ptr(loads, ctypes.c_double),
+            _ptr(out, ctypes.c_double),
         )
 
     def transform_chunk(

@@ -23,6 +23,8 @@ class NumbaBackend:
         self.greedy_chunk = njit(**opts)(_pykernels.greedy_chunk)
         self.clustering_chunk = njit(**opts)(_pykernels.clustering_chunk)
         self.transform_chunk = njit(**opts)(_pykernels.transform_chunk)
+        self.game_round = njit(**opts)(_pykernels.game_round)
+        self.game_cost_rows = njit(**opts)(_pykernels.game_cost_rows)
 
 
 def load() -> NumbaBackend | None:

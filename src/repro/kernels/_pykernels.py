@@ -15,7 +15,13 @@ files must be kept in lockstep — see DESIGN.md §8):
 * :func:`clustering_chunk` — :func:`repro.core.clustering.streaming_clustering`;
 * :func:`transform_chunk` — :func:`repro.core.transform.transform_partitions`
   (generalized to per-partition caps, matching
-  ``TransformState._scalar_tail``).
+  ``TransformState._scalar_tail``);
+* :func:`game_round` — one fused best-response round of
+  ``repro.core.game.ClusterPartitioningGame.run`` (pass 2, Algorithm 3),
+  with the decision-preserving epoch skip rule and O(1) potential
+  maintenance (DESIGN.md §10);
+* :func:`game_cost_rows` — the batched cost-row primitive behind
+  ``ClusterPartitioningGame.batch_cost_matrix``.
 
 Conventions shared with the C kernels: vertex partition sets are flat
 multiword uint64 bitmask rows (``nw = ceil(k / 64)`` words per vertex,
@@ -34,6 +40,8 @@ __all__ = [
     "greedy_chunk",
     "clustering_chunk",
     "transform_chunk",
+    "game_round",
+    "game_cost_rows",
 ]
 
 _ONE = np.uint64(1)
@@ -271,3 +279,137 @@ def transform_chunk(u, v, k, vp, divided, deg, loads, caps, counters, check_mapp
     counters[3] = degree_cut
     counters[4] = balance_spill
     return 0
+
+
+def game_round(
+    players, k, lam_over_k, eps, relaxed,
+    indptr, indices, weights, internal, cut_degree,
+    assignment, loads, adj, has_adj,
+    last_eval, nbr_epoch, inc_epoch, dec_epoch,
+    counters, phi, move_log, cost_buf, row_buf,
+):
+    """One best-response round over ``players`` (mutates the game state).
+
+    Transliteration of the in-place cost rewrite in
+    ``ClusterPartitioningGame.run``: per cluster the k-vector
+    ``(loads + size) * (lam_over_k * size) + (cut_degree - adj_row) * 0.5``
+    (current column ``(loads[cur] - size) + size``), first-minimum argmin,
+    strict-improvement test against ``eps``, move commit, and the O(deg)
+    adjacency-table update.  ``adj`` is the flat ``(m, k)`` table when
+    ``has_adj`` is set; otherwise rows are rebuilt on demand from the
+    symmetrized CSR (the over-cap fallback), which changes nothing — the
+    table entries are the same integer-valued sums.
+
+    Skip rules (both decision-preserving, DESIGN.md §10): a cluster whose
+    ``last_eval`` equals the move counter has seen zero moves anywhere
+    since it last declined; with ``relaxed`` set, a cluster also skips
+    when no neighbor moved (``nbr_epoch``), its own partition gained no
+    load (``inc_epoch``), and no other partition lost load
+    (``dec_epoch``) since its last evaluation — its stay cost can only
+    have dropped and every alternative can only have risen.
+
+    O(1) potential maintenance: ``phi`` carries ``[sum(loads^2),
+    total_partition_cut]``; each move updates both by the mover's exact
+    delta (pre-move loads, pre-move adjacency row), so the caller prices
+    ``Phi`` per round without the O(|E|) recompute.
+
+    ``counters``: ``[move_counter]``.  ``move_log`` records ``(cluster,
+    target)`` pairs for the round's moves.  ``cost_buf``/``row_buf`` are
+    k-sized scratch.  Returns the number of moves committed.
+    """
+    n = players.shape[0]
+    mc = counters[0]
+    moves = 0
+    for idx in range(n):
+        c = players[idx]
+        le = last_eval[c]
+        if le == mc:
+            continue
+        cur = assignment[c]
+        if relaxed != 0 and le >= 0 and nbr_epoch[c] <= le and inc_epoch[cur] <= le:
+            ok = True
+            for p in range(k):
+                if p != cur and dec_epoch[p] > le:
+                    ok = False
+                    break
+            if ok:
+                # the prior no-move decision provably stands at the
+                # current state, so it counts as an evaluation *now*
+                last_eval[c] = mc
+                continue
+        last_eval[c] = mc
+        size = internal[c]
+        if has_adj != 0:
+            base = c * k
+            for p in range(k):
+                row_buf[p] = adj[base + p]
+        else:
+            for p in range(k):
+                row_buf[p] = 0.0
+            for j in range(indptr[c], indptr[c + 1]):
+                row_buf[assignment[indices[j]]] += weights[j]
+        a = lam_over_k * size
+        best = 0
+        best_cost = 0.0
+        for p in range(k):
+            t = loads[p] + size
+            if p == cur:
+                t = (loads[cur] - size) + size
+            cost = t * a + (cut_degree[c] - row_buf[p]) * 0.5
+            cost_buf[p] = cost
+            if p == 0 or cost < best_cost:
+                best_cost = cost
+                best = p
+        if best_cost < cost_buf[cur] - eps:
+            l_cur = loads[cur]
+            l_best = loads[best]
+            phi[0] += (l_cur - size) * (l_cur - size) - l_cur * l_cur
+            phi[0] += (l_best + size) * (l_best + size) - l_best * l_best
+            phi[1] += row_buf[cur] - row_buf[best]
+            loads[cur] = l_cur - size
+            loads[best] = l_best + size
+            assignment[c] = best
+            mc += 1
+            for j in range(indptr[c], indptr[c + 1]):
+                nb = indices[j]
+                w = weights[j]
+                if has_adj != 0:
+                    adj[nb * k + cur] -= w
+                    adj[nb * k + best] += w
+                nbr_epoch[nb] = mc
+            dec_epoch[cur] = mc
+            inc_epoch[best] = mc
+            move_log[2 * moves] = c
+            move_log[2 * moves + 1] = best
+            moves += 1
+            last_eval[c] = -1  # movers are always re-evaluated
+    counters[0] = mc
+    return moves
+
+
+def game_cost_rows(
+    start, stop, k, lam_over_k,
+    indptr, indices, weights, internal, cut_degree,
+    assignment, loads, out,
+):
+    """Cost rows of clusters ``[start, stop)`` against a frozen state.
+
+    Compiled form of ``ClusterPartitioningGame.batch_cost_matrix`` —
+    ``out`` is the flat ``(stop - start, k)`` cost matrix, bit-identical
+    to the numpy path (same per-element IEEE op sequence; the adjacency
+    accumulation is an integer sum, exact in any order).
+    """
+    for c in range(start, stop):
+        base = (c - start) * k
+        for p in range(k):
+            out[base + p] = 0.0
+        for j in range(indptr[c], indptr[c + 1]):
+            out[base + assignment[indices[j]]] += weights[j]
+        size = internal[c]
+        a = lam_over_k * size
+        cur = assignment[c]
+        for p in range(k):
+            t = loads[p] + size
+            if p == cur:
+                t = (loads[cur] - size) + size
+            out[base + p] = t * a + (cut_degree[c] - out[base + p]) * 0.5

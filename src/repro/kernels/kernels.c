@@ -10,6 +10,10 @@
  *   transform_chunk   <- repro.core.transform.transform_partitions
  *                        (generalized to per-partition caps, matching
  *                        TransformState._scalar_tail)
+ *   game_round        <- repro.core.game.ClusterPartitioningGame.run
+ *                        (one fused best-response round, DESIGN.md s10)
+ *   game_cost_rows    <- repro.core.game.ClusterPartitioningGame
+ *                        .batch_cost_matrix
  *
  * All state crosses the boundary as flat C-contiguous arrays; vertex
  * partition sets are multiword uint64 bitmask rows (nw = ceil(k / 64)
@@ -290,4 +294,139 @@ int64_t transform_chunk(
     counters[3] = degree_cut;
     counters[4] = balance_spill;
     return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Pass 2: fused best-response round (Algorithm 3, DESIGN.md s10)     */
+/* ------------------------------------------------------------------ */
+
+/* One round over the player list.  Float expressions keep the exact
+ * op sequence of ClusterPartitioningGame.run's in-place cost rewrite:
+ * (loads[p] + size) * (lam_over_k * size) + (cut_degree - row) * 0.5,
+ * with the current column (loads[cur] - size) + size; no -ffast-math,
+ * -ffp-contract=off (no FMA contraction of the final multiply-add).
+ *
+ * adj is the flat (m, k) merged-adjacency table when has_adj != 0;
+ * otherwise rows are rebuilt on demand from the symmetrized CSR (the
+ * over-cap fallback) — same integer-valued sums either way.
+ *
+ * Skip rules (decision-preserving): last_eval[c] == move_counter means
+ * zero moves anywhere since c last declined; with `relaxed`, c also
+ * skips when nbr_epoch[c] <= last_eval[c] (no neighbor moved),
+ * inc_epoch[cur] <= last_eval[c] (own partition gained no load) and
+ * every other partition's dec_epoch <= last_eval[c] (no alternative
+ * got cheaper) — requires lam_over_k >= 0, which the caller checks.
+ *
+ * phi = [sum(loads^2), total_partition_cut], updated per move by the
+ * mover's exact delta (pre-move loads and adjacency row); counters =
+ * [move_counter]; move_log records (cluster, target) pairs; cost_buf /
+ * row_buf are k-sized scratch.  Returns the number of moves. */
+int64_t game_round(
+    const int64_t *players, int64_t n,
+    int64_t k, double lam_over_k, double eps, int64_t relaxed,
+    const int64_t *indptr, const int64_t *indices, const double *weights,
+    const double *internal, const double *cut_degree,
+    int64_t *assignment, double *loads,
+    double *adj, int64_t has_adj,
+    int64_t *last_eval, int64_t *nbr_epoch,
+    int64_t *inc_epoch, int64_t *dec_epoch,
+    int64_t *counters, double *phi, int64_t *move_log,
+    double *cost_buf, double *row_buf)
+{
+    int64_t mc = counters[0];
+    int64_t moves = 0;
+    for (int64_t idx = 0; idx < n; idx++) {
+        int64_t c = players[idx];
+        int64_t le = last_eval[c];
+        if (le == mc) continue;
+        int64_t cur = assignment[c];
+        if (relaxed && le >= 0 && nbr_epoch[c] <= le && inc_epoch[cur] <= le) {
+            int64_t ok = 1;
+            for (int64_t p = 0; p < k; p++) {
+                if (p != cur && dec_epoch[p] > le) { ok = 0; break; }
+            }
+            if (ok) {
+                /* the prior no-move decision provably stands now */
+                last_eval[c] = mc;
+                continue;
+            }
+        }
+        last_eval[c] = mc;
+        double size = internal[c];
+        if (has_adj) {
+            const double *row = adj + c * k;
+            for (int64_t p = 0; p < k; p++) row_buf[p] = row[p];
+        } else {
+            for (int64_t p = 0; p < k; p++) row_buf[p] = 0.0;
+            for (int64_t j = indptr[c]; j < indptr[c + 1]; j++)
+                row_buf[assignment[indices[j]]] += weights[j];
+        }
+        double a = lam_over_k * size;
+        int64_t best = 0;
+        double best_cost = 0.0;
+        for (int64_t p = 0; p < k; p++) {
+            double t = loads[p] + size;
+            if (p == cur) t = (loads[cur] - size) + size;
+            double cost = t * a + (cut_degree[c] - row_buf[p]) * 0.5;
+            cost_buf[p] = cost;
+            if (p == 0 || cost < best_cost) {
+                best_cost = cost;
+                best = p;
+            }
+        }
+        if (best_cost < cost_buf[cur] - eps) {
+            double l_cur = loads[cur];
+            double l_best = loads[best];
+            phi[0] += (l_cur - size) * (l_cur - size) - l_cur * l_cur;
+            phi[0] += (l_best + size) * (l_best + size) - l_best * l_best;
+            phi[1] += row_buf[cur] - row_buf[best];
+            loads[cur] = l_cur - size;
+            loads[best] = l_best + size;
+            assignment[c] = best;
+            mc++;
+            for (int64_t j = indptr[c]; j < indptr[c + 1]; j++) {
+                int64_t nb = indices[j];
+                double w = weights[j];
+                if (has_adj) {
+                    adj[nb * k + cur] -= w;
+                    adj[nb * k + best] += w;
+                }
+                nbr_epoch[nb] = mc;
+            }
+            dec_epoch[cur] = mc;
+            inc_epoch[best] = mc;
+            move_log[2 * moves] = c;
+            move_log[2 * moves + 1] = best;
+            moves++;
+            last_eval[c] = -1; /* movers are always re-evaluated */
+        }
+    }
+    counters[0] = mc;
+    return moves;
+}
+
+/* Batched cost rows of clusters [start, stop) against a frozen state —
+ * the compiled form of batch_cost_matrix; out is the flat
+ * (stop - start, k) cost matrix. */
+void game_cost_rows(
+    int64_t start, int64_t stop, int64_t k, double lam_over_k,
+    const int64_t *indptr, const int64_t *indices, const double *weights,
+    const double *internal, const double *cut_degree,
+    const int64_t *assignment, const double *loads,
+    double *out)
+{
+    for (int64_t c = start; c < stop; c++) {
+        double *row = out + (c - start) * k;
+        for (int64_t p = 0; p < k; p++) row[p] = 0.0;
+        for (int64_t j = indptr[c]; j < indptr[c + 1]; j++)
+            row[assignment[indices[j]]] += weights[j];
+        double size = internal[c];
+        double a = lam_over_k * size;
+        int64_t cur = assignment[c];
+        for (int64_t p = 0; p < k; p++) {
+            double t = loads[p] + size;
+            if (p == cur) t = (loads[cur] - size) + size;
+            row[p] = t * a + (cut_degree[c] - row[p]) * 0.5;
+        }
+    }
 }

@@ -16,7 +16,11 @@ unbounded sequence of edge batches:
   equilibrium (warm-started via raw-cluster-id stability).  Because the
   game is an exact potential game, the restricted dynamics still strictly
   descend the same potential and terminate (see
-  :meth:`~repro.core.game.ClusterPartitioningGame.run`);
+  :meth:`~repro.core.game.ClusterPartitioningGame.run`); with
+  ``game.game_impl="jit"`` the frontier-restricted rounds run inside the
+  fused :mod:`repro.kernels` game kernel (the ``active`` player list and
+  the warm-started assignment cross the kernel boundary unchanged, so
+  served partitions stay bit-identical to the numpy engine);
 * **pass 3 applies deltas** — the refreshed ideal map is diffed against
   the served map into a bounded :class:`~repro.service.plan.
   MigrationPlan`; only edges incident to moved vertices plus the new

@@ -267,6 +267,66 @@ class TestChunkImplFlags:
         assert "RF=" in capsys.readouterr().out
 
 
+class TestGameImplFlags:
+    """--game-impl on partition, serve, distribute (PR 9)."""
+
+    def test_defaults(self):
+        for command in ("partition", "serve", "distribute"):
+            args = build_parser().parse_args([command])
+            assert args.game_impl == "fast"
+
+    def test_rejects_unknown_impl(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "--game-impl", "bogus"])
+
+    @pytest.mark.parametrize("algorithm", ["clugp", "clugp-s", "clugp-g"])
+    def test_partition_jit_matches_fast(self, capsys, algorithm):
+        base_args = [
+            "partition", "--scale", "0.03", "-k", "4",
+            "--algorithm", algorithm,
+        ]
+        assert main(base_args) == 0
+        fast_out = capsys.readouterr().out
+        assert main(base_args + ["--game-impl", "jit"]) == 0
+        jit_out = capsys.readouterr().out
+        strip = lambda out: out.split(" time=")[0]
+        assert strip(fast_out) == strip(jit_out)
+
+    def test_partition_reference_impl(self, capsys):
+        assert main([
+            "partition", "--scale", "0.02", "-k", "4", "--algorithm", "clugp",
+            "--game-impl", "reference",
+        ]) == 0
+        assert "replication_factor=" in capsys.readouterr().out
+
+    def test_unsupported_algorithm_friendly_error(self):
+        with pytest.raises(SystemExit, match="not supported"):
+            main([
+                "partition", "--scale", "0.02", "--algorithm", "hashing",
+                "--game-impl", "jit",
+            ])
+        # chunk-capable but not clugp-family: still a friendly exit
+        with pytest.raises(SystemExit, match="not supported"):
+            main([
+                "partition", "--scale", "0.02", "--algorithm", "hdrf",
+                "--game-impl", "jit",
+            ])
+
+    def test_serve_accepts_game_jit(self, capsys):
+        assert main([
+            "serve", "--dataset", "uk", "--scale", "0.05", "-k", "4",
+            "--num-batches", "3", "--game-impl", "jit",
+        ]) == 0
+        assert "served" in capsys.readouterr().out
+
+    def test_distribute_accepts_game_jit(self, capsys):
+        assert main([
+            "distribute", "--scale", "0.03", "-k", "4", "--num-nodes", "2",
+            "--merge-mode", "merged", "--game-impl", "jit",
+        ]) == 0
+        assert "RF=" in capsys.readouterr().out
+
+
 class TestReliabilityFlags:
     """PR-8 flags: friendly errors, checkpoint/resume, fault injection."""
 

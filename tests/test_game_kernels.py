@@ -1,0 +1,428 @@
+"""``game_impl="jit"`` must be bit-identical to the numpy game engines.
+
+PR 9 compiles the whole pass-2 best-response round into one
+:mod:`repro.kernels` call (``game_round``) with incremental
+delta-scoring and O(1) potential maintenance.  DESIGN.md §10 argues
+bit-identity holds by construction — the kernel transliterates the
+numpy cost row op-for-op, first-minimum argmin, no FMA contraction,
+and every quantity it folds incrementally (adjacency table, loads,
+``S = sum(loads^2)``, cut) is integer-valued below ``2**53``, so
+"incremental" and "recomputed" are the *same* float64.  This module is
+the enforcement: three-way identity (reference / fast / jit) on
+assignments, move sequences, round counts and full potential traces
+across seeds and k; warm starts; frontier-restricted active masks; the
+forced-tiny adjacency-table cap (`adj is None` on-demand-row path);
+the maintained-potential == recomputed-potential gate; the vectorized
+Nash check; and the batched cost-row primitive behind
+``parallel_game``.
+
+The plain-Python kernel backend tests always run (no compiler
+needed); everything touching a compiled backend is skip-marked
+cleanly, mirroring ``tests/test_kernels.py``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.config import ClugpConfig, GameConfig
+from repro.core import game as game_mod
+from repro.core.cluster_graph import build_cluster_graph
+from repro.core.clustering import streaming_clustering
+from repro.core.game import ClusterPartitioningGame
+from repro.core.parallel import parallel_game
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+
+needs_compiled = pytest.mark.skipif(
+    not kernels.available(), reason="no compiled kernel backend (numba or cc)"
+)
+
+
+def _identity_backend_params():
+    return [
+        pytest.param("python", id="python"),
+        pytest.param("auto", id="compiled", marks=needs_compiled),
+    ]
+
+
+@pytest.fixture(scope="module")
+def cluster_graph():
+    g = web_crawl_graph(600, avg_out_degree=8, host_size=30, seed=9)
+    s = EdgeStream.from_graph(g)
+    clustering = streaming_clustering(s, max_volume=s.num_edges // 16)
+    return build_cluster_graph(s, clustering)
+
+
+def _engines(backend):
+    """(label, ctor kwargs) for the three engines under test."""
+    return [
+        ("reference", dict(vectorized=False)),
+        ("fast", dict()),
+        (
+            "jit",
+            dict(
+                config_extra=dict(game_impl="jit", kernel_backend=backend)
+            ),
+        ),
+    ]
+
+
+def _run_engine(
+    cluster_graph,
+    k,
+    seed,
+    *,
+    vectorized=True,
+    config_extra=None,
+    initial_assignment=None,
+    active=None,
+):
+    cfg = GameConfig(seed=seed, **(config_extra or {}))
+    game = ClusterPartitioningGame(
+        cluster_graph, k, cfg,
+        vectorized=vectorized, initial_assignment=initial_assignment,
+    )
+    result = game.run(active=active, record_moves=True)
+    return game, result
+
+
+def _assert_identical(a, b, label):
+    assert np.array_equal(a.assignment, b.assignment), label
+    assert a.rounds == b.rounds, label
+    assert a.moves == b.moves, label
+    assert a.converged == b.converged, label
+    assert a.move_log == b.move_log, label
+    # potential traces must match *bit for bit*: the kernel's O(1)
+    # maintained potential uses the same IEEE op sequence as potential()
+    assert a.potential_trace == b.potential_trace, label
+
+
+# --------------------------------------------------------------------- #
+# config plumbing (always runs)
+# --------------------------------------------------------------------- #
+
+
+def test_game_config_validates_impl_fields():
+    with pytest.raises(ValueError, match="game_impl"):
+        GameConfig(game_impl="vectorized")
+    with pytest.raises(ValueError, match="kernel_backend"):
+        GameConfig(kernel_backend="fortran")
+    cfg = GameConfig(game_impl="jit", kernel_backend="python")
+    assert cfg.game_impl == "jit"
+
+
+def test_clugp_config_syncs_kernel_backend_into_game():
+    cfg = ClugpConfig(num_partitions=4, kernel_backend="python")
+    assert cfg.game.kernel_backend == "python"
+    # an explicitly pinned nested backend wins over the outer knob
+    pinned = ClugpConfig(
+        num_partitions=4,
+        kernel_backend="python",
+        game=GameConfig(kernel_backend="none"),
+    )
+    assert pinned.game.kernel_backend == "none"
+    # round-trips through the dict form
+    again = ClugpConfig.from_dict(cfg.to_dict())
+    assert again.game.kernel_backend == "python"
+
+
+def test_jit_with_no_backend_degrades_to_fast(cluster_graph):
+    _, fast = _run_engine(cluster_graph, 8, seed=0)
+    game, degraded = _run_engine(
+        cluster_graph, 8, seed=0,
+        config_extra=dict(game_impl="jit", kernel_backend="none"),
+    )
+    assert game.game_impl == "fast"  # degraded, not broken
+    _assert_identical(fast, degraded, "jit/none vs fast")
+
+
+def test_legacy_vectorized_false_forces_reference(cluster_graph):
+    game = ClusterPartitioningGame(
+        cluster_graph, 4, GameConfig(seed=0, game_impl="jit",
+                                     kernel_backend="python"),
+        vectorized=False,
+    )
+    assert game.game_impl == "reference"
+    assert game._backend is None
+
+
+# --------------------------------------------------------------------- #
+# three-way identity: reference == fast == jit
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+@pytest.mark.parametrize("k", [2, 8, 100, 1024])
+def test_three_way_identity_across_k(cluster_graph, k, backend):
+    for seed in (0, 1, 2):
+        runs = {
+            label: _run_engine(cluster_graph, k, seed, **kwargs)[1]
+            for label, kwargs in (
+                ("reference", dict(vectorized=False)),
+                ("fast", dict()),
+                ("jit", dict(config_extra=dict(
+                    game_impl="jit", kernel_backend=backend))),
+            )
+        }
+        _assert_identical(runs["reference"], runs["fast"], f"k={k} s={seed}")
+        _assert_identical(runs["fast"], runs["jit"], f"k={k} s={seed}")
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_warm_start_identity(cluster_graph, backend):
+    k = 8
+    # a mid-descent warm start: random init from a different seed
+    rng = np.random.default_rng(42)
+    init = rng.integers(0, k, size=cluster_graph.num_clusters).astype(np.int64)
+    _, fast = _run_engine(cluster_graph, k, 0, initial_assignment=init)
+    _, jit = _run_engine(
+        cluster_graph, k, 0, initial_assignment=init,
+        config_extra=dict(game_impl="jit", kernel_backend=backend),
+    )
+    _assert_identical(fast, jit, "warm start")
+    # an equilibrium warm start must be a fixed point of the kernel too
+    _, again = _run_engine(
+        cluster_graph, k, 0, initial_assignment=fast.assignment,
+        config_extra=dict(game_impl="jit", kernel_backend=backend),
+    )
+    assert again.moves == 0 and again.rounds == 1
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_active_mask_identity(cluster_graph, backend):
+    k = 8
+    m = cluster_graph.num_clusters
+    rng = np.random.default_rng(5)
+    init = rng.integers(0, k, size=m).astype(np.int64)
+    active = rng.random(m) < 0.4
+    game_fast, fast = _run_engine(
+        cluster_graph, k, 0, initial_assignment=init, active=active
+    )
+    game_jit, jit = _run_engine(
+        cluster_graph, k, 0, initial_assignment=init, active=active,
+        config_extra=dict(game_impl="jit", kernel_backend=backend),
+    )
+    _assert_identical(fast, jit, "active mask")
+    # frozen players really were frozen, and the frontier settled
+    frozen = ~active
+    assert np.array_equal(jit.assignment[frozen], init[frozen])
+    assert game_jit.is_nash_equilibrium(active=active)
+    assert game_fast.is_nash_equilibrium(active=active)
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_empty_and_full_active_masks(cluster_graph, backend):
+    k = 4
+    m = cluster_graph.num_clusters
+    extra = dict(game_impl="jit", kernel_backend=backend)
+    init = np.zeros(m, dtype=np.int64)
+    _, noop = _run_engine(
+        cluster_graph, k, 0, initial_assignment=init,
+        active=np.zeros(m, dtype=bool), config_extra=extra,
+    )
+    assert noop.moves == 0
+    assert np.array_equal(noop.assignment, init)
+    _, full = _run_engine(
+        cluster_graph, k, 0, active=np.ones(m, dtype=bool), config_extra=extra
+    )
+    _, plain = _run_engine(cluster_graph, k, 0, config_extra=extra)
+    _assert_identical(full, plain, "all-true mask == no mask")
+
+
+# --------------------------------------------------------------------- #
+# incremental potential == recomputed potential
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_maintained_potential_equals_recomputed(cluster_graph, backend):
+    for k, seed in ((2, 0), (8, 1), (100, 2)):
+        game, result = _run_engine(
+            cluster_graph, k, seed,
+            config_extra=dict(game_impl="jit", kernel_backend=backend),
+        )
+        # the last trace entry came from the kernel's O(1) maintained
+        # (S, C); potential() recomputes from scratch — exact equality,
+        # not approx: both are the same IEEE expression on the same
+        # integer-valued doubles
+        assert result.potential_trace[-1] == game.potential()
+
+
+def test_fast_engine_trace_matches_recomputed(cluster_graph):
+    # the numpy engine recomputes per round — anchor for the gate above
+    game, result = _run_engine(cluster_graph, 8, 1)
+    assert result.potential_trace[-1] == game.potential()
+
+
+# --------------------------------------------------------------------- #
+# forced-tiny adjacency-table cap: the `adj is None` on-demand-row path
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_tiny_table_cap_unifies_paths(cluster_graph, backend, monkeypatch):
+    k = 8
+    with_table = {
+        label: _run_engine(cluster_graph, k, 0, **kwargs)[1]
+        for label, kwargs in (
+            ("fast", dict()),
+            ("jit", dict(config_extra=dict(
+                game_impl="jit", kernel_backend=backend))),
+        )
+    }
+    # force every game over the cap: the table no longer fits, both
+    # engines rebuild each mover's row on demand from the CSR view
+    monkeypatch.setattr(game_mod, "_ADJ_TABLE_MAX_CELLS", 1)
+    game = ClusterPartitioningGame(cluster_graph, k, GameConfig(seed=0))
+    assert game._build_adj_table() is None  # the cap really engaged
+    no_table_fast = _run_engine(cluster_graph, k, 0)[1]
+    no_table_jit = _run_engine(
+        cluster_graph, k, 0,
+        config_extra=dict(game_impl="jit", kernel_backend=backend),
+    )[1]
+    _assert_identical(with_table["fast"], no_table_fast, "fast: cap")
+    _assert_identical(with_table["jit"], no_table_jit, "jit: cap")
+    _assert_identical(no_table_fast, no_table_jit, "fast == jit at cap")
+
+
+# --------------------------------------------------------------------- #
+# batched cost rows + the vectorized Nash check + parallel_game
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_batch_cost_matrix_kernel_matches_numpy(cluster_graph, backend):
+    k = 8
+    numpy_game = ClusterPartitioningGame(cluster_graph, k, GameConfig(seed=3))
+    jit_game = ClusterPartitioningGame(
+        cluster_graph, k,
+        GameConfig(seed=3, game_impl="jit", kernel_backend=backend),
+    )
+    m = cluster_graph.num_clusters
+    rng = np.random.default_rng(11)
+    assignment = rng.integers(0, k, size=m).astype(np.int64)
+    loads = np.bincount(
+        assignment, weights=cluster_graph.internal.astype(np.float64),
+        minlength=k,
+    )
+    for start, stop in ((0, m), (m // 3, 2 * m // 3), (m - 1, m), (5, 5)):
+        a = numpy_game.batch_cost_matrix(start, stop, assignment, loads)
+        b = jit_game.batch_cost_matrix(start, stop, assignment, loads)
+        assert a.shape == b.shape == (stop - start, k)
+        assert np.array_equal(a, b)  # bit-identical, not approx
+
+
+def test_vectorized_nash_check_matches_reference_loop(cluster_graph):
+    k = 4
+    m = cluster_graph.num_clusters
+    rng = np.random.default_rng(2)
+    for trial in range(3):
+        init = rng.integers(0, k, size=m).astype(np.int64)
+        vec = ClusterPartitioningGame(
+            cluster_graph, k, initial_assignment=init
+        )
+        ref = ClusterPartitioningGame(
+            cluster_graph, k, vectorized=False, initial_assignment=init
+        )
+        assert vec.is_nash_equilibrium() == ref.is_nash_equilibrium()
+        active = rng.random(m) < 0.3
+        assert vec.is_nash_equilibrium(active=active) == ref.is_nash_equilibrium(
+            active=active
+        )
+    # after convergence both must agree it *is* an equilibrium
+    game, result = _run_engine(cluster_graph, k, 0)
+    assert result.converged and game.is_nash_equilibrium()
+
+
+def test_vectorized_nash_check_block_boundaries(cluster_graph, monkeypatch):
+    # tiny blocks exercise the block loop + early-exit on masked blocks
+    k = 4
+    m = cluster_graph.num_clusters
+    rng = np.random.default_rng(4)
+    init = rng.integers(0, k, size=m).astype(np.int64)
+    game = ClusterPartitioningGame(cluster_graph, k, initial_assignment=init)
+    ref = ClusterPartitioningGame(
+        cluster_graph, k, vectorized=False, initial_assignment=init
+    )
+    monkeypatch.setattr(ClusterPartitioningGame, "_NASH_BLOCK", 7)
+    active = np.zeros(m, dtype=bool)
+    active[m // 2 :] = True  # whole leading blocks all-masked
+    assert game.is_nash_equilibrium() == ref.is_nash_equilibrium()
+    assert game.is_nash_equilibrium(active=active) == ref.is_nash_equilibrium(
+        active=active
+    )
+
+
+@pytest.mark.parametrize("backend", _identity_backend_params())
+def test_parallel_game_jit_matches_fast(cluster_graph, backend):
+    k = 8
+    fast = parallel_game(cluster_graph, k, GameConfig(seed=0))
+    jit = parallel_game(
+        cluster_graph, k,
+        GameConfig(seed=0, game_impl="jit", kernel_backend=backend),
+    )
+    assert np.array_equal(fast.assignment, jit.assignment)
+    assert fast.rounds == jit.rounds
+    assert fast.moves == jit.moves
+    assert fast.potential_trace == jit.potential_trace
+
+
+# --------------------------------------------------------------------- #
+# property tests: random web-crawl-ish streams
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 23), st.integers(0, 23)),
+        min_size=3, max_size=80,
+    ),
+    k=st.integers(2, 6),
+    seed=st.integers(0, 50),
+)
+def test_property_three_way_identity(edges, k, seed):
+    s = EdgeStream.from_graph(DiGraph.from_edges(edges))
+    clustering = streaming_clustering(s, max_volume=max(1, s.num_edges // 2))
+    cg = build_cluster_graph(s, clustering)
+    reference = _run_engine(cg, k, seed, vectorized=False)[1]
+    fast = _run_engine(cg, k, seed)[1]
+    jit_game, jit = _run_engine(
+        cg, k, seed,
+        config_extra=dict(game_impl="jit", kernel_backend="python"),
+    )
+    _assert_identical(reference, fast, "property: reference vs fast")
+    _assert_identical(fast, jit, "property: fast vs jit")
+    assert jit.potential_trace[-1] == jit_game.potential()
+    assert jit_game.is_nash_equilibrium() or not jit.converged
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=3, max_size=50,
+    ),
+    k=st.integers(2, 4),
+    frontier=st.integers(0, 2**15 - 1),
+)
+def test_property_active_mask_identity(edges, k, frontier):
+    s = EdgeStream.from_graph(DiGraph.from_edges(edges))
+    clustering = streaming_clustering(s, max_volume=max(1, s.num_edges // 2))
+    cg = build_cluster_graph(s, clustering)
+    m = cg.num_clusters
+    active = np.array([(frontier >> (i % 15)) & 1 == 1 for i in range(m)])
+    rng = np.random.default_rng(0)
+    init = rng.integers(0, k, size=m).astype(np.int64)
+    fast = _run_engine(
+        cg, k, 0, initial_assignment=init, active=active
+    )[1]
+    jit = _run_engine(
+        cg, k, 0, initial_assignment=init, active=active,
+        config_extra=dict(game_impl="jit", kernel_backend="python"),
+    )[1]
+    _assert_identical(fast, jit, "property: active mask")
+    assert np.array_equal(jit.assignment[~active], init[~active])
