@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Persistent worker runtime: the PR-10 pipeline and zero-copy gates.
+
+Standalone script pinning the three claims of the persistent backend
+(DESIGN.md §11):
+
+* **bit-identity** — ``backend="persistent"`` must reproduce the
+  ``process`` oracle's edge partition exactly, for both merge modes at
+  num_nodes in {1, 4, 8}, hard gate in every mode;
+* **amortized speedup** — with the pool resident, a distributed call
+  must be at least ``SPEEDUP_FLOOR``x faster than the fork-per-call
+  process backend at 8 nodes on the ~100k-edge fixture (the pool spawn
+  is excluded from the per-call time and reported separately: it is
+  paid once per service lifetime, not per call).  The floor is relaxed
+  in ``--quick``: the CI fixture is tiny and runs on 2-core machines,
+  so identity and zero-copy stay the hard gates there;
+* **zero-copy ingest** — the measured pickled-ndarray bytes on the edge
+  plane (``PersistentRuntime.edge_pickle_bytes``) must be exactly 0:
+  edge data reaches the workers only through shared-memory rings, hard
+  gate in every mode.
+
+The report also surfaces the pipeline accounting: how many seconds of
+coordinator merge were hidden behind still-running shards
+(``pipeline_overlap``) and the per-worker busy fractions.
+
+Usage::
+
+    python benchmarks/bench_persistent.py           # full run
+    python benchmarks/bench_persistent.py --quick   # CI smoke
+
+Exit status is non-zero if any gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+import numpy as np
+
+from repro._util import Timer
+from repro.core.distributed import distributed_clugp
+from repro.distributed import PersistentRuntime, leaked_segments
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+
+#: resident-pool speedup over fork-per-call at 8 nodes (full fixture);
+#: measured ~2.5-4x — the spawn/pickle cost the resident pool amortizes
+SPEEDUP_FLOOR = 2.0
+SPEEDUP_FLOOR_QUICK = 0.8  # identity + zero-copy are the hard gates on CI
+
+NUM_NODES = 8
+IDENTITY_NODES = (1, 4, 8)
+REPEATS = 3
+
+
+def build_stream(num_edges: int, seed: int = 11) -> EdgeStream:
+    """A power-law web-crawl stand-in with ~``num_edges`` edges."""
+    avg_out = 10.0
+    graph = web_crawl_graph(
+        max(64, int(num_edges / avg_out)),
+        avg_out_degree=avg_out,
+        host_size=30,
+        intra_host_prob=0.88,
+        seed=seed,
+    )
+    return EdgeStream.from_graph(graph, order="bfs")
+
+
+def run_identity_gate(stream, k, quick) -> tuple[dict, list[str]]:
+    """persistent == process, bit for bit, across the node/mode matrix."""
+    rows = []
+    failures = []
+    for merge_mode in ("merged", "independent"):
+        for num_nodes in IDENTITY_NODES:
+            reference = distributed_clugp(
+                stream, k, num_nodes=num_nodes, seed=0,
+                merge_mode=merge_mode, backend="process",
+            )
+            result = distributed_clugp(
+                stream, k, num_nodes=num_nodes, seed=0,
+                merge_mode=merge_mode, backend="persistent",
+            )
+            identical = bool(
+                np.array_equal(
+                    reference.assignment.edge_partition,
+                    result.assignment.edge_partition,
+                )
+            )
+            rows.append(
+                {"merge_mode": merge_mode, "num_nodes": num_nodes,
+                 "identical": identical}
+            )
+            if not identical:
+                failures.append(
+                    f"persistent: {merge_mode}@{num_nodes} nodes diverges "
+                    f"from the process oracle"
+                )
+            print(
+                f"persistent/identity: {merge_mode}@{num_nodes} "
+                f"identical={identical}"
+            )
+    return {"rows": rows}, failures
+
+
+def run_speedup_gate(stream, k, quick) -> tuple[dict, list[str]]:
+    """Resident-pool per-call wall vs fork-per-call at 8 nodes."""
+    floor = SPEEDUP_FLOOR_QUICK if quick else SPEEDUP_FLOOR
+    t_process = float("inf")
+    for _ in range(REPEATS):
+        with Timer() as t:
+            process_result = distributed_clugp(
+                stream, k, num_nodes=NUM_NODES, seed=0, merge_mode="merged",
+                backend="process",
+            )
+        t_process = min(t_process, t.elapsed)
+
+    with Timer() as t_spawn:
+        runtime = PersistentRuntime(NUM_NODES)
+    t_persistent = float("inf")
+    overlap = 0.0
+    busy = []
+    try:
+        for _ in range(REPEATS):
+            with Timer() as t:
+                persistent_result = distributed_clugp(
+                    stream, k, num_nodes=NUM_NODES, seed=0,
+                    merge_mode="merged", backend="persistent", runtime=runtime,
+                )
+            t_persistent = min(t_persistent, t.elapsed)
+        overlaps = persistent_result.assignment.stage_times.overlaps
+        overlap = overlaps.get("pipeline_overlap", 0.0)
+        busy = [
+            overlaps.get(f"node{i}_busy", 0.0) for i in range(NUM_NODES)
+        ]
+        pickle_bytes = runtime.edge_pickle_bytes
+    finally:
+        runtime.close()
+
+    speedup = t_process / max(t_persistent, 1e-9)
+    identical = bool(
+        np.array_equal(
+            process_result.assignment.edge_partition,
+            persistent_result.assignment.edge_partition,
+        )
+    )
+    report = {
+        "num_edges": stream.num_edges,
+        "num_nodes": NUM_NODES,
+        "process_seconds": t_process,
+        "persistent_seconds": t_persistent,
+        "spawn_seconds": t_spawn.elapsed,
+        "speedup": speedup,
+        "floor": floor,
+        "identical": identical,
+        "edge_pickle_bytes": pickle_bytes,
+        "pipeline_overlap_seconds": overlap,
+        "worker_busy_seconds": busy,
+    }
+    failures = []
+    if not identical:
+        failures.append("persistent: speedup fixture diverged from process")
+    if speedup < floor:
+        failures.append(
+            f"persistent: {speedup:.2f}x over fork-per-call is below the "
+            f"{floor:.1f}x floor"
+        )
+    if pickle_bytes != 0:
+        failures.append(
+            f"persistent: {pickle_bytes} pickled ndarray bytes crossed the "
+            f"ingest plane (must be 0)"
+        )
+    print(
+        f"persistent/speedup: process {t_process*1000:.0f}ms, resident "
+        f"{t_persistent*1000:.0f}ms -> {speedup:.2f}x (floor {floor:.1f}x), "
+        f"spawn {t_spawn.elapsed*1000:.0f}ms, overlap {overlap*1000:.1f}ms, "
+        f"edge_pickle_bytes={pickle_bytes}"
+    )
+    return report, failures
+
+
+def run_hygiene_gate() -> tuple[dict, list[str]]:
+    """Every shared-memory segment is gone once the pools are closed."""
+    leaked = leaked_segments()
+    report = {"leaked_segments": leaked}
+    failures = (
+        [f"persistent: leaked shared-memory segments: {leaked}"] if leaked else []
+    )
+    print(f"persistent/hygiene: leaked_segments={leaked}")
+    return report, failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a shell exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: small fixture, relaxed floor")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the JSON report")
+    args = parser.parse_args(argv)
+
+    k = 8
+    num_edges = 8_000 if args.quick else 100_000
+    stream = build_stream(num_edges)
+    ident_stream = build_stream(4_000 if args.quick else 12_000, seed=7)
+
+    report: dict = {"quick": args.quick, "num_edges": stream.num_edges}
+    failures: list[str] = []
+
+    sub, fails = run_identity_gate(ident_stream, k, args.quick)
+    report["identity"] = sub
+    failures += fails
+
+    sub, fails = run_speedup_gate(stream, k, args.quick)
+    report["speedup"] = sub
+    failures += fails
+
+    sub, fails = run_hygiene_gate()
+    report["hygiene"] = sub
+    failures += fails
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+    if failures:
+        print("FAIL:\n  " + "\n  ".join(failures))
+        return 1
+    print("OK: all persistent-runtime gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

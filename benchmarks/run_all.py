@@ -2,7 +2,7 @@
 """Run the engineering benchmarks and write one consolidated JSON report.
 
 This is the perf-trajectory entry point: each PR that touches a hot path
-runs ``python benchmarks/run_all.py --json BENCH_pr9.json`` and CI runs
+runs ``python benchmarks/run_all.py --json BENCH_pr10.json`` and CI runs
 the ``--quick`` variant on every push, so regressions in any of the
 enforced floors fail loudly and the JSON artifacts accumulate a
 machine-readable history of the repo's throughput claims.
@@ -52,6 +52,13 @@ Sections (each with its own floors; exit status is non-zero if any fails):
   beating a full recompute, and the chaos bit-identity gates
   (deterministic crash/hang/corrupt/slow injection leaves the partition
   bit-identical on the thread and process backends).
+* ``persistent_workers`` — bench_persistent: the persistent
+  shared-memory worker runtime — ``backend="persistent"`` bit-identical
+  to the process oracle for both merge modes at num_nodes in {1, 4, 8},
+  resident-pool per-call wall >= 2x faster than fork-per-call at 8
+  nodes on the ~100k-edge fixture (floor relaxed in --quick), exactly 0
+  pickled ndarray bytes on the shared-memory ingest plane, and no
+  leaked ``/dev/shm`` segments after pool teardown.
 
 Usage::
 
@@ -84,6 +91,7 @@ import bench_clugp_stages
 import bench_fig8_pagerank
 import bench_incremental_service
 import bench_kernels
+import bench_persistent
 import bench_reliability
 from repro._util import Timer
 from repro.config import ClugpConfig, GameConfig
@@ -279,10 +287,33 @@ def run_distributed_merge_bench(quick: bool) -> tuple[dict, list[str]]:
             f"distributed_merge: merged RF {rf_mer8:.4f} not strictly below "
             f"independent {rf_ind8:.4f} at 8 nodes"
         )
+    # gate 4: the persistent resident-worker backend reproduces the merged
+    # protocol bit for bit at 4 nodes (the full {1,4,8} x {merged,
+    # independent} matrix lives in the persistent_workers section)
+    merged_ref = distributed_clugp(stream, k, num_nodes=4, seed=0, merge_mode="merged")
+    merged_persistent = distributed_clugp(
+        stream, k, num_nodes=4, seed=0, merge_mode="merged", backend="persistent"
+    )
+    persistent_identical = bool(
+        np.array_equal(
+            merged_ref.assignment.edge_partition,
+            merged_persistent.assignment.edge_partition,
+        )
+    )
+    if not persistent_identical:
+        failures.append(
+            "distributed_merge: backend='persistent' merged run is not "
+            "bit-identical at 4 nodes"
+        )
+    print(
+        "distributed_merge: persistent backend merged 4 nodes "
+        f"bit-identical={persistent_identical}"
+    )
     report = {
         "num_edges": stream.num_edges,
         "num_partitions": k,
         "single_node_identical": identical,
+        "persistent_identical": persistent_identical,
         "rf_independent_8": rf_ind8,
         "rf_merged_8": rf_mer8,
         "rows": rows,
@@ -346,6 +377,11 @@ def main(argv=None) -> int:
     print("\n=== reliability: overhead, recovery, chaos ===")
     report, fails = _run_sub_bench(bench_reliability, "reliability", args.quick)
     consolidated["reliability"] = report
+    failures += fails
+
+    print("\n=== persistent workers: identity, speedup, zero-copy ===")
+    report, fails = _run_sub_bench(bench_persistent, "persistent_workers", args.quick)
+    consolidated["persistent_workers"] = report
     failures += fails
 
     if args.json:

@@ -275,11 +275,18 @@ class StageTimes:
     work total that single-machine comparisons rely on.
     ``counters`` holds integer event counts (retries, requeues, timeouts
     — the reliability layer's cost accounting) alongside the timings.
+    ``overlaps`` records *hidden* work of a pipelined schedule: seconds of
+    stage work that ran concurrently with another stage's wall (e.g. the
+    coordinator folding summaries while slower shards still compute) plus
+    per-worker busy/idle splits.  Overlap entries are diagnostics — they
+    never feed :attr:`total` or :attr:`critical_path`, which stay the
+    summed work and the longest measured wall respectively.
     """
 
     stages: dict = field(default_factory=dict)
     walls: dict = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    overlaps: dict = field(default_factory=dict)
 
     def add(self, name: str, seconds: float) -> None:
         self.stages[name] = self.stages.get(name, 0.0) + seconds
@@ -287,6 +294,10 @@ class StageTimes:
     def add_wall(self, name: str, seconds: float) -> None:
         """Record a wall-clock reading; repeated adds keep the maximum."""
         self.walls[name] = max(self.walls.get(name, 0.0), seconds)
+
+    def add_overlap(self, name: str, seconds: float) -> None:
+        """Accumulate seconds of work hidden under another stage's wall."""
+        self.overlaps[name] = self.overlaps.get(name, 0.0) + seconds
 
     def bump(self, name: str, count: int = 1) -> None:
         """Accumulate an integer event counter (no-op when ``count`` is 0)."""

@@ -185,8 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist.add_argument(
         "--backend",
         default="thread",
-        choices=["thread", "process"],
-        help="executor the node pipelines run on",
+        choices=["thread", "process", "persistent"],
+        help="executor the node pipelines run on (persistent = resident "
+        "shared-memory worker processes with the pipelined merge path)",
     )
     p_dist.add_argument(
         "--chunk-size", type=int, default=None, metavar="N",

@@ -40,12 +40,14 @@ single-machine pipeline: no boundary vertices, an identity relabel, and a
 warm-started refinement game that proposes zero moves — the assignment is
 bit-identical (see ``tests/test_core_distributed.py``).
 
-Node pipelines execute on ``backend="thread"`` (in-process pool) or
+Node pipelines execute on ``backend="thread"`` (in-process pool),
 ``backend="process"`` (a ``ProcessPoolExecutor``; summaries, clusterings
-and shard arrays cross a real process boundary), and
-:class:`DistributedResult` reports measured per-stage walls
-(shard/merge/game/transform critical path) plus wire bytes via
-``to_dict()`` / ``summary()``.
+and shard arrays cross a real process boundary), or
+``backend="persistent"`` (resident shared-memory workers from
+:mod:`repro.distributed` with a pipelined arrival-order merge, bit-identical
+to the process oracle), and :class:`DistributedResult` reports measured
+per-stage walls (shard/merge/game/transform critical path) plus wire bytes
+via ``to_dict()`` / ``summary()``.
 """
 
 from __future__ import annotations
@@ -73,12 +75,13 @@ __all__ = [
     "MergeReport",
     "DistributedResult",
     "DistributedClugpPartitioner",
+    "IncrementalMerger",
     "balance_quotas",
     "distributed_clugp",
 ]
 
 _MERGE_MODES = ("independent", "merged")
-_BACKENDS = ("thread", "process")
+_BACKENDS = ("thread", "process", "persistent")
 
 
 @dataclass(frozen=True)
@@ -176,6 +179,7 @@ class DistributedResult:
             "relative_balance": self.assignment.relative_balance(),
             "stage_seconds": dict(times.stages),
             "stage_walls": dict(times.walls),
+            "stage_overlaps": dict(times.overlaps),
             "reliability": dict(times.counters),
             "total_seconds": times.total,
             "wall_seconds": self.assignment.wall_time(),
@@ -210,6 +214,14 @@ class DistributedResult:
             )
         else:
             lines.append(f"  critical path (slowest node)={self.max_node_seconds():.3f}s")
+        overlaps = a.stage_times.overlaps
+        if overlaps.get("pipeline_overlap"):
+            busy = sum(v for k, v in overlaps.items() if k.endswith("_busy"))
+            idle = sum(v for k, v in overlaps.items() if k.endswith("_idle"))
+            lines.append(
+                f"  pipeline: {overlaps['pipeline_overlap']:.3f}s of merge hidden "
+                f"under the shard wall (workers busy={busy:.3f}s idle={idle:.3f}s)"
+            )
         counters = a.stage_times.counters
         if counters.get("retries"):
             detail = ", ".join(
@@ -438,81 +450,161 @@ class _MergeDecision:
     num_unresolved_edges: int
 
 
+class IncrementalMerger:
+    """Arrival-order incremental union of shard cluster summaries.
+
+    ``ClusterGraph.merge`` produces a *canonical* CSR (sorted unique
+    ``(row, col)`` pairs, exact int64 weight sums, exact internal sums),
+    so merging is associative and commutative on the multiset of edge
+    contributions: folding summaries pairwise **in whatever order they
+    arrive** and applying one final permutation relabel is bit-identical
+    to the one-shot batch union in node order.  That equivalence (the
+    hypothesis gate of ``tests/test_persistent_runtime.py``) is what lets
+    the persistent backend overlap the coordinator's merge with the
+    slowest shard instead of barriering on all summaries:
+
+    * :meth:`add` folds one summary's resolved cluster graph into the
+      accumulator the moment it lands (ids offset in *arrival* order);
+    * :meth:`finalize` re-labels the accumulator into canonical
+      node-order global ids, resolves boundary vertices, attributes the
+      unresolved cross-shard edges, and returns the same
+      ``_MergeDecision`` the batch path produces.
+
+    The batch path (:func:`_merge_summaries`) itself folds through this
+    class in node order, so there is exactly one merge implementation.
+    """
+
+    def __init__(self) -> None:
+        self._acc: ClusterGraph | None = None
+        self._acc_clusters = 0
+        self._arrival_offset: dict[int, int] = {}
+        self._summaries: dict[int, ClusterSummary] = {}
+
+    @property
+    def num_added(self) -> int:
+        """Summaries folded so far."""
+        return len(self._summaries)
+
+    def add(self, node: int, summary: ClusterSummary) -> None:
+        """Fold one node's summary into the accumulator (arrival order)."""
+        if node in self._summaries:
+            raise ValueError(f"node {node} already merged")
+        self._summaries[node] = summary
+        self._arrival_offset[node] = self._acc_clusters
+        graph = summary.resolved
+        if self._acc is None:
+            self._acc = graph
+            self._acc_clusters = graph.num_clusters
+            return
+        before = self._acc_clusters
+        total = before + graph.num_clusters
+        self._acc = ClusterGraph.merge(
+            [self._acc, graph],
+            [
+                np.arange(before, dtype=np.int64),
+                np.arange(graph.num_clusters, dtype=np.int64) + before,
+            ],
+            num_clusters=total,
+        )
+        self._acc_clusters = total
+
+    def finalize(self, num_vertices: int) -> _MergeDecision:
+        """Resolve boundaries and permute into node-order global ids.
+
+        Global cluster ids are the disjoint union of the per-node compact
+        ids (node ``i``'s cluster ``c`` becomes ``offsets[i] + c`` — a
+        bijection onto ``0..M-1``), independent of arrival order.  Each
+        boundary vertex is resolved to the local cluster where it has the
+        highest degree (ties: lowest node id); the unresolved cross-shard
+        edges are then attributed through that resolution, which makes
+        the merged graph *exactly* equal to
+        ``build_cluster_graph(full_stream, global_clustering)`` — see
+        DESIGN.md §6 for the argument and
+        ``tests/test_distributed_merge.py`` for the oracle check.
+        """
+        if not self._summaries:
+            raise ValueError("finalize() before any summary was added")
+        nodes = sorted(self._summaries)
+        summaries = [self._summaries[node] for node in nodes]
+        counts = np.asarray([s.num_clusters for s in summaries], dtype=np.int64)
+        offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+        num_global = int(offsets[-1])
+
+        # arrival-id space -> node-order global id space
+        perm = np.empty(num_global, dtype=np.int64)
+        for i, node in enumerate(nodes):
+            start = self._arrival_offset[node]
+            count = int(counts[i])
+            perm[start:start + count] = np.arange(count, dtype=np.int64) + offsets[i]
+
+        # boundary resolution: max local degree wins, ties to lowest node
+        bv = np.concatenate([s.boundary_vertices for s in summaries])
+        bc = np.concatenate(
+            [s.boundary_clusters + offsets[i] for i, s in enumerate(summaries)]
+        )
+        bd = np.concatenate([s.boundary_degrees for s in summaries])
+        bn = np.concatenate(
+            [
+                np.full(s.boundary_vertices.size, i, dtype=np.int64)
+                for i, s in enumerate(summaries)
+            ]
+        )
+        boundary_cluster_of = np.full(num_vertices, -1, dtype=np.int64)
+        if bv.size:
+            order = np.lexsort((bn, -bd, bv))
+            sv = bv[order]
+            first = np.ones(sv.size, dtype=bool)
+            first[1:] = sv[1:] != sv[:-1]
+            boundary_cluster_of[sv[first]] = bc[order][first]
+        boundary_vertices = np.flatnonzero(boundary_cluster_of >= 0)
+
+        # unresolved cross-shard edges: each endpoint maps through the
+        # resolution if it is boundary, else through its node's relabel
+        gu_parts: list[np.ndarray] = []
+        gv_parts: list[np.ndarray] = []
+        for i, s in enumerate(summaries):
+            if not s.unresolved_src.size:
+                continue
+            bu = boundary_cluster_of[s.unresolved_src]
+            bvv = boundary_cluster_of[s.unresolved_dst]
+            gu_parts.append(np.where(bu >= 0, bu, s.unresolved_src_cluster + offsets[i]))
+            gv_parts.append(np.where(bvv >= 0, bvv, s.unresolved_dst_cluster + offsets[i]))
+        if gu_parts:
+            gu = np.concatenate(gu_parts)
+            gv = np.concatenate(gv_parts)
+        else:
+            gu = gv = np.empty(0, dtype=np.int64)
+        unresolved_graph = cluster_graph_from_labels(gu, gv, num_global)
+
+        merged = ClusterGraph.merge(
+            [self._acc, unresolved_graph],
+            [perm, np.arange(num_global, dtype=np.int64)],
+            num_clusters=num_global,
+        )
+        warm = np.empty(0, dtype=np.int64)
+        if num_global:
+            warm = np.concatenate([s.local_assignment for s in summaries])
+        return _MergeDecision(
+            merged_graph=merged,
+            offsets=offsets[:-1],
+            boundary_vertices=boundary_vertices,
+            boundary_global_cluster=boundary_cluster_of[boundary_vertices],
+            warm_start=warm,
+            num_unresolved_edges=int(gu.size),
+        )
+
+
 def _merge_summaries(summaries: list[ClusterSummary], num_vertices: int) -> _MergeDecision:
     """Union the shard summaries into the exact global cluster graph.
 
-    Global cluster ids are the disjoint union of the per-node compact ids
-    (node ``i``'s cluster ``c`` becomes ``offsets[i] + c`` — a bijection
-    onto ``0..M-1``).  Each boundary vertex is resolved to the local
-    cluster where it has the highest degree (ties: lowest node id); the
-    unresolved cross-shard edges are then attributed through that
-    resolution, which makes the merged graph *exactly* equal to
-    ``build_cluster_graph(full_stream, global_clustering)`` — see
-    DESIGN.md §6 for the argument and ``tests/test_distributed_merge.py``
-    for the oracle check.
+    Folds through :class:`IncrementalMerger` in node order — one merge
+    implementation shared by the batch backends and the pipelined
+    persistent backend (which folds in arrival order instead).
     """
-    counts = np.asarray([s.num_clusters for s in summaries], dtype=np.int64)
-    offsets = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
-    num_global = int(offsets[-1])
-
-    # boundary resolution: max local degree wins, ties to the lowest node
-    bv = np.concatenate([s.boundary_vertices for s in summaries])
-    bc = np.concatenate(
-        [s.boundary_clusters + offsets[i] for i, s in enumerate(summaries)]
-    )
-    bd = np.concatenate([s.boundary_degrees for s in summaries])
-    bn = np.concatenate(
-        [np.full(s.boundary_vertices.size, i, dtype=np.int64) for i, s in enumerate(summaries)]
-    )
-    boundary_cluster_of = np.full(num_vertices, -1, dtype=np.int64)
-    if bv.size:
-        order = np.lexsort((bn, -bd, bv))
-        sv = bv[order]
-        first = np.ones(sv.size, dtype=bool)
-        first[1:] = sv[1:] != sv[:-1]
-        boundary_cluster_of[sv[first]] = bc[order][first]
-    boundary_vertices = np.flatnonzero(boundary_cluster_of >= 0)
-
-    # unresolved cross-shard edges: each endpoint maps through the
-    # resolution if it is boundary, else through its node's relabel
-    gu_parts: list[np.ndarray] = []
-    gv_parts: list[np.ndarray] = []
-    for i, s in enumerate(summaries):
-        if not s.unresolved_src.size:
-            continue
-        bu = boundary_cluster_of[s.unresolved_src]
-        bvv = boundary_cluster_of[s.unresolved_dst]
-        gu_parts.append(np.where(bu >= 0, bu, s.unresolved_src_cluster + offsets[i]))
-        gv_parts.append(np.where(bvv >= 0, bvv, s.unresolved_dst_cluster + offsets[i]))
-    if gu_parts:
-        gu = np.concatenate(gu_parts)
-        gv = np.concatenate(gv_parts)
-    else:
-        gu = gv = np.empty(0, dtype=np.int64)
-    unresolved_graph = cluster_graph_from_labels(gu, gv, num_global)
-
-    relabels = [
-        np.arange(s.num_clusters, dtype=np.int64) + offsets[i]
-        for i, s in enumerate(summaries)
-    ]
-    merged = ClusterGraph.merge(
-        [s.resolved for s in summaries] + [unresolved_graph],
-        relabels + [np.arange(num_global, dtype=np.int64)],
-        num_clusters=num_global,
-    )
-    warm = (
-        np.concatenate([s.local_assignment for s in summaries])
-        if num_global
-        else np.empty(0, dtype=np.int64)
-    )
-    return _MergeDecision(
-        merged_graph=merged,
-        offsets=offsets[:-1],
-        boundary_vertices=boundary_vertices,
-        boundary_global_cluster=boundary_cluster_of[boundary_vertices],
-        warm_start=warm,
-        num_unresolved_edges=int(gu.size),
-    )
+    merger = IncrementalMerger()
+    for node, summary in enumerate(summaries):
+        merger.add(node, summary)
+    return merger.finalize(num_vertices)
 
 
 def _global_game(
@@ -599,6 +691,7 @@ def distributed_clugp(
     chunk_size: int | None = None,
     merge_mode: str = "independent",
     backend: str = "thread",
+    runtime=None,
 ) -> DistributedResult:
     """Run the Section III-C distributed deployment of CLUGP.
 
@@ -628,8 +721,15 @@ def distributed_clugp(
         cluster-summary merge protocol with one global game (see the
         module docstring).
     backend:
-        ``"thread"`` or ``"process"`` — the executor node pipelines run
-        on when ``parallel_nodes`` is true.
+        ``"thread"`` or ``"process"`` — pooled executors forked per call
+        — or ``"persistent"``: resident worker processes fed over shared
+        memory with the pipelined shard->merge schedule
+        (:mod:`repro.distributed`).
+    runtime:
+        Optional resident :class:`~repro.distributed.runtime.
+        PersistentRuntime` to run on (``backend="persistent"`` only); by
+        default an ephemeral pool is spawned and torn down for the call.
+        Its ``num_workers`` must equal ``num_nodes``.
     """
     check_positive_int(num_nodes, "num_nodes")
     if num_nodes > max(1, stream.num_edges):
@@ -655,6 +755,16 @@ def distributed_clugp(
     )
     inject = FaultInjector.from_spec(rel.inject_faults)
 
+    if backend == "persistent":
+        from ..distributed.pipeline import run_persistent
+
+        return run_persistent(
+            stream, num_partitions, num_nodes, config, seed,
+            chunk_size if merge_mode == "independent" else size,
+            ranges, policy, inject, merge_mode, runtime=runtime,
+        )
+    if runtime is not None:
+        raise ValueError("runtime= requires backend='persistent'")
     if merge_mode == "independent":
         return _run_independent(
             stream, num_partitions, num_nodes, config, seed, parallel_nodes,
@@ -891,7 +1001,11 @@ class DistributedClugpPartitioner(EdgePartitioner):
         ``"independent"`` (concatenate shard pipelines) or ``"merged"``
         (cluster-summary merge + one global game).
     backend:
-        Node executor: ``"thread"`` or ``"process"``.
+        Node executor: ``"thread"``, ``"process"``, or ``"persistent"``.
+        The persistent backend keeps a resident
+        :class:`~repro.distributed.runtime.PersistentRuntime` across
+        ``partition()`` calls — spawn once, reuse forever; release it
+        with :meth:`close` (also a context manager).
     """
 
     name = "clugp-dist"
@@ -915,19 +1029,55 @@ class DistributedClugpPartitioner(EdgePartitioner):
         self.merge_mode = merge_mode
         self.backend = backend
         self.last_result: DistributedResult | None = None
+        self._runtime = None
+
+    def runtime_for(self, num_nodes: int):
+        """The resident worker pool, (re)created to match ``num_nodes``.
+
+        Only meaningful for ``backend="persistent"``; the pool survives
+        across ``partition()`` calls (the whole point of the backend) and
+        is resized — close + respawn — only if the effective node count
+        changes (e.g. a stream smaller than ``num_nodes``).
+        """
+        if self.backend != "persistent":
+            return None
+        if self._runtime is not None and self._runtime.num_workers != num_nodes:
+            self._runtime.close()
+            self._runtime = None
+        if self._runtime is None:
+            from ..distributed.runtime import PersistentRuntime
+
+            self._runtime = PersistentRuntime(num_nodes)
+        return self._runtime
+
+    def close(self) -> None:
+        """Shut down the resident worker pool (no-op for pooled backends)."""
+        if self._runtime is not None:
+            self._runtime.close()
+            self._runtime = None
+
+    def __enter__(self) -> "DistributedClugpPartitioner":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: release resident workers."""
+        self.close()
 
     def partition(self, stream: EdgeStream) -> PartitionAssignment:
         """Run the full distributed pipeline; keeps ``last_result``."""
         self._last_stream = stream
+        effective_nodes = min(self.num_nodes, max(1, stream.num_edges))
         result = distributed_clugp(
             stream,
             self.num_partitions,
-            num_nodes=min(self.num_nodes, max(1, stream.num_edges)),
+            num_nodes=effective_nodes,
             config=self.config,
             seed=self.seed,
             chunk_size=self.chunk_size,
             merge_mode=self.merge_mode,
             backend=self.backend,
+            runtime=self.runtime_for(effective_nodes),
         )
         self.last_result = result
         return result.assignment

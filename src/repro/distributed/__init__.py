@@ -1,0 +1,24 @@
+"""Persistent shared-memory worker runtime (the ``persistent`` backend).
+
+Long-lived node processes holding resident shard + clustering + app
+state, fed over ``multiprocessing.shared_memory`` rings, driving the
+pipelined shard→merge→serve schedule of ``distributed_clugp`` and the
+process-backed distributed GAS runtime.  See ``docs/distributed.md``.
+"""
+
+from .gas import DistributedGasRuntime
+from .runtime import PersistentRuntime, WorkerDiedError
+from .shm import SHM_PREFIX, EdgeChunkRing, RingWriter, leaked_segments
+from .transport import FramedConnection, ndarray_nbytes
+
+__all__ = [
+    "DistributedGasRuntime",
+    "PersistentRuntime",
+    "WorkerDiedError",
+    "SHM_PREFIX",
+    "EdgeChunkRing",
+    "RingWriter",
+    "leaked_segments",
+    "FramedConnection",
+    "ndarray_nbytes",
+]

@@ -1,0 +1,334 @@
+"""Distributed GAS execution on the persistent worker pool.
+
+:class:`DistributedGasRuntime` runs the same BSP superstep as
+:class:`~repro.system.runtime.LocalGasRuntime` — the bit-identity oracle
+— but the per-partition gather/apply kernels execute on the resident
+node processes of a :class:`~repro.distributed.runtime.PersistentRuntime`
+(partitions are owned round-robin, ``pid % num_workers``), typically the
+same processes that just partitioned the graph: stream → partition → app
+end-to-end on real processes.
+
+Per superstep, three command round trips:
+
+1. ``gas_gather`` — the coordinator ships packed active/selection bit
+   masks; each worker runs its partitions' local gather kernels, returns
+   the active mirrors' partial-accumulator chunks (and, for programs
+   with a ``master_aggregate`` hook, one float partial per partition);
+2. ``gas_apply`` — the coordinator assembles the gather
+   :class:`~repro.system.messages.MessageBuffer` (chunks concatenated in
+   pid order — float merge order is part of the bit contract), routes
+   each partition's incoming rows back, and ships the reduced global
+   aggregate; workers combine, apply at active masters, and return the
+   new master values;
+3. ``gas_sync`` — masters' applied values broadcast to mirrors through
+   the apply buffer (provably equal to ``new_global[routes.vertex[sel]]``
+   — masters are authoritative), plus the packed changed mask for the
+   workers' message-free scatter; workers return their activated local
+   frontiers and the coordinator OR-reduces.
+
+``SuperstepCost.messages``/``bytes`` are counted from the same buffers
+the oracle builds (the parity contract), while ``compute_seconds`` is
+the slowest worker's *measured* kernel time and ``comm_seconds`` the
+measured superstep wall minus that — real transport, not a network
+model; :attr:`DistributedGasRuntime.wire_bytes` is the measured
+control-plane traffic of the run.
+
+Scope: dense accumulators only (the ragged label-count programs raise),
+and global-aggregate programs must expose the split
+``master_aggregate``/``receive_aggregate`` hooks.  A worker death
+mid-run raises :class:`~repro.distributed.runtime.WorkerDiedError` — app
+state is not checkpointed (see docs/distributed.md).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..partitioners.base import PartitionAssignment
+from ..system.engine import RunCost, SuperstepCost
+from ..system.messages import DensePayload, MessageBuffer
+from ..system.runtime import DenseAccumulator
+from ..system.placement import build_local_index, build_placement
+from .runtime import PersistentRuntime
+
+__all__ = ["DistributedGasRuntime"]
+
+
+def _packbits(mask: np.ndarray) -> np.ndarray:
+    return np.packbits(mask.astype(np.uint8))
+
+
+class DistributedGasRuntime:
+    """Partition-local GAS over resident worker processes.
+
+    Drop-in for :class:`~repro.system.runtime.LocalGasRuntime` on the
+    programs it supports (dense accumulators): same ``run()`` contract,
+    bit-identical values and superstep counts, measured communication.
+
+    Parameters
+    ----------
+    assignment:
+        The vertex-cut deployment to execute on.
+    runtime:
+        The persistent worker pool hosting the partitions — commonly the
+        pool that produced ``assignment``, so the app runs where the
+        shards already live.
+    """
+
+    mode = "distributed"
+
+    def __init__(
+        self,
+        assignment: PartitionAssignment,
+        runtime: PersistentRuntime,
+    ) -> None:
+        self.assignment = assignment
+        self.stream = assignment.stream
+        self.runtime = runtime
+        self.placement = build_placement(assignment)
+        self.index = build_local_index(assignment, self.placement)
+        self.num_vertices = self.stream.num_vertices
+        self.num_partitions = assignment.num_partitions
+        self._unhosted = self.placement.replica_counts == 0
+        #: pid -> owning worker (round-robin)
+        self.owner = {
+            pid: pid % runtime.num_workers for pid in range(self.num_partitions)
+        }
+        #: per-superstep sync masks of the last run (for the parity test)
+        self.sync_masks: list[np.ndarray] = []
+        #: measured control-plane bytes of the last run (setup + supersteps)
+        self.wire_bytes = 0
+        self.setup_seconds = 0.0
+
+    def _owned_pids(self, worker: int) -> list[int]:
+        return [pid for pid in range(self.num_partitions) if self.owner[pid] == worker]
+
+    def _mirror_rows(self, pid: int) -> slice:
+        indptr = self.index.routes.mirror_indptr
+        return slice(indptr[pid], indptr[pid + 1])
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, program, max_supersteps: int = 100) -> tuple[np.ndarray, RunCost]:
+        """Execute ``program`` to convergence; returns (values, cost)."""
+        if max_supersteps <= 0:
+            raise ValueError("max_supersteps must be positive")
+        spec = program.accumulator
+        if not isinstance(spec, DenseAccumulator):
+            raise ValueError(
+                "DistributedGasRuntime supports dense accumulators only; "
+                "run ragged programs on LocalGasRuntime"
+            )
+        if hasattr(program, "before_apply") and not hasattr(program, "master_aggregate"):
+            raise ValueError(
+                "program computes global aggregates in before_apply but does "
+                "not expose the distributed master_aggregate/receive_aggregate "
+                "hooks"
+            )
+        wire_before = self.runtime.wire_bytes
+        values_global = np.ascontiguousarray(program.init(self))
+        if hasattr(program, "setup"):
+            program.setup(self)
+        parts = self.index.partitions
+        routes = self.index.routes
+        n = self.num_vertices
+        k = self.num_partitions
+        has_aggregate = hasattr(program, "master_aggregate")
+        undirected = program.edge_mode == "undirected"
+        sparse = program.frontier != "dense"
+
+        # one-time placement: ship each worker its partitions (sub-graph,
+        # replica values, mirror route slice) plus the shared program
+        t_setup = time.perf_counter()
+        setup_msgs = []
+        for worker in range(self.runtime.num_workers):
+            owned = {
+                pid: {
+                    "part": parts[pid],
+                    "values": values_global[parts[pid].vertices].copy(),
+                    "mirror_local": routes.mirror_local[self._mirror_rows(pid)],
+                }
+                for pid in self._owned_pids(worker)
+            }
+            setup_msgs.append(
+                {
+                    "op": "gas_setup",
+                    "program": program,
+                    "owned": owned,
+                    "num_vertices": n,
+                    "num_partitions": k,
+                }
+            )
+        self.runtime.call_all(setup_msgs)
+        self.setup_seconds = time.perf_counter() - t_setup
+
+        cost = RunCost()
+        self.sync_masks = []
+        active = np.ones(n, dtype=bool)
+        for step in range(max_supersteps):
+            t_step = time.perf_counter()
+            self.sync_masks.append(active.copy())
+            active_local = [active[p.vertices] for p in parts]
+            sel = active[routes.vertex]
+
+            # (1)+(2a) gather on the workers; chunks stream back per pid
+            gather_msgs = []
+            for worker in range(self.runtime.num_workers):
+                pids = self._owned_pids(worker)
+                gather_msgs.append(
+                    {
+                        "op": "gas_gather",
+                        "active_bits": {
+                            pid: _packbits(active_local[pid]) for pid in pids
+                        },
+                        "sel_bits": {
+                            pid: _packbits(sel[self._mirror_rows(pid)]) for pid in pids
+                        },
+                    }
+                )
+            gather_replies = self.runtime.call_all(gather_msgs)
+            chunks: dict[int, np.ndarray] = {}
+            aggs: dict[int, float] = {}
+            worker_seconds = [s for _, s in gather_replies]
+            for payload, _ in gather_replies:
+                chunks.update(payload["chunks"])
+                aggs.update(payload["aggs"])
+            values = (
+                np.concatenate([chunks[pid] for pid in range(k)])
+                if k
+                else np.empty(0, dtype=spec.dtype)
+            )
+            gather_buf = MessageBuffer(
+                round="gather",
+                vertex=routes.vertex[sel],
+                src_part=routes.mirror_part[sel],
+                dst_part=routes.master_part[sel],
+                dst_local=routes.master_local[sel],
+                payload=DensePayload(values),
+            )
+
+            # global aggregate: worker partials reduced in pid order, then
+            # the coordinator's unhosted share — the oracle's float order
+            aggregate = None
+            if has_aggregate:
+                total = 0.0
+                for pid in range(k):
+                    total += aggs[pid]
+                total += program.unhosted_aggregate(self, values_global)
+                program.receive_aggregate(total)  # for the unhosted apply
+                aggregate = total
+
+            # (2b)+(3) route gather rows home, apply at active masters
+            apply_msgs = []
+            for worker in range(self.runtime.num_workers):
+                deliver = {}
+                for pid in self._owned_pids(worker):
+                    locals_recv, payload = gather_buf.for_partition(pid)
+                    deliver[pid] = (locals_recv, payload.values)
+                apply_msgs.append(
+                    {
+                        "op": "gas_apply",
+                        "aggregate": aggregate,
+                        "deliver": deliver,
+                        "combine": spec.combine,
+                    }
+                )
+            apply_replies = self.runtime.call_all(apply_msgs)
+            new_global = values_global.copy()
+            changed = np.zeros(n, dtype=bool)
+            applied: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            for i, (payload, seconds) in enumerate(apply_replies):
+                worker_seconds[i] += seconds
+                applied.update(payload["applied"])
+            for pid in range(k):
+                ids, new_vals = applied[pid]
+                if ids.size == 0:
+                    continue
+                gids = parts[pid].vertices[ids]
+                new_global[gids] = new_vals
+                if sparse:
+                    changed[gids] = new_vals != values_global[gids]
+            isolated = active & self._unhosted
+            if isolated.any():
+                gids = np.nonzero(isolated)[0]
+                new_vals = program.apply(
+                    self, gids, values_global[gids], spec.empty(gids.size)
+                )
+                new_global[gids] = new_vals
+                if sparse:
+                    changed[gids] = new_vals != values_global[gids]
+
+            # (4) apply sync: masters are authoritative, so the broadcast
+            # values are exactly the new globals at the selected routes
+            apply_buf = MessageBuffer(
+                round="apply",
+                vertex=routes.vertex[sel],
+                src_part=routes.master_part[sel],
+                dst_part=routes.mirror_part[sel],
+                dst_local=routes.mirror_local[sel],
+                payload=DensePayload(new_global[routes.vertex[sel]]),
+            )
+            if not sparse:
+                converged = program.check_converged(self, values_global, new_global)
+                changed = np.full(n, not converged, dtype=bool)
+            if hasattr(program, "post_superstep"):
+                changed = program.post_superstep(self, step, changed)
+
+            # (5) mirror refresh + message-free scatter on the workers
+            changed_bits = _packbits(changed) if sparse else None
+            sync_msgs = []
+            for worker in range(self.runtime.num_workers):
+                deliver = {}
+                for pid in self._owned_pids(worker):
+                    locals_recv, payload = apply_buf.for_partition(pid)
+                    deliver[pid] = (locals_recv, payload.values)
+                sync_msgs.append(
+                    {
+                        "op": "gas_sync",
+                        "deliver": deliver,
+                        "changed_bits": changed_bits,
+                        "undirected": undirected,
+                    }
+                )
+            sync_replies = self.runtime.call_all(sync_msgs)
+            if sparse:
+                nxt = np.zeros(n, dtype=bool)
+                for i, (payload, seconds) in enumerate(sync_replies):
+                    worker_seconds[i] += seconds
+                    for pid, acts in payload["activated"].items():
+                        nxt[parts[pid].vertices[acts]] = True
+                next_active = nxt
+            else:
+                for i, (_, seconds) in enumerate(sync_replies):
+                    worker_seconds[i] += seconds
+                next_active = changed.copy()
+
+            # measured superstep cost: oracle-identical message/byte
+            # counts, real compute (slowest worker) and transport walls
+            compute = max(worker_seconds, default=0.0)
+            wall = time.perf_counter() - t_step
+            active_edges = sum(
+                int(np.count_nonzero(al[p.src_local] | al[p.dst_local]))
+                for p, al in zip(parts, active_local)
+            )
+            cost.add(
+                SuperstepCost(
+                    superstep=step,
+                    active_vertices=int(np.count_nonzero(active)),
+                    active_edges=active_edges,
+                    messages=gather_buf.count + apply_buf.count,
+                    bytes=gather_buf.payload_nbytes + apply_buf.payload_nbytes,
+                    compute_seconds=compute,
+                    comm_seconds=max(0.0, wall - compute),
+                )
+            )
+            values_global = new_global
+            active = next_active
+            if not changed.any():
+                break
+        self.wire_bytes = self.runtime.wire_bytes - wire_before
+        return values_global, cost

@@ -1,0 +1,98 @@
+"""Framed, byte-counted command/result pipes for the persistent runtime.
+
+Each worker is driven over two unidirectional OS pipes: a *command*
+connection (coordinator -> worker) and a *result* connection (worker ->
+coordinator).  Both ends frame messages through explicit ``pickle`` +
+``send_bytes`` so every byte that crosses the boundary is **measured** —
+the zero-copy claim of the shared-memory ingest path is a gate in
+``benchmarks/bench_persistent.py``, not an assumption:
+
+* :attr:`FramedConnection.bytes_sent` / :attr:`bytes_received` count the
+  raw wire traffic of the control plane;
+* :func:`ndarray_nbytes` audits a command for numpy payloads, and the
+  coordinator accumulates the audit of every **ingest-plane** command
+  into ``edge_pickle_bytes`` — chunk descriptors are plain ints, so the
+  counter stays 0 unless someone regresses the hot path back to pickling
+  arrays.
+
+Coordination traffic (boundary masks, the broadcast cluster decision,
+quota tables, the shipped summaries) legitimately carries arrays; those
+commands are *not* ingest-plane and their bytes are accounted under the
+existing ``MergeReport`` wire-byte fields instead.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+__all__ = ["FramedConnection", "ndarray_nbytes"]
+
+
+def ndarray_nbytes(obj) -> int:
+    """Total bytes of every numpy array reachable inside ``obj``.
+
+    Walks tuples/lists/dicts and dataclass-like ``__dict__`` payloads —
+    the shapes commands actually use — without falling into cycles.
+    """
+    total = 0
+    seen: set[int] = set()
+    stack = [obj]
+    while stack:
+        item = stack.pop()
+        if id(item) in seen:
+            continue
+        seen.add(id(item))
+        if isinstance(item, np.ndarray):
+            total += int(item.nbytes)
+        elif isinstance(item, (tuple, list, set)):
+            stack.extend(item)
+        elif isinstance(item, dict):
+            stack.extend(item.keys())
+            stack.extend(item.values())
+        elif hasattr(item, "__dict__") and not isinstance(item, type):
+            stack.extend(vars(item).values())
+    return total
+
+
+class FramedConnection:
+    """One direction of a worker pipe with wire-byte accounting.
+
+    Wraps a ``multiprocessing.connection.Connection``; every object is
+    pickled here (protocol 5) and shipped with ``send_bytes`` so the
+    measured frame length is exactly what crossed the pipe.
+    """
+
+    def __init__(self, conn) -> None:
+        self.conn = conn
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, obj) -> int:
+        """Pickle and send one frame; returns (and counts) its byte size."""
+        frame = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self.conn.send_bytes(frame)
+        self.bytes_sent += len(frame)
+        return len(frame)
+
+    def recv(self):
+        """Receive one frame; raises ``EOFError`` when the peer died."""
+        frame = self.conn.recv_bytes()
+        self.bytes_received += len(frame)
+        return pickle.loads(frame)
+
+    def poll(self, timeout: float | None = 0) -> bool:
+        """Whether a frame is ready within ``timeout`` seconds."""
+        return self.conn.poll(timeout)
+
+    def fileno(self) -> int:
+        """Underlying descriptor (for ``multiprocessing.connection.wait``)."""
+        return self.conn.fileno()
+
+    def close(self) -> None:
+        """Close the underlying connection, tolerating repeats."""
+        try:
+            self.conn.close()
+        except Exception:  # pragma: no cover - already-closed race
+            pass

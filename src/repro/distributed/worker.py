@@ -1,0 +1,354 @@
+"""The persistent node process: resident shard state, command loop.
+
+One :func:`worker_main` process per ingest node, spawned once by
+:class:`~repro.distributed.runtime.PersistentRuntime` and reused across
+every stage of every ``distributed_clugp`` call (and across calls).  The
+worker owns:
+
+* its **shard** — edge chunks copied out of the shared-memory ring into
+  resident int64 arrays (the node's local crawl buffer);
+* its **pipeline state** — the :class:`~repro.core.partitioner.
+  ClugpPartitioner` whose pass-1 ``ClusteringState`` survives between the
+  summary and transform stages, so pass 3 replays with zero re-shipping;
+* its **app state** — per-partition values/partials of the distributed
+  GAS runtime (:mod:`repro.distributed.gas`), living on the same process
+  that partitioned the shard.
+
+Protocol: commands arrive as dicts over the framed command pipe; every
+stage command gets exactly one reply ``{"node", "ok", "payload"/"error",
+"seconds"}`` where ``seconds`` is the worker's measured compute time (the
+coordinator's busy/idle accounting).  Stage commands carry the PR-8
+:class:`~repro.reliability.faults.FaultInjector` plus their attempt
+number, and the worker applies ``pre_task``/``post_task`` exactly like
+the process-pool path — an injected ``crash`` is a real ``os._exit`` that
+the coordinator observes as a broken pipe and answers with respawn +
+deterministic replay.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+import numpy as np
+
+from .._util import Timer
+from ..core.distributed import _node_vertex_partition
+from ..core.partitioner import ClugpPartitioner
+from ..core.transform import replay_transform_chunked
+from ..graph.stream import EdgeStream
+from ..system.runtime import LocalContext
+from .shm import EdgeChunkRing, attach_segment
+from .transport import FramedConnection
+
+__all__ = ["worker_main"]
+
+
+class _GasFacade:
+    """The minimal runtime surface a shipped vertex program touches.
+
+    Programs running worker-side only read immutable globals
+    (``num_vertices`` / ``num_partitions``) — every per-partition table
+    was built coordinator-side in ``setup`` and travels inside the
+    program object.
+    """
+
+    def __init__(self, num_vertices: int, num_partitions: int) -> None:
+        self.num_vertices = num_vertices
+        self.num_partitions = num_partitions
+
+
+class _WorkerState:
+    """Everything resident between commands (shard, pipeline, app)."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.num_vertices = 0
+        self.src: np.ndarray | None = None
+        self.dst: np.ndarray | None = None
+        self.count = 0
+        self.partitioner: ClugpPartitioner | None = None
+        self.gas: dict | None = None
+
+    def stream(self) -> EdgeStream:
+        """The resident shard as an :class:`EdgeStream` (zero-copy views)."""
+        return EdgeStream(self.src[: self.count], self.dst[: self.count], self.num_vertices)
+
+
+def _handle_begin_shard(state: _WorkerState, msg: dict) -> None:
+    state.num_vertices = msg["num_vertices"]
+    cap = max(1, int(msg["expected_edges"]))
+    state.src = np.empty(cap, dtype=np.int64)
+    state.dst = np.empty(cap, dtype=np.int64)
+    state.count = 0
+    state.partitioner = None
+
+
+def _handle_chunk(state: _WorkerState, ring: EdgeChunkRing, msg: dict) -> None:
+    src, dst = ring.read(msg["slot"], msg["length"])
+    need = state.count + src.size
+    if need > state.src.size:  # defensive; the coordinator pre-sizes exactly
+        grown = max(need, 2 * state.src.size)
+        for name in ("src", "dst"):
+            buf = np.empty(grown, dtype=np.int64)
+            buf[: state.count] = getattr(state, name)[: state.count]
+            setattr(state, name, buf)
+    state.src[state.count : need] = src
+    state.dst[state.count : need] = dst
+    state.count = need
+
+
+def _handle_summary(state: _WorkerState, msg: dict):
+    shard = state.stream()
+    partitioner = ClugpPartitioner(
+        msg["num_partitions"], seed=msg["seed"] + state.node, config=msg["config"]
+    )
+    summary = partitioner.cluster_summary(
+        shard,
+        boundary_mask=msg["boundary"],
+        chunk_size=msg["chunk_size"],
+        node=state.node,
+    )
+    state.partitioner = partitioner  # clustering stays resident for pass 3
+    return summary
+
+
+def _handle_independent(state: _WorkerState, msg: dict):
+    shard = state.stream()
+    partitioner = ClugpPartitioner(
+        msg["num_partitions"], seed=msg["seed"] + state.node, config=msg["config"]
+    )
+    assignment = partitioner.partition_chunked(shard, chunk_size=msg["chunk_size"])
+    state.partitioner = partitioner
+    return {
+        "edge_partition": assignment.edge_partition,
+        "num_edges": shard.num_edges,
+        "num_clusters": partitioner.last_clustering.num_clusters,
+        "splits": partitioner.last_clustering.splits,
+        "game_rounds": partitioner.last_game_result.rounds,
+    }
+
+
+def _transform_args(state: _WorkerState, msg: dict) -> tuple[EdgeStream, np.ndarray]:
+    """Shared probe/commit prologue: shard view + broadcast vertex map."""
+    if state.partitioner is None or state.partitioner.last_clustering is None:
+        raise RuntimeError("transform before summary: no resident clustering")
+    shard = state.stream()
+    vp = _node_vertex_partition(
+        state.partitioner.last_clustering,
+        msg["offset"],
+        msg["cluster_partition"],
+        msg["boundary_vertices"],
+        msg["boundary_global_cluster"],
+        state.num_vertices,
+    )
+    return shard, vp
+
+
+def _handle_probe(state: _WorkerState, msg: dict):
+    shard, vp = _transform_args(state, msg)
+    k = msg["num_partitions"]
+    out, _ = replay_transform_chunked(
+        shard,
+        state.partitioner.last_clustering,
+        vp,
+        k,
+        load_caps=np.full(k, max(1, shard.num_edges), dtype=np.int64),
+        chunk_size=msg["chunk_size"],
+        chunk_impl=msg["chunk_impl"],
+        kernel_backend=msg["kernel_backend"],
+    )
+    return np.bincount(out, minlength=k)
+
+
+def _handle_commit(state: _WorkerState, msg: dict):
+    shard, vp = _transform_args(state, msg)
+    out, _ = replay_transform_chunked(
+        shard,
+        state.partitioner.last_clustering,
+        vp,
+        msg["num_partitions"],
+        imbalance_factor=msg["imbalance_factor"],
+        load_caps=msg["load_caps"],
+        chunk_size=msg["chunk_size"],
+        chunk_impl=msg["chunk_impl"],
+        kernel_backend=msg["kernel_backend"],
+    )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# distributed GAS handlers (see repro.distributed.gas for the protocol)
+# --------------------------------------------------------------------- #
+
+
+def _handle_gas_setup(state: _WorkerState, msg: dict) -> None:
+    state.gas = {
+        "program": msg["program"],
+        "owned": msg["owned"],  # pid -> {"part", "values", "mirror_local"}
+        "facade": _GasFacade(msg["num_vertices"], msg["num_partitions"]),
+        "partials": {},
+        "active_local": {},
+    }
+
+
+def _unpack(bits: np.ndarray, n: int) -> np.ndarray:
+    """Unpack a packbits mask back to ``n`` booleans."""
+    return np.unpackbits(bits, count=n).astype(bool)
+
+
+def _handle_gas_gather(state: _WorkerState, msg: dict) -> dict:
+    gas = state.gas
+    program = gas["program"]
+    chunks: dict[int, np.ndarray] = {}
+    aggs: dict[int, float] = {}
+    for pid in sorted(gas["owned"]):
+        slot = gas["owned"][pid]
+        part = slot["part"]
+        active_local = _unpack(msg["active_bits"][pid], part.num_vertices)
+        gas["active_local"][pid] = active_local
+        partial = program.gather_local(
+            LocalContext(
+                part=part, values=slot["values"], active=active_local,
+                runtime=gas["facade"],
+            )
+        )
+        gas["partials"][pid] = partial
+        sel = _unpack(msg["sel_bits"][pid], slot["mirror_local"].size)
+        chunks[pid] = partial[slot["mirror_local"][sel]]
+        if hasattr(program, "master_aggregate"):
+            aggs[pid] = program.master_aggregate(part, slot["values"])
+    return {"chunks": chunks, "aggs": aggs}
+
+
+def _handle_gas_apply(state: _WorkerState, msg: dict) -> dict:
+    gas = state.gas
+    program = gas["program"]
+    if msg["aggregate"] is not None:
+        program.receive_aggregate(msg["aggregate"])
+    applied: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for pid in sorted(gas["owned"]):
+        slot = gas["owned"][pid]
+        part = slot["part"]
+        partial = gas["partials"][pid]
+        deliver = msg["deliver"].get(pid)
+        if deliver is not None:
+            locals_recv, values = deliver
+            if locals_recv.size:
+                msg["combine"].at(partial, locals_recv, values)
+        ids = np.nonzero(part.is_master & gas["active_local"][pid])[0]
+        if ids.size == 0:
+            applied[pid] = (ids, np.empty(0, dtype=slot["values"].dtype))
+            continue
+        new_vals = program.apply(
+            gas["facade"], part.vertices[ids], slot["values"][ids], partial[ids]
+        )
+        slot["values"][ids] = new_vals
+        applied[pid] = (ids, new_vals)
+    return {"applied": applied}
+
+
+def _handle_gas_sync(state: _WorkerState, msg: dict) -> dict:
+    gas = state.gas
+    for pid, (locals_recv, values) in msg["deliver"].items():
+        if locals_recv.size:
+            gas["owned"][pid]["values"][locals_recv] = values
+    activated: dict[int, np.ndarray] = {}
+    if msg["changed_bits"] is not None:
+        changed = _unpack(msg["changed_bits"], state.gas["facade"].num_vertices)
+        for pid in sorted(gas["owned"]):
+            part = gas["owned"][pid]["part"]
+            changed_local = changed[part.vertices]
+            marks = np.zeros(part.num_vertices, dtype=bool)
+            marks[part.dst_local[changed_local[part.src_local]]] = True
+            if msg["undirected"]:
+                marks[part.src_local[changed_local[part.dst_local]]] = True
+            activated[pid] = np.flatnonzero(marks)
+    return {"activated": activated}
+
+
+_STAGE_HANDLERS = {
+    "summary": _handle_summary,
+    "independent": _handle_independent,
+    "probe": _handle_probe,
+    "commit": _handle_commit,
+}
+
+_PLAIN_HANDLERS = {
+    "gas_setup": _handle_gas_setup,
+    "gas_gather": _handle_gas_gather,
+    "gas_apply": _handle_gas_apply,
+    "gas_sync": _handle_gas_sync,
+}
+
+
+def worker_main(node, cmd_conn, res_conn, ring_name, slot_edges, ring_slots) -> None:
+    """Entry point of one persistent node process.
+
+    Attaches the shared edge ring untracked (the coordinator owns the
+    segment), then serves commands until ``shutdown`` or a dropped
+    command pipe.  Handler exceptions become error replies — the
+    coordinator counts them as ``raise`` failures and retries per its
+    :class:`~repro.reliability.retry.RetryPolicy`; only an injected crash
+    (``os._exit``) or a kill takes the process down.
+    """
+    cmd = FramedConnection(cmd_conn)
+    res = FramedConnection(res_conn)
+    ring = EdgeChunkRing(attach_segment(ring_name), slot_edges, ring_slots)
+    state = _WorkerState(node)
+    try:
+        while True:
+            try:
+                msg = cmd.recv()
+            except (EOFError, OSError):
+                break
+            op = msg["op"]
+            if op == "shutdown":
+                break
+            if op == "begin_shard":
+                _handle_begin_shard(state, msg)
+                continue
+            if op == "chunk":
+                _handle_chunk(state, ring, msg)
+                res.send({"node": node, "ok": True, "ack": msg["slot"]})
+                continue
+            if op == "end_shard":
+                res.send(
+                    {"node": node, "ok": True, "payload": state.count, "seconds": 0.0}
+                )
+                continue
+            if op == "ping":
+                res.send({"node": node, "ok": True, "payload": "pong", "seconds": 0.0})
+                continue
+            try:
+                with Timer() as timer:
+                    if op in _STAGE_HANDLERS:
+                        inject = msg.get("inject")
+                        if inject is not None:
+                            inject.pre_task(
+                                msg["stage"], node, msg["num_nodes"],
+                                msg["attempt"], in_process=True,
+                            )
+                        payload = _STAGE_HANDLERS[op](state, msg)
+                        if inject is not None:
+                            payload = inject.post_task(
+                                msg["stage"], node, msg["num_nodes"],
+                                msg["attempt"], payload,
+                            )
+                    else:
+                        payload = _PLAIN_HANDLERS[op](state, msg)
+                res.send(
+                    {"node": node, "ok": True, "payload": payload, "seconds": timer.elapsed}
+                )
+            except Exception:
+                res.send(
+                    {
+                        "node": node,
+                        "ok": False,
+                        "error": traceback.format_exc(limit=20),
+                        "seconds": 0.0,
+                    }
+                )
+    finally:
+        ring.close()
+        cmd.close()
+        res.close()

@@ -165,6 +165,10 @@ class PartitionService:
         self._ckpt: CheckpointManager | None = None
         self._journal: BatchJournal | None = None
         self._durability_paused = False  # True while replaying the journal
+        # -- resident distributed worker pool (attach_runtime /
+        #    distributed_refresh); spawned lazily, survives across batches
+        self._runtime = None
+        self._owns_runtime = False
         if checkpoint_dir is not None:
             self._ckpt = CheckpointManager(
                 checkpoint_dir, keep=self.config.reliability.checkpoint_keep
@@ -384,10 +388,64 @@ class PartitionService:
         return svc
 
     def close(self) -> None:
-        """Release the journal file handle (idempotent)."""
+        """Release the journal handle and any owned worker pool (idempotent)."""
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self._runtime is not None and self._owns_runtime:
+            self._runtime.close()
+        self._runtime = None
+        self._owns_runtime = False
+
+    # ------------------------------------------------------------------ #
+    # distributed refresh on resident workers
+    # ------------------------------------------------------------------ #
+
+    def attach_runtime(self, runtime) -> None:
+        """Attach an externally owned persistent worker pool.
+
+        Subsequent :meth:`distributed_refresh` calls reuse its resident
+        workers (the service never closes an attached pool — the caller
+        owns its lifecycle; pools the service spawns itself are owned and
+        closed by :meth:`close`).
+        """
+        if self._runtime is not None and self._owns_runtime:
+            self._runtime.close()
+        self._runtime = runtime
+        self._owns_runtime = False
+
+    def distributed_refresh(self, num_nodes: int | None = None,
+                            merge_mode: str = "merged"):
+        """Re-partition everything ingested on the persistent backend.
+
+        The distributed drift oracle: what the ``backend="persistent"``
+        deployment would produce from scratch on the accumulated stream,
+        with the service's locked ``V_max``.  The worker pool is resident
+        — first call spawns it (unless :meth:`attach_runtime` provided
+        one), later calls re-feed the grown stream to the *same*
+        processes, so periodic refreshes pay no spawn cost.  Returns the
+        :class:`~repro.core.distributed.DistributedResult`; the served
+        state is not touched.
+        """
+        from ..core.distributed import distributed_clugp
+
+        cfg = self._locked_config()
+        stream = self.stream()
+        nodes = num_nodes if num_nodes is not None else (
+            self._runtime.num_workers if self._runtime is not None else 4
+        )
+        nodes = min(int(nodes), max(1, stream.num_edges))
+        if self._runtime is None or self._runtime.num_workers != nodes:
+            from ..distributed.runtime import PersistentRuntime
+
+            if self._runtime is not None and self._owns_runtime:
+                self._runtime.close()
+            self._runtime = PersistentRuntime(nodes)
+            self._owns_runtime = True
+        return distributed_clugp(
+            stream, self.k, nodes, config=cfg, seed=cfg.game.seed,
+            merge_mode=merge_mode, backend="persistent", runtime=self._runtime,
+        )
 
     # ------------------------------------------------------------------ #
     # ingest

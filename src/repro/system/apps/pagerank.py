@@ -101,16 +101,35 @@ class LocalPageRankProgram(PageRankProgram):
         np.add.at(partial, part.dst_local[mask], contrib[part.src_local[mask]])
         return partial
 
+    def master_aggregate(self, part, values: np.ndarray) -> float:
+        """This partition's dangling-mass partial: sum over local masters.
+
+        Split out of ``before_apply`` so a *distributed* runtime can
+        evaluate each partial on the process that owns the partition and
+        ship one float — the tree-reduction of a real deployment.
+        """
+        dangling = part.is_master & (self._out_degree_local[part.pid] == 0)
+        return float(values[dangling].sum())
+
+    def unhosted_aggregate(self, runtime, values_global: np.ndarray) -> float:
+        """The coordinator's share: edgeless vertices no partition hosts."""
+        unhosted = runtime.placement.replica_counts == 0
+        return float(values_global[unhosted & (self._out_degree == 0)].sum())
+
+    def receive_aggregate(self, value: float) -> None:
+        """Install the reduced global aggregate before ``apply`` runs."""
+        self._dangling_mass = value
+
     def before_apply(self, runtime: LocalGasRuntime, values_global: np.ndarray):
         # dangling-mass aggregator: per-partition partial sums over local
-        # masters, plus the coordinator's edgeless vertices
+        # masters (pid order — the reduction order is part of the float
+        # contract shared with the distributed runtime), plus the
+        # coordinator's edgeless vertices
         total = 0.0
         for i, part in enumerate(runtime.index.partitions):
-            dangling = part.is_master & (self._out_degree_local[i] == 0)
-            total += float(runtime.values_local[i][dangling].sum())
-        unhosted = runtime.placement.replica_counts == 0
-        total += float(values_global[unhosted & (self._out_degree == 0)].sum())
-        self._dangling_mass = total
+            total += self.master_aggregate(part, runtime.values_local[i])
+        total += self.unhosted_aggregate(runtime, values_global)
+        self.receive_aggregate(total)
 
     def apply(
         self,

@@ -1,0 +1,150 @@
+"""Distributed GAS on resident workers vs the local-runtime oracle.
+
+:class:`~repro.distributed.gas.DistributedGasRuntime` must be a drop-in
+for :class:`~repro.system.runtime.LocalGasRuntime` on dense-accumulator
+programs: bit-identical values, identical superstep counts, and
+*identical per-superstep message/byte counts* (the communication parity
+contract) — while its compute/comm seconds are measured on real
+processes and its ``wire_bytes`` reflects actual pipe traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_algorithm
+from repro.distributed import DistributedGasRuntime, PersistentRuntime, leaked_segments
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+from repro.system import LocalGasRuntime
+from repro.system.apps import (
+    LocalConnectedComponentsProgram,
+    LocalLabelPropagationProgram,
+    LocalPageRankProgram,
+    LocalSsspProgram,
+)
+
+
+@pytest.fixture(scope="module")
+def gas_stream() -> EdgeStream:
+    """~3.5K-edge crawl with edgeless vertices (unhosted-apply path)."""
+    graph = web_crawl_graph(600, avg_out_degree=6.0, host_size=25, seed=11)
+    return EdgeStream.from_graph(graph, order="natural")
+
+
+@pytest.fixture(scope="module")
+def gas_assignment(gas_stream):
+    return run_algorithm("clugp", gas_stream, 4, seed=0)[1]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with PersistentRuntime(3) as runtime:
+        yield runtime
+
+
+def _assert_parity(local_pair, dist_pair):
+    """values bit-identical; per-superstep messages/bytes equal."""
+    local_values, local_cost = local_pair
+    dist_values, dist_cost = dist_pair
+    assert local_values.dtype == dist_values.dtype
+    equal_nan = np.issubdtype(local_values.dtype, np.floating)
+    assert np.array_equal(local_values, dist_values, equal_nan=equal_nan)
+    assert dist_cost.num_supersteps == local_cost.num_supersteps
+    for ref, got in zip(local_cost.supersteps, dist_cost.supersteps):
+        assert got.messages == ref.messages
+        assert got.bytes == ref.bytes
+        assert got.active_vertices == ref.active_vertices
+        assert got.active_edges == ref.active_edges
+
+
+class TestOracleParity:
+    def test_pagerank_bit_identical(self, gas_assignment, pool):
+        local = LocalGasRuntime(gas_assignment).run(
+            LocalPageRankProgram(), max_supersteps=40
+        )
+        dist = DistributedGasRuntime(gas_assignment, pool).run(
+            LocalPageRankProgram(), max_supersteps=40
+        )
+        _assert_parity(local, dist)
+
+    def test_sssp_bit_identical(self, gas_assignment, gas_stream, pool):
+        source = int(np.bincount(gas_stream.src).argmax())
+        local = LocalGasRuntime(gas_assignment).run(LocalSsspProgram(source))
+        dist = DistributedGasRuntime(gas_assignment, pool).run(
+            LocalSsspProgram(source)
+        )
+        _assert_parity(local, dist)
+
+    def test_connected_components_bit_identical(self, gas_assignment, pool):
+        local = LocalGasRuntime(gas_assignment).run(
+            LocalConnectedComponentsProgram()
+        )
+        dist = DistributedGasRuntime(gas_assignment, pool).run(
+            LocalConnectedComponentsProgram()
+        )
+        _assert_parity(local, dist)
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_worker_count_does_not_change_bits(self, gas_assignment, num_workers):
+        local = LocalGasRuntime(gas_assignment).run(
+            LocalPageRankProgram(), max_supersteps=40
+        )
+        before = set(leaked_segments())  # the module pool's live segments
+        with PersistentRuntime(num_workers) as runtime:
+            dist = DistributedGasRuntime(gas_assignment, runtime).run(
+                LocalPageRankProgram(), max_supersteps=40
+            )
+        _assert_parity(local, dist)
+        assert set(leaked_segments()) == before
+
+
+class TestRuntimeBehaviour:
+    def test_measured_wire_bytes_positive(self, gas_assignment, pool):
+        runtime = DistributedGasRuntime(gas_assignment, pool)
+        runtime.run(LocalPageRankProgram(), max_supersteps=5)
+        assert runtime.wire_bytes > 0
+        assert runtime.setup_seconds > 0.0
+
+    def test_costs_are_measured_not_modeled(self, gas_assignment, pool):
+        _, cost = DistributedGasRuntime(gas_assignment, pool).run(
+            LocalPageRankProgram(), max_supersteps=5
+        )
+        for superstep in cost.supersteps:
+            assert superstep.compute_seconds > 0.0
+            assert superstep.comm_seconds >= 0.0
+
+    def test_ragged_program_rejected(self, gas_assignment, pool):
+        with pytest.raises(ValueError, match="dense accumulators"):
+            DistributedGasRuntime(gas_assignment, pool).run(
+                LocalLabelPropagationProgram()
+            )
+
+    def test_partition_ownership_covers_all(self, gas_assignment, pool):
+        runtime = DistributedGasRuntime(gas_assignment, pool)
+        owned = sorted(
+            pid
+            for worker in range(pool.num_workers)
+            for pid in runtime._owned_pids(worker)
+        )
+        assert owned == list(range(gas_assignment.num_partitions))
+
+    def test_partitioning_and_app_share_one_pool(self, gas_stream):
+        """The end-to-end story: partition on the pool, run the app on it."""
+        from repro.core.distributed import distributed_clugp
+
+        before = set(leaked_segments())  # the module pool's live segments
+        with PersistentRuntime(3) as runtime:
+            result = distributed_clugp(
+                gas_stream, 4, num_nodes=3, seed=0, backend="persistent",
+                runtime=runtime,
+            )
+            local = LocalGasRuntime(result.assignment).run(
+                LocalPageRankProgram(), max_supersteps=40
+            )
+            dist = DistributedGasRuntime(result.assignment, runtime).run(
+                LocalPageRankProgram(), max_supersteps=40
+            )
+            _assert_parity(local, dist)
+        assert set(leaked_segments()) == before

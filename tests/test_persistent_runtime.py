@@ -1,0 +1,432 @@
+"""Persistent worker runtime (PR 10): lifecycle, identity, chaos, pipeline.
+
+Acceptance gates covered here:
+
+* ``backend="persistent"`` is bit-identical to the ``process`` oracle for
+  both merge modes at num_nodes in {1, 4, 8};
+* the incremental merge folds summaries in *any* arrival permutation and
+  still reproduces the batch merge bit for bit (hypothesis sweep);
+* zero pickled ndarray bytes ever cross the ingest plane;
+* every shared-memory segment is unlinked on close — including after
+  injected worker crashes (``/dev/shm`` cleanliness);
+* resident workers survive across calls (same PIDs, same bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ClugpConfig, ReliabilityConfig
+from repro.core.distributed import (
+    DistributedClugpPartitioner,
+    IncrementalMerger,
+    _boundary_mask,
+    _cluster_stage_worker,
+    _merge_summaries,
+    _shard_ranges,
+    distributed_clugp,
+)
+from repro.distributed import (
+    EdgeChunkRing,
+    PersistentRuntime,
+    RingWriter,
+    leaked_segments,
+    ndarray_nbytes,
+)
+from repro.distributed.shm import create_segment, unlink_segment
+from repro.graph.generators import web_crawl_graph
+from repro.graph.stream import EdgeStream
+
+
+@pytest.fixture(scope="module")
+def ident_stream() -> EdgeStream:
+    """~3.2K-edge crawl used for the process-vs-persistent identity matrix."""
+    graph = web_crawl_graph(400, avg_out_degree=8.0, host_size=25, seed=3)
+    return EdgeStream.from_graph(graph, order="natural")
+
+
+def _assert_shm_clean() -> None:
+    assert leaked_segments() == [], "shared-memory segments leaked into /dev/shm"
+
+
+# --------------------------------------------------------------------- #
+# shm primitives
+# --------------------------------------------------------------------- #
+
+
+class TestShmPrimitives:
+    def test_ring_write_read_roundtrip(self):
+        shm = create_segment(EdgeChunkRing.nbytes(8, 2))
+        try:
+            ring = EdgeChunkRing(shm, slot_edges=8, slots=2)
+            src = np.arange(5, dtype=np.int64)
+            dst = np.arange(5, dtype=np.int64) * 7
+            assert ring.write(1, src, dst) == 5
+            got_src, got_dst = ring.read(1, 5)
+            assert np.array_equal(got_src, src)
+            assert np.array_equal(got_dst, dst)
+        finally:
+            unlink_segment(shm)
+        _assert_shm_clean()
+
+    def test_ring_rejects_oversized_chunk(self):
+        shm = create_segment(EdgeChunkRing.nbytes(4, 1))
+        try:
+            ring = EdgeChunkRing(shm, slot_edges=4, slots=1)
+            with pytest.raises(ValueError, match="exceeds slot capacity"):
+                ring.write(0, np.zeros(5, dtype=np.int64), np.zeros(5, dtype=np.int64))
+        finally:
+            unlink_segment(shm)
+
+    def test_writer_blocks_only_when_ring_full(self):
+        shm = create_segment(EdgeChunkRing.nbytes(4, 2))
+        try:
+            ring = EdgeChunkRing(shm, slot_edges=4, slots=2)
+            writer = RingWriter(ring)
+            acks: list[int] = []
+
+            def wait_ack():
+                acks.append(writer._in_flight[0])
+                return acks[-1]
+
+            assert writer.next_slot(wait_ack) == 0
+            assert writer.next_slot(wait_ack) == 1
+            assert acks == []  # ring not yet full: no blocking
+            assert writer.next_slot(wait_ack) == 0  # full: drains one ack
+            assert acks == [0]
+            assert writer.in_flight == 2
+        finally:
+            unlink_segment(shm)
+
+    def test_writer_rejects_out_of_order_ack(self):
+        shm = create_segment(EdgeChunkRing.nbytes(4, 3))
+        try:
+            writer = RingWriter(EdgeChunkRing(shm, slot_edges=4, slots=3))
+            writer.next_slot(lambda: 0)
+            writer.next_slot(lambda: 0)
+            with pytest.raises(RuntimeError, match="out-of-order"):
+                writer.ack(1)
+        finally:
+            unlink_segment(shm)
+
+    def test_ndarray_nbytes_walks_containers(self):
+        msg = {
+            "a": np.zeros(4, dtype=np.int64),
+            "b": [np.zeros(2, dtype=np.float64), "text", 7],
+            "c": {"d": (np.zeros(1, dtype=np.int8),)},
+        }
+        assert ndarray_nbytes(msg) == 32 + 16 + 1
+        assert ndarray_nbytes({"op": "chunk", "slot": 3, "length": 100}) == 0
+
+
+# --------------------------------------------------------------------- #
+# runtime lifecycle
+# --------------------------------------------------------------------- #
+
+
+class TestRuntimeLifecycle:
+    def test_context_manager_unlinks_all_segments(self):
+        with PersistentRuntime(3, slot_edges=64, ring_slots=2) as runtime:
+            assert len(leaked_segments()) == 3
+            for worker in range(3):
+                assert runtime.call(worker, {"op": "ping"}) == "pong"
+        _assert_shm_clean()
+
+    def test_close_is_idempotent(self):
+        runtime = PersistentRuntime(2, slot_edges=64)
+        runtime.close()
+        runtime.close()
+        _assert_shm_clean()
+
+    def test_feed_shard_keeps_edge_plane_pickle_free(self):
+        with PersistentRuntime(1, slot_edges=16, ring_slots=2) as runtime:
+            rng = np.random.default_rng(0)
+            src = rng.integers(0, 50, size=100)
+            dst = rng.integers(0, 50, size=100)
+            runtime.feed_shard(0, src, dst, 50)
+            assert runtime.edge_pickle_bytes == 0
+        _assert_shm_clean()
+
+    def test_worker_error_reply_raises_with_traceback(self):
+        with PersistentRuntime(1) as runtime:
+            with pytest.raises(RuntimeError, match="transform before summary"):
+                runtime.call(0, {"op": "probe", "offset": 0})
+        _assert_shm_clean()
+
+
+# --------------------------------------------------------------------- #
+# bit-identity against the process oracle
+# --------------------------------------------------------------------- #
+
+
+class TestProcessParity:
+    """The acceptance matrix: persistent == process, bit for bit."""
+
+    @pytest.mark.parametrize("merge_mode", ["merged", "independent"])
+    @pytest.mark.parametrize("num_nodes", [1, 4, 8])
+    def test_bit_identical_to_process(self, ident_stream, merge_mode, num_nodes):
+        reference = distributed_clugp(
+            ident_stream, 8, num_nodes=num_nodes, seed=0,
+            merge_mode=merge_mode, backend="process",
+        )
+        result = distributed_clugp(
+            ident_stream, 8, num_nodes=num_nodes, seed=0,
+            merge_mode=merge_mode, backend="persistent",
+        )
+        assert np.array_equal(
+            reference.assignment.edge_partition, result.assignment.edge_partition
+        )
+        _assert_shm_clean()
+
+    def test_node_reports_match_process(self, ident_stream):
+        reference = distributed_clugp(
+            ident_stream, 8, num_nodes=4, seed=0, backend="process"
+        )
+        result = distributed_clugp(
+            ident_stream, 8, num_nodes=4, seed=0, backend="persistent"
+        )
+        for ref, got in zip(reference.nodes, result.nodes):
+            assert (ref.node, ref.num_edges, ref.num_clusters, ref.splits) == (
+                got.node, got.num_edges, got.num_clusters, got.splits
+            )
+
+    def test_runtime_rejected_on_other_backends(self, ident_stream):
+        with PersistentRuntime(2) as runtime:
+            with pytest.raises(ValueError, match="persistent"):
+                distributed_clugp(
+                    ident_stream, 4, num_nodes=2, backend="thread", runtime=runtime
+                )
+        _assert_shm_clean()
+
+    def test_runtime_size_mismatch_raises(self, ident_stream):
+        with PersistentRuntime(2) as runtime:
+            with pytest.raises(ValueError, match="workers"):
+                distributed_clugp(
+                    ident_stream, 4, num_nodes=3, backend="persistent",
+                    runtime=runtime,
+                )
+        _assert_shm_clean()
+
+
+class TestResidentReuse:
+    def test_same_workers_same_bits_across_calls(self, ident_stream):
+        with PersistentRuntime(3) as runtime:
+            pids = [h.process.pid for h in runtime.workers]
+            first = distributed_clugp(
+                ident_stream, 8, num_nodes=3, seed=0, backend="persistent",
+                runtime=runtime,
+            )
+            second = distributed_clugp(
+                ident_stream, 8, num_nodes=3, seed=0, backend="persistent",
+                runtime=runtime,
+            )
+            assert [h.process.pid for h in runtime.workers] == pids
+            assert np.array_equal(
+                first.assignment.edge_partition, second.assignment.edge_partition
+            )
+            assert runtime.edge_pickle_bytes == 0
+        _assert_shm_clean()
+
+    def test_partitioner_facade_owns_resident_pool(self, ident_stream):
+        with DistributedClugpPartitioner(
+            8, num_nodes=3, seed=0, backend="persistent"
+        ) as partitioner:
+            first = partitioner.partition(ident_stream)
+            runtime = partitioner._runtime
+            assert runtime is not None
+            pids = [h.process.pid for h in runtime.workers]
+            second = partitioner.partition(ident_stream)
+            assert partitioner._runtime is runtime
+            assert [h.process.pid for h in runtime.workers] == pids
+            assert np.array_equal(first.edge_partition, second.edge_partition)
+        _assert_shm_clean()
+
+    def test_zero_pickle_gate_in_result_counters(self, ident_stream):
+        result = distributed_clugp(
+            ident_stream, 8, num_nodes=3, seed=0, backend="persistent"
+        )
+        # bump() drops zero counts, so absence of the audit counter IS the
+        # zero-copy gate: any pickled ndarray on the ingest plane would
+        # surface a positive edge_pickle_bytes here
+        assert result.to_dict()["reliability"].get("edge_pickle_bytes", 0) == 0
+
+
+# --------------------------------------------------------------------- #
+# pipeline accounting
+# --------------------------------------------------------------------- #
+
+
+class TestPipelineAccounting:
+    def test_overlap_and_busy_idle_surfaced(self, ident_stream):
+        result = distributed_clugp(
+            ident_stream, 8, num_nodes=4, seed=0, merge_mode="merged",
+            backend="persistent",
+        )
+        overlaps = result.to_dict()["stage_overlaps"]
+        assert "pipeline_overlap" in overlaps
+        assert overlaps["pipeline_overlap"] >= 0.0
+        for node in range(4):
+            assert overlaps[f"node{node}_busy"] >= 0.0
+            assert overlaps[f"node{node}_idle"] >= 0.0
+        assert "pipeline" in result.summary()
+
+    def test_overlaps_never_inflate_critical_path(self, ident_stream):
+        result = distributed_clugp(
+            ident_stream, 8, num_nodes=4, seed=0, merge_mode="merged",
+            backend="persistent",
+        )
+        times = result.assignment.stage_times
+        assert times.critical_path == pytest.approx(times.walls["critical_path"])
+        assert sum(times.overlaps.values()) >= 0.0
+
+
+# --------------------------------------------------------------------- #
+# chaos: crash/hang/corrupt on resident workers
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def chaos_stream() -> EdgeStream:
+    graph = web_crawl_graph(300, avg_out_degree=7.0, host_size=20, seed=9)
+    return EdgeStream.from_graph(graph, order="natural")
+
+
+def _run_persistent(stream, spec, timeout=None, merge_mode="merged"):
+    reliability = ReliabilityConfig(
+        inject_faults=spec, task_timeout=timeout,
+        backoff_base=0.0, backoff_max=0.0,
+    )
+    cfg = ClugpConfig(num_partitions=4, reliability=reliability)
+    return distributed_clugp(
+        stream, 4, num_nodes=3, config=cfg, seed=0, merge_mode=merge_mode,
+        backend="persistent",
+    )
+
+
+class TestPersistentChaos:
+    """Injected faults hit real resident processes; bits must not move."""
+
+    def test_injected_crash_respawns_bit_identical(self, chaos_stream):
+        baseline = _run_persistent(chaos_stream, "")
+        chaotic = _run_persistent(chaos_stream, "crash,seed=1")
+        assert np.array_equal(
+            baseline.assignment.edge_partition, chaotic.assignment.edge_partition
+        )
+        assert chaotic.to_dict()["reliability"].get("retries", 0) >= 1
+        _assert_shm_clean()
+
+    def test_hang_timeout_respawns_bit_identical(self, chaos_stream):
+        baseline = _run_persistent(chaos_stream, "")
+        chaotic = _run_persistent(
+            chaos_stream, "hang,seed=0,hang_seconds=30", timeout=2.0
+        )
+        assert np.array_equal(
+            baseline.assignment.edge_partition, chaotic.assignment.edge_partition
+        )
+        _assert_shm_clean()
+
+    def test_corruption_quarantined_by_validation(self, chaos_stream):
+        baseline = _run_persistent(chaos_stream, "")
+        chaotic = _run_persistent(chaos_stream, "corrupt,seed=3")
+        assert np.array_equal(
+            baseline.assignment.edge_partition, chaotic.assignment.edge_partition
+        )
+        _assert_shm_clean()
+
+    def test_crash_mid_run_leaves_resident_pool_reusable(self, chaos_stream):
+        reliability = ReliabilityConfig(
+            inject_faults="crash,seed=1", backoff_base=0.0, backoff_max=0.0
+        )
+        cfg = ClugpConfig(num_partitions=4, reliability=reliability)
+        with PersistentRuntime(3) as runtime:
+            chaotic = distributed_clugp(
+                chaos_stream, 4, num_nodes=3, config=cfg, seed=0,
+                backend="persistent", runtime=runtime,
+            )
+            # the respawned pool must still serve a clean follow-up call
+            clean = distributed_clugp(
+                chaos_stream, 4, num_nodes=3, seed=0, backend="persistent",
+                runtime=runtime,
+            )
+            assert np.array_equal(
+                chaotic.assignment.edge_partition,
+                clean.assignment.edge_partition,
+            )
+        _assert_shm_clean()
+
+
+# --------------------------------------------------------------------- #
+# incremental merge: any arrival order, same bits
+# --------------------------------------------------------------------- #
+
+
+NUM_PERM_NODES = 5
+
+
+@pytest.fixture(scope="module")
+def stage_summaries(ident_stream):
+    """Serial stage-1 summaries for the arrival-permutation sweep."""
+    ranges = _shard_ranges(ident_stream.num_edges, NUM_PERM_NODES)
+    boundary = _boundary_mask(ident_stream, ranges)
+    summaries = []
+    for node, (start, stop) in enumerate(ranges):
+        _, summary, _, _ = _cluster_stage_worker(
+            (
+                node,
+                ident_stream.src[start:stop],
+                ident_stream.dst[start:stop],
+                ident_stream.num_vertices,
+                boundary,
+                8,
+                ClugpConfig(num_partitions=8),
+                0,
+                1 << 16,
+            )
+        )
+        summaries.append(summary)
+    return summaries
+
+
+class TestIncrementalMerger:
+    """The pipelined fold's correctness contract (DESIGN.md §11)."""
+
+    @settings(max_examples=24, deadline=None)
+    @given(perm=st.permutations(list(range(NUM_PERM_NODES))))
+    def test_any_arrival_permutation_bit_identical(
+        self, stage_summaries, ident_stream, perm
+    ):
+        reference = _merge_summaries(stage_summaries, ident_stream.num_vertices)
+        merger = IncrementalMerger()
+        for node in perm:
+            merger.add(node, stage_summaries[node])
+        decision = merger.finalize(ident_stream.num_vertices)
+
+        ref_graph, got_graph = reference.merged_graph, decision.merged_graph
+        for field in (
+            "internal", "indptr", "indices", "weights",
+            "in_indptr", "in_indices", "in_weights",
+        ):
+            assert np.array_equal(
+                getattr(ref_graph, field), getattr(got_graph, field)
+            ), field
+        assert np.array_equal(reference.offsets, decision.offsets)
+        assert np.array_equal(
+            reference.boundary_vertices, decision.boundary_vertices
+        )
+        assert np.array_equal(
+            reference.boundary_global_cluster, decision.boundary_global_cluster
+        )
+        assert np.array_equal(reference.warm_start, decision.warm_start)
+        assert reference.num_unresolved_edges == decision.num_unresolved_edges
+
+    def test_finalize_requires_at_least_one_summary(self, ident_stream):
+        with pytest.raises(ValueError, match="before any summary"):
+            IncrementalMerger().finalize(ident_stream.num_vertices)
+
+    def test_duplicate_node_rejected(self, stage_summaries):
+        merger = IncrementalMerger()
+        merger.add(0, stage_summaries[0])
+        with pytest.raises(ValueError, match="already merged"):
+            merger.add(0, stage_summaries[0])

@@ -356,3 +356,58 @@ def test_summary_and_plan_exposure():
     row = service.history[-1].to_dict()
     assert row["batch"] == len(service.history) - 1
     assert "edges_per_second" in row and "rf_drift" in row
+
+
+# --------------------------------------------------------------------- #
+# distributed refresh on the resident worker pool (PR 10)
+# --------------------------------------------------------------------- #
+
+
+def test_distributed_refresh_matches_process_oracle():
+    from repro.core.distributed import distributed_clugp
+    from repro.distributed import leaked_segments
+
+    stream = crawl_stream(300)
+    cfg = ClugpConfig(num_partitions=4, game=GameConfig(seed=1))
+    service = feed(
+        PartitionService(stream.num_vertices, cfg),
+        stream,
+        max(1, stream.num_edges // 4),
+    )
+    result = service.distributed_refresh(num_nodes=3)
+    reference = distributed_clugp(
+        service.stream(), 4, num_nodes=3, config=service._locked_config(),
+        seed=1, merge_mode="merged", backend="process",
+    )
+    assert np.array_equal(
+        result.assignment.edge_partition, reference.assignment.edge_partition
+    )
+    # the pool is resident: a second refresh reuses the same processes
+    runtime = service._runtime
+    pids = [h.process.pid for h in runtime.workers]
+    again = service.distributed_refresh()
+    assert service._runtime is runtime
+    assert [h.process.pid for h in runtime.workers] == pids
+    assert np.array_equal(
+        result.assignment.edge_partition, again.assignment.edge_partition
+    )
+    service.close()
+    assert leaked_segments() == []
+
+
+def test_distributed_refresh_attached_runtime_not_closed():
+    from repro.distributed import PersistentRuntime, leaked_segments
+
+    stream = crawl_stream(200)
+    service = feed(
+        PartitionService(stream.num_vertices, ClugpConfig(num_partitions=4)),
+        stream,
+        max(1, stream.num_edges // 3),
+    )
+    with PersistentRuntime(2) as runtime:
+        service.attach_runtime(runtime)
+        service.distributed_refresh(num_nodes=2)
+        assert service._runtime is runtime
+        service.close()  # must NOT close a pool it does not own
+        assert runtime.call(0, {"op": "ping"}) == "pong"
+    assert leaked_segments() == []

@@ -119,6 +119,17 @@ class TestTimers:
         times.add("b", 2.0)
         assert times.critical_path == pytest.approx(3.0)
 
+    def test_overlaps_accumulate_without_touching_total(self):
+        times = StageTimes()
+        times.add("work", 2.0)
+        times.add_overlap("pipeline_overlap", 0.5)
+        times.add_overlap("pipeline_overlap", 0.25)
+        times.add_overlap("node0_busy", 1.0)
+        assert times.overlaps["pipeline_overlap"] == pytest.approx(0.75)
+        assert times.overlaps["node0_busy"] == pytest.approx(1.0)
+        assert times.total == pytest.approx(2.0)
+        assert times.critical_path == pytest.approx(2.0)
+
 
 def _ranks_reference(edges):
     """Brute-force occurrence ranks: sequential two-increment consumer."""
